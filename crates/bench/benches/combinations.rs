@@ -1,0 +1,48 @@
+//! Microbench: on-the-fly combination unranking vs. materializing every
+//! conditioning set (Fast-BNS optimization 4 vs. the naive strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_core::combinations::{all_combinations, binomial, unrank_combination};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_unrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cond_set_generation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (p, k) in [(10usize, 2usize), (20, 3), (30, 4)] {
+        let total = binomial(p, k);
+        // On-the-fly: unrank every set, one at a time, reusing one buffer.
+        group.bench_with_input(
+            BenchmarkId::new("on_the_fly", format!("C({p},{k})")),
+            &(p, k),
+            |b, &(p, k)| {
+                b.iter(|| {
+                    let mut buf = Vec::with_capacity(k);
+                    let mut acc = 0usize;
+                    for r in 0..total {
+                        unrank_combination(p, k, r, &mut buf);
+                        acc += buf[0];
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        // Precomputed: materialize the whole list up front (the memory
+        // the paper's optimization avoids), then walk it.
+        group.bench_with_input(
+            BenchmarkId::new("precomputed", format!("C({p},{k})")),
+            &(p, k),
+            |b, &(p, k)| {
+                b.iter(|| {
+                    let sets = all_combinations(p, k);
+                    let acc: usize = sets.iter().map(|s| s[0]).sum();
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unrank);
+criterion_main!(benches);

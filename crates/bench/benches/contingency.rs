@@ -1,0 +1,60 @@
+//! Microbench: contingency-table fill under both data layouts — the
+//! §IV-C cache-friendliness claim at the kernel level. Column-major
+//! should win, increasingly so for wider datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_core::skeleton::common::fill_with;
+use fastbn_data::{Dataset, Layout};
+use fastbn_stats::ContingencyTable;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn synthetic(n_vars: usize, m: usize) -> Dataset {
+    let mut state = 0xFEED_BEEFu64;
+    let columns: Vec<Vec<u8>> = (0..n_vars)
+        .map(|_| {
+            (0..m)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % 3) as u8
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_columns(vec![], vec![3; n_vars], columns).unwrap()
+}
+
+fn bench_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency_fill");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n_vars in [64usize, 512] {
+        let m = 20_000;
+        let data = synthetic(n_vars, m);
+        // Variables spread across the record, d = 2.
+        let (u, v) = (0, n_vars / 2);
+        let cond = vec![n_vars / 4, 3 * n_vars / 4];
+        let zmul = vec![3, 1];
+        for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+            let mut table = ContingencyTable::new(3, 3, 9);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), format!("{n_vars}v_{m}s")),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        table.clear();
+                        fill_with(data, layout, u, v, &cond, &zmul, 0..m, |x, y, z| {
+                            table.add(x, y, z)
+                        });
+                        black_box(table.total())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill);
+criterion_main!(benches);

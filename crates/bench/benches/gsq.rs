@@ -1,0 +1,53 @@
+//! Microbench: the G² statistic kernel and χ² p-value computation — the
+//! arithmetic inside every CI test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_stats::{chi2_sf, g2_statistic, g2_test, ContingencyTable, DfRule};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn filled_table(rx: usize, ry: usize, nz: usize) -> ContingencyTable {
+    let mut t = ContingencyTable::new(rx, ry, nz);
+    let mut state = 0x1234_5678u64;
+    for _ in 0..10_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = (state >> 33) as usize % rx;
+        let y = (state >> 43) as usize % ry;
+        let z = (state >> 53) as usize % nz;
+        t.add(x, y, z);
+    }
+    t
+}
+
+fn bench_g2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g2");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (rx, ry, nz) in [(2, 2, 1), (4, 4, 4), (3, 3, 27), (4, 4, 64)] {
+        let table = filled_table(rx, ry, nz);
+        group.bench_with_input(
+            BenchmarkId::new("statistic", format!("{rx}x{ry}x{nz}")),
+            &table,
+            |b, t| b.iter(|| black_box(g2_statistic(t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_test", format!("{rx}x{ry}x{nz}")),
+            &table,
+            |b, t| b.iter(|| black_box(g2_test(t, 0.05, DfRule::Classic))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chi2_sf");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for df in [1.0, 9.0, 81.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(df), &df, |b, &df| {
+            b.iter(|| black_box(chi2_sf(black_box(df * 1.3), df)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_g2, bench_chi2);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbench: dynamic work-pool scheduling vs. static chunking under a
+//! skewed task-size distribution — the load-balancing mechanism of §IV-B
+//! in isolation (no statistics, pure scheduling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_parallel::{chunk_ranges, run_pool, StepResult, Team, WorkPool};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Simulated CI-test work: a few hundred ns of arithmetic.
+#[inline]
+fn unit_work(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..200u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Skewed task sizes mimicking per-edge CI-test counts: most edges have
+/// a handful of tests, a few have hundreds (the paper's load-imbalance
+/// source).
+fn task_sizes(n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|i| if i % 16 == 0 { 400 } else { 4 + (i % 7) as u32 })
+        .collect()
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let sizes = task_sizes(256);
+    let threads = 2;
+
+    group.bench_with_input(BenchmarkId::new("work_pool", "skewed256"), &sizes, |b, sizes| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            let tasks: Vec<(usize, u32)> = sizes.iter().copied().enumerate().collect();
+            let pool = WorkPool::from_tasks(tasks);
+            Team::scoped(threads, |team| {
+                // Group size 8: process 8 units then requeue, like gs=8.
+                run_pool(team, &pool, |_tid, (id, remaining)| {
+                    let burst = remaining.min(8);
+                    for i in 0..burst {
+                        acc.fetch_add(unit_work(id as u64 + i as u64), Ordering::Relaxed);
+                    }
+                    if remaining <= burst {
+                        StepResult::Done
+                    } else {
+                        StepResult::Continue((id, remaining - burst))
+                    }
+                });
+            });
+            black_box(acc.into_inner())
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("static_chunks", "skewed256"), &sizes, |b, sizes| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            let ranges = chunk_ranges(sizes.len(), threads);
+            Team::scoped(threads, |team| {
+                team.broadcast(&|tid| {
+                    for i in ranges[tid].clone() {
+                        for j in 0..sizes[i] {
+                            acc.fetch_add(unit_work(i as u64 + j as u64), Ordering::Relaxed);
+                        }
+                    }
+                });
+            });
+            black_box(acc.into_inner())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2 — execution time of the three parallelism granularities
+//! (CI-level, edge-level, sample-level) as the thread count grows.
+//!
+//! One table per network; rows are thread counts, columns the three
+//! schemes (all built on the same optimized kernels, differing only in
+//! scheduling — exactly the paper's §V-C setup). The expected shape:
+//! CI-level ≤ edge-level ≤ sample-level at every thread count, with
+//! sample-level degrading due to per-test broadcast overhead and atomic
+//! increments.
+
+use fastbn_bench::runner::fmt_duration;
+use fastbn_bench::{load_workload, time_learn, BenchArgs, TextTable};
+use fastbn_core::{ParallelMode, PcConfig};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nets = args.networks(
+        &["alarm", "insurance", "hepar2", "munin1"],
+        &["alarm", "insurance", "hepar2", "munin1", "diabetes", "link"],
+    );
+    let m = args.sample_count(2000, 5000);
+    let threads =
+        if args.full && args.threads == vec![1, 2, 4] { vec![1, 2, 4, 8, 16, 32] } else { args.threads.clone() };
+
+    println!("Figure 2: execution time vs. threads for three parallelism granularities");
+    println!("({m} samples; times as printed by fmt: s, m=ms, u=us)\n");
+
+    for name in &nets {
+        let w = load_workload(name, m, args.seed);
+        eprintln!("[fig2] {name} ({} nodes)…", w.net.n());
+        let mut table =
+            TextTable::new(vec!["threads", "CI-level", "Edge-level", "Sample-level"]);
+        let mut reference = None;
+        for &t in &threads {
+            let mut cells = vec![t.to_string()];
+            for mode in [
+                ParallelMode::CiLevel,
+                ParallelMode::EdgeLevel,
+                ParallelMode::SampleLevel,
+            ] {
+                let cfg = PcConfig::fast_bns().with_mode(mode).with_threads(t);
+                let run = time_learn(&w.data, &cfg, args.reps);
+                match &reference {
+                    None => reference = Some(run.skeleton.clone()),
+                    Some(r) => assert_eq!(&run.skeleton, r, "{name} {mode:?} t={t}"),
+                }
+                cells.push(fmt_duration(run.duration));
+            }
+            table.row(cells);
+        }
+        println!("{name}:");
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 4 — the effect of group size `gs` on execution time and on the
+//! number of (redundant) CI tests.
+//!
+//! `gs` trades memory-access reuse against redundant tests: a group's
+//! members all run before the accept/terminate decision, so larger groups
+//! waste tests past the first acceptance (paper §IV-B). The paper sweeps
+//! gs ∈ {1,2,4,6,8,10,12,14,16} on Alarm, Insurance, Hepar2 and Munin1
+//! with 10000 samples and finds the sweet spot at gs ≤ 8; the per-network
+//! best is marked with `*`.
+
+use fastbn_bench::runner::fmt_duration;
+use fastbn_bench::{load_workload, time_learn, BenchArgs, TextTable};
+use fastbn_core::PcConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nets = args.networks(
+        &["alarm", "insurance", "hepar2", "munin1"],
+        &["alarm", "insurance", "hepar2", "munin1"],
+    );
+    let m = args.sample_count(2000, 10000);
+    let group_sizes = [1usize, 2, 4, 6, 8, 10, 12, 14, 16];
+    let t = *args.threads.iter().max().unwrap_or(&2);
+
+    println!(
+        "Figure 4: group-size sweep (CI-level, t={t}, {m} samples)\n\
+         '+CI%' = proportion of CI tests added relative to gs=1\n"
+    );
+
+    for name in &nets {
+        let w = load_workload(name, m, args.seed);
+        eprintln!("[fig4] {name}…");
+        let mut table = TextTable::new(vec!["gs", "time", "+CI%", "CI tests"]);
+        let mut baseline_tests = 0u64;
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        let mut rows: Vec<(usize, std::time::Duration, u64)> = Vec::new();
+        let mut reference = None;
+        for &gs in &group_sizes {
+            let cfg = PcConfig::fast_bns().with_threads(t).with_group_size(gs);
+            let run = time_learn(&w.data, &cfg, args.reps);
+            match &reference {
+                None => reference = Some(run.skeleton.clone()),
+                Some(r) => assert_eq!(&run.skeleton, r, "{name} gs={gs} changed the result"),
+            }
+            if gs == 1 {
+                baseline_tests = run.ci_tests;
+            }
+            if best.as_ref().is_none_or(|&(_, d)| run.duration < d) {
+                best = Some((gs, run.duration));
+            }
+            rows.push((gs, run.duration, run.ci_tests));
+        }
+        let best_gs = best.expect("nonempty sweep").0;
+        for (gs, duration, tests) in rows {
+            let increased = if baseline_tests == 0 {
+                0.0
+            } else {
+                (tests as f64 - baseline_tests as f64) / baseline_tests as f64 * 100.0
+            };
+            table.row(vec![
+                format!("{gs}{}", if gs == best_gs { " *" } else { "" }),
+                fmt_duration(duration),
+                format!("{increased:.1}%"),
+                tests.to_string(),
+            ]);
+        }
+        println!("{name}:");
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — speedup of Fast-BNS-par over Fast-BNS-seq across network
+//! sizes.
+//!
+//! The paper's bar chart (Alarm 6.9×, Insurance 6.4×, Hepar2 8.4×,
+//! Munin1 8.7×, Diabetes 19.3×, Link 14.5× on 52 cores): larger networks
+//! amortize parallel overhead better and expose more load imbalance for
+//! the work pool to fix, so speedup grows with network size until other
+//! limits bite. On a small machine the absolute numbers track the core
+//! count; the *ordering* across networks is the shape under test.
+
+use fastbn_bench::runner::fmt_duration;
+use fastbn_bench::{load_workload, time_learn, BenchArgs, TextTable};
+use fastbn_core::PcConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nets = args.networks(
+        &["alarm", "insurance", "hepar2", "munin1", "diabetes"],
+        &["alarm", "insurance", "hepar2", "munin1", "diabetes", "link"],
+    );
+    let m = args.sample_count(2000, 5000);
+
+    println!("Figure 5: Fast-BNS-par speedup over Fast-BNS-seq per network ({m} samples)\n");
+    let mut table =
+        TextTable::new(vec!["network", "nodes", "seq time", "par time", "speedup", "t*"]);
+
+    for name in &nets {
+        let w = load_workload(name, m, args.seed);
+        eprintln!("[fig5] {name} ({} nodes)…", w.net.n());
+        let seq = time_learn(&w.data, &PcConfig::fast_bns_seq(), args.reps);
+        let mut best: Option<(usize, fastbn_bench::TimedRun)> = None;
+        for &t in &args.threads {
+            let run = time_learn(&w.data, &PcConfig::fast_bns().with_threads(t), args.reps);
+            assert_eq!(run.skeleton, seq.skeleton, "{name} t={t}");
+            if best.as_ref().is_none_or(|(_, b)| run.duration < b.duration) {
+                best = Some((t, run));
+            }
+        }
+        let (best_t, par) = best.expect("threads list nonempty");
+        let speedup = seq.duration.as_secs_f64() / par.duration.as_secs_f64().max(1e-12);
+        table.row(vec![
+            name.clone(),
+            w.net.n().to_string(),
+            fmt_duration(seq.duration),
+            fmt_duration(par.duration),
+            format!("{speedup:.2}x"),
+            best_t.to_string(),
+        ]);
+    }
+    table.print();
+}

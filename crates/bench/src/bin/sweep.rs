@@ -1,0 +1,64 @@
+//! Ablation sweep over the Fast-BNS design choices (§IV-C), the
+//! "optimizations" DESIGN.md calls out:
+//!
+//! * data layout: column-major (cache-friendly) vs. row-major,
+//! * endpoint grouping: on vs. off,
+//! * conditioning-set generation: on-the-fly vs. precomputed.
+//!
+//! Eight configurations = the full factorial; all verified to learn the
+//! same skeleton. The paper's claim: each optimization independently
+//! reduces time, and the all-on corner (Fast-BNS) is fastest.
+
+use fastbn_bench::runner::fmt_duration;
+use fastbn_bench::{load_workload, time_learn, BenchArgs, TextTable};
+use fastbn_core::{CondSetGen, PcConfig};
+use fastbn_data::Layout;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nets = args.networks(
+        &["insurance", "hepar2"],
+        &["alarm", "insurance", "hepar2", "munin1"],
+    );
+    let m = args.sample_count(2000, 5000);
+    println!("Ablation: Fast-BNS optimizations factorial (sequential, {m} samples)\n");
+
+    for name in &nets {
+        let w = load_workload(name, m, args.seed);
+        eprintln!("[sweep] {name}…");
+        let mut table =
+            TextTable::new(vec!["layout", "grouping", "cond-sets", "time", "CI tests"]);
+        let mut reference = None;
+        let mut fastest: Option<(String, std::time::Duration)> = None;
+        for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+            for grouping in [true, false] {
+                for cond in [CondSetGen::OnTheFly, CondSetGen::Precomputed] {
+                    let cfg = PcConfig::fast_bns_seq()
+                        .with_layout(layout)
+                        .with_group_endpoints(grouping)
+                        .with_cond_sets(cond);
+                    let run = time_learn(&w.data, &cfg, args.reps);
+                    match &reference {
+                        None => reference = Some(run.skeleton.clone()),
+                        Some(r) => assert_eq!(&run.skeleton, r, "{name}: ablation changed result"),
+                    }
+                    let label = format!("{layout:?}/{grouping}/{cond:?}");
+                    if fastest.as_ref().is_none_or(|(_, d)| run.duration < *d) {
+                        fastest = Some((label, run.duration));
+                    }
+                    table.row(vec![
+                        format!("{layout:?}"),
+                        if grouping { "on" } else { "off" }.to_string(),
+                        format!("{cond:?}"),
+                        fmt_duration(run.duration),
+                        run.ci_tests.to_string(),
+                    ]);
+                }
+            }
+        }
+        println!("{name}:");
+        table.print();
+        let (label, d) = fastest.expect("nonempty");
+        println!("fastest: {label} at {}\n", fmt_duration(d));
+    }
+}

@@ -1,0 +1,68 @@
+//! Table IV — cache-behaviour comparison via the trace-driven simulator.
+//!
+//! The paper reports `perf` hardware counters on Hepar2 and Munin1 showing
+//! Fast-BNS's column-major storage slashes last-level-cache miss rates
+//! versus bnlearn. Hardware counters are substituted by `fastbn-cachesim`
+//! (DESIGN.md §3): the exact CI-test sequence of a sequential run is
+//! recorded, then its data-access stream is replayed through an identical
+//! two-level hierarchy under both layouts. FLOPS / CPU-utilization rows of
+//! the original table are hardware-bound and reported as N/A.
+
+use fastbn_bench::{load_workload, BenchArgs, TextTable};
+use fastbn_cachesim::{replay_ci_test, CacheReport, MemoryHierarchy, TraceLayout, TraceSpec};
+use fastbn_core::{record_ci_trace, PcConfig};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nets = args.networks(&["hepar2", "munin1"], &["hepar2", "munin1"]);
+    let m = args.sample_count(1000, 5000);
+
+    println!("Table IV: simulated cache counters (L1 32KiB/8w, LL 8MiB/16w, 64B lines)\n");
+
+    for name in &nets {
+        let w = load_workload(name, m, args.seed);
+        eprintln!("[table4] {name}: recording CI-test trace…");
+        let (records, _skeleton, _sepsets) =
+            record_ci_trace(&w.data, &PcConfig::fast_bns_seq());
+        eprintln!("[table4] {name}: {} CI tests; replaying streams…", records.len());
+
+        let mut table = TextTable::new(vec![
+            name.as_str(),
+            "L1 accesses",
+            "L1 misses",
+            "L1 miss %",
+            "LL accesses",
+            "LL misses",
+            "LL miss %",
+            "model cost",
+        ]);
+        for (label, layout) in [
+            ("Fast-BNS (col-major)", TraceLayout::ColumnMajor),
+            ("bnlearn-like (row-major)", TraceLayout::RowMajor),
+        ] {
+            let spec = TraceSpec::new(w.data.n_vars(), w.data.n_samples(), layout);
+            let mut hierarchy = MemoryHierarchy::typical();
+            for r in &records {
+                replay_ci_test(&mut hierarchy, &spec, &r.touched_vars());
+            }
+            let report = CacheReport::snapshot(label, &hierarchy);
+            table.row(vec![
+                label.to_string(),
+                report.l1.accesses.to_string(),
+                report.l1.misses.to_string(),
+                format!("{:.2}", report.l1.miss_rate() * 100.0),
+                report.ll.accesses.to_string(),
+                report.ll.misses.to_string(),
+                format!("{:.2}", report.ll.miss_rate() * 100.0),
+                format!("{:.3e}", report.cycles),
+            ]);
+        }
+        table.print();
+        println!("  FLOPS / CPU-utilization: N/A under simulation (hardware-bound rows)\n");
+    }
+    println!(
+        "Shape under test (paper Table IV): the row-major layout suffers a far\n\
+         higher miss rate at the last level; Fast-BNS's transposed storage\n\
+         serves almost all accesses from cache lines already fetched."
+    );
+}

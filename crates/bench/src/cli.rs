@@ -1,0 +1,169 @@
+//! Minimal argument parsing shared by all bench binaries (no CLI
+//! dependency; flags only).
+
+/// Common knobs for every bench binary.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Run at paper scale (all eight networks, full sample counts).
+    pub full: bool,
+    /// Override the sample count.
+    pub samples: Option<usize>,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Network names to run (defaults chosen per binary).
+    pub nets: Option<Vec<String>>,
+    /// Seed for network generation and sampling.
+    pub seed: u64,
+    /// Repetitions per measurement (median reported).
+    pub reps: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            full: false,
+            samples: None,
+            threads: vec![1, 2, 4],
+            nets: None,
+            seed: 7,
+            reps: 1,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args()`-style strings. Unknown flags abort with a
+    /// usage message (better for a harness than silently ignoring a typo'd
+    /// experiment parameter).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        let _argv0 = it.next();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--samples" => {
+                    let v = it.next().expect("--samples needs a value");
+                    out.samples = Some(v.parse().expect("--samples must be an integer"));
+                }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a list like 1,2,4");
+                    out.threads = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad thread count"))
+                        .collect();
+                    assert!(!out.threads.is_empty(), "--threads list is empty");
+                }
+                "--nets" => {
+                    let v = it.next().expect("--nets needs a list like alarm,hepar2");
+                    out.nets =
+                        Some(v.split(',').map(|s| s.trim().to_ascii_lowercase()).collect());
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--reps" => {
+                    let v = it.next().expect("--reps needs a value");
+                    out.reps = v.parse::<usize>().expect("--reps must be an integer").max(1);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full | --samples N | --threads a,b,c | \
+                         --nets a,b,c | --seed N | --reps N"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Parse the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// The network list to run: explicit `--nets`, else `default_nets`,
+    /// extended to `full_nets` under `--full`.
+    pub fn networks(&self, default_nets: &[&str], full_nets: &[&str]) -> Vec<String> {
+        if let Some(nets) = &self.nets {
+            return nets.clone();
+        }
+        let list = if self.full { full_nets } else { default_nets };
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The sample count: explicit `--samples`, else `full_m` under
+    /// `--full`, else `default_m`.
+    pub fn sample_count(&self, default_m: usize, full_m: usize) -> usize {
+        self.samples.unwrap_or(if self.full { full_m } else { default_m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        let mut v = vec!["bin".to_string()];
+        v.extend(args.iter().map(|s| s.to_string()));
+        BenchArgs::parse(v)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.full);
+        assert_eq!(a.threads, vec![1, 2, 4]);
+        assert_eq!(a.samples, None);
+        assert_eq!(a.reps, 1);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--full",
+            "--samples",
+            "500",
+            "--threads",
+            "1,8",
+            "--nets",
+            "Alarm,hepar2",
+            "--seed",
+            "42",
+            "--reps",
+            "3",
+        ]);
+        assert!(a.full);
+        assert_eq!(a.samples, Some(500));
+        assert_eq!(a.threads, vec![1, 8]);
+        assert_eq!(a.nets, Some(vec!["alarm".into(), "hepar2".into()]));
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.reps, 3);
+    }
+
+    #[test]
+    fn network_selection_logic() {
+        let a = parse(&[]);
+        assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["alarm"]);
+        let a = parse(&["--full"]);
+        assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["alarm", "link"]);
+        let a = parse(&["--nets", "munin1"]);
+        assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["munin1"]);
+    }
+
+    #[test]
+    fn sample_count_logic() {
+        assert_eq!(parse(&[]).sample_count(2000, 5000), 2000);
+        assert_eq!(parse(&["--full"]).sample_count(2000, 5000), 5000);
+        assert_eq!(parse(&["--samples", "99"]).sample_count(2000, 5000), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_aborts() {
+        parse(&["--wat"]);
+    }
+}

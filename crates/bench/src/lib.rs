@@ -1,0 +1,31 @@
+//! # fastbn-bench — harness reproducing every table and figure of the
+//! Fast-BNS paper
+//!
+//! One binary per artifact (see DESIGN.md §4 for the experiment index):
+//!
+//! | Binary   | Paper artifact | What it prints |
+//! |----------|----------------|----------------|
+//! | `table2` | Table II       | benchmark-network replica inventory + verification |
+//! | `table3` | Table III      | sequential & parallel execution-time comparison |
+//! | `table4` | Table IV       | simulated cache counters, Fast-BNS vs bnlearn layout |
+//! | `fig2`   | Figure 2       | time vs. threads for the three granularities |
+//! | `fig3`   | Figure 3       | par/seq speedup vs. threads per sample size |
+//! | `fig4`   | Figure 4       | group-size sweep: time and % increased CI tests |
+//! | `fig5`   | Figure 5       | par/seq speedup per network size |
+//! | `sweep`  | §IV-C ablation | layout / grouping / conditioning-set generation |
+//!
+//! Every binary accepts `--full` (paper-scale workloads; minutes to hours),
+//! `--samples N`, `--threads a,b,c`, `--nets a,b,c` and `--seed N`; the
+//! defaults are scaled to finish in minutes on a small machine while
+//! preserving the comparisons' *shape* (who wins, roughly by how much).
+//! Run with `--release`: `cargo run --release -p fastbn-bench --bin fig2`.
+
+pub mod cli;
+pub mod runner;
+pub mod tables;
+pub mod workloads;
+
+pub use cli::BenchArgs;
+pub use runner::{time_learn, time_naive, TimedRun};
+pub use tables::TextTable;
+pub use workloads::{load_workload, Workload};

@@ -1,0 +1,235 @@
+//! One set-associative cache level with true-LRU replacement.
+
+/// Geometry of a cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line (block) size in bytes — the paper's `B` (64 on the Xeon used).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets (`size / (line · assoc)`).
+    pub fn n_sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// A 32 KiB, 8-way, 64 B-line L1D (Skylake-class, matching the paper's
+    /// Xeon Platinum 8167M).
+    pub fn l1d() -> Self {
+        Self { size_bytes: 32 * 1024, line_bytes: 64, associativity: 8 }
+    }
+
+    /// An 8 MiB, 16-way, 64 B-line last-level cache slice.
+    pub fn llc() -> Self {
+        Self { size_bytes: 8 * 1024 * 1024, line_bytes: 64, associativity: 16 }
+    }
+}
+
+/// One line: valid tag + LRU timestamp.
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    last_used: u64,
+}
+
+/// A set-associative LRU cache level.
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[set * associativity .. (set+1) * associativity]`
+    lines: Vec<Line>,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Create an empty (cold) cache.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, or capacity not divisible into sets).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two() && config.line_bytes >= 4);
+        assert!(config.associativity >= 1);
+        assert!(
+            config.size_bytes.is_multiple_of(config.line_bytes * config.associativity)
+                && config.n_sets() >= 1,
+            "capacity must be a whole number of sets"
+        );
+        Self {
+            lines: vec![Line::default(); config.n_sets() * config.associativity],
+            config,
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access one byte address; returns `true` on hit. On miss the line is
+    /// filled, evicting the set's LRU line if needed.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let line_addr = addr / self.config.line_bytes as u64;
+        let n_sets = self.config.n_sets() as u64;
+        let set = (line_addr % n_sets) as usize;
+        let tag = line_addr / n_sets;
+        let ways =
+            &mut self.lines[set * self.config.associativity..(set + 1) * self.config.associativity];
+        // Hit?
+        for line in ways.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.last_used = self.tick;
+                return true;
+            }
+        }
+        // Miss: fill into invalid way or evict LRU.
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .expect("associativity >= 1");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.last_used = self.tick;
+        false
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (0 if never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Reset statistics (keeps contents — useful for warm-up phases).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidate all lines and reset statistics.
+    pub fn flush(&mut self) {
+        self.lines.fill(Line::default());
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, associativity: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63), "same line");
+        assert!(!c.access(64), "next line");
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with line_addr ≡ 0 (mod 4): addresses 0, 1024, 2048.
+        c.access(0); // A miss
+        c.access(1024); // B miss — set full
+        c.access(0); // A hit (A now MRU)
+        c.access(2048); // C miss — evicts B (LRU)
+        assert!(c.access(0), "A must still be resident");
+        assert!(!c.access(1024), "B was evicted");
+    }
+
+    #[test]
+    fn sequential_stream_misses_once_per_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let n = 4096u64; // bytes
+        for addr in 0..n {
+            c.access(addr);
+        }
+        assert_eq!(c.accesses(), n);
+        assert_eq!(c.misses(), n / 64, "one miss per 64-byte line");
+    }
+
+    #[test]
+    fn strided_stream_misses_every_access() {
+        let mut c = tiny();
+        // Stride of 64 lines × 64 B = 4096 B over > capacity: every access
+        // maps to set 0 and thrashes.
+        let mut misses = 0;
+        for i in 0..64u64 {
+            if !c.access(i * 4096) {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 64);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stays_resident() {
+        let mut c = Cache::new(CacheConfig::l1d()); // 32 KiB
+        // Touch 16 KiB twice: second pass must be all hits.
+        for addr in (0..16 * 1024u64).step_by(64) {
+            c.access(addr);
+        }
+        c.reset_stats();
+        for addr in (0..16 * 1024u64).step_by(64) {
+            assert!(c.access(addr));
+        }
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0), "flushed line must miss");
+        assert_eq!(c.accesses(), 1);
+    }
+
+    #[test]
+    fn miss_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.miss_rate(), 0.0);
+        c.access(0);
+        assert_eq!(c.miss_rate(), 1.0);
+        c.access(0);
+        assert_eq!(c.miss_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn degenerate_geometry_rejected() {
+        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 64, associativity: 2 });
+    }
+}

@@ -1,0 +1,159 @@
+//! A two-level cache hierarchy with DRAM backing.
+//!
+//! Mirrors the measurement setup of Table IV (L1 and last-level cache
+//! counters) and the latency model of §IV-D3, where `T_DRAM / T_cache` is
+//! taken as ~8×.
+
+use crate::cache::{Cache, CacheConfig};
+
+/// Where an access was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessLevel {
+    /// Hit in the first-level cache.
+    L1,
+    /// Missed L1, hit the last-level cache.
+    LastLevel,
+    /// Missed both levels — served from main memory.
+    Dram,
+}
+
+/// Geometry plus the §IV-D3 latency parameters (arbitrary units; only the
+/// ratios matter for the speedup model).
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// Last-level geometry.
+    pub ll: CacheConfig,
+    /// `T_cache` for an L1 hit.
+    pub l1_latency: f64,
+    /// Latency for an LL hit.
+    pub ll_latency: f64,
+    /// `T_DRAM` for a full miss.
+    pub dram_latency: f64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        // T_DRAM / T_cache = 8, the ratio assumed in the paper's worked
+        // example; LL sits between.
+        Self {
+            l1: CacheConfig::l1d(),
+            ll: CacheConfig::llc(),
+            l1_latency: 1.0,
+            ll_latency: 4.0,
+            dram_latency: 8.0,
+        }
+    }
+}
+
+/// A two-level hierarchy: every L1 miss probes the LL cache; every LL miss
+/// goes to DRAM.
+pub struct MemoryHierarchy {
+    l1: Cache,
+    ll: Cache,
+    config: HierarchyConfig,
+    cycles: f64,
+}
+
+impl MemoryHierarchy {
+    /// Build a cold hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self { l1: Cache::new(config.l1), ll: Cache::new(config.ll), config, cycles: 0.0 }
+    }
+
+    /// The default (paper-matched) hierarchy.
+    pub fn typical() -> Self {
+        Self::new(HierarchyConfig::default())
+    }
+
+    /// Access one byte address, updating both levels and the cycle model.
+    pub fn access(&mut self, addr: u64) -> AccessLevel {
+        if self.l1.access(addr) {
+            self.cycles += self.config.l1_latency;
+            AccessLevel::L1
+        } else if self.ll.access(addr) {
+            self.cycles += self.config.ll_latency;
+            AccessLevel::LastLevel
+        } else {
+            self.cycles += self.config.dram_latency;
+            AccessLevel::Dram
+        }
+    }
+
+    /// L1-level statistics (accesses = every reference).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Last-level statistics (accesses = L1 misses).
+    pub fn ll(&self) -> &Cache {
+        &self.ll
+    }
+
+    /// Modelled total access cost in `T_cache` units.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Reset statistics and the cycle model (keeps cache contents).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.ll.reset_stats();
+        self.cycles = 0.0;
+    }
+
+    /// Invalidate everything (cold restart between experiments).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.ll.flush();
+        self.cycles = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_cascade() {
+        let mut h = MemoryHierarchy::typical();
+        assert_eq!(h.access(0), AccessLevel::Dram, "cold miss goes to DRAM");
+        assert_eq!(h.access(0), AccessLevel::L1, "now L1-resident");
+        assert_eq!(h.l1().accesses(), 2);
+        assert_eq!(h.l1().misses(), 1);
+        assert_eq!(h.ll().accesses(), 1, "LL probed only on L1 miss");
+        assert_eq!(h.ll().misses(), 1);
+    }
+
+    #[test]
+    fn ll_hit_after_l1_eviction() {
+        let mut h = MemoryHierarchy::typical();
+        // Fill well beyond L1 (32 KiB) but within LL (8 MiB).
+        for addr in (0..256 * 1024u64).step_by(64) {
+            h.access(addr);
+        }
+        // Address 0 was evicted from L1 but is LL-resident.
+        assert_eq!(h.access(0), AccessLevel::LastLevel);
+    }
+
+    #[test]
+    fn cycle_model_accumulates() {
+        let mut h = MemoryHierarchy::typical();
+        h.access(0); // DRAM: 8
+        h.access(0); // L1: 1
+        assert!((h.cycles() - 9.0).abs() < 1e-12);
+        h.reset_stats();
+        assert_eq!(h.cycles(), 0.0);
+        // Contents kept: still an L1 hit.
+        assert_eq!(h.access(0), AccessLevel::L1);
+    }
+
+    #[test]
+    fn flush_is_cold() {
+        let mut h = MemoryHierarchy::typical();
+        h.access(0);
+        h.flush();
+        assert_eq!(h.access(0), AccessLevel::Dram);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fastbn-cachesim — software cache-hierarchy simulator
+//!
+//! Table IV of the paper reports hardware `perf` counters (L1 / last-level
+//! cache accesses and misses) to explain *why* the cache-friendly storage
+//! wins. Hardware counters are not portable or available in this
+//! reproduction environment, so this crate substitutes a trace-driven
+//! simulator (DESIGN.md §3): the learner's exact data-access streams are
+//! replayed through a configurable set-associative LRU hierarchy, and the
+//! resulting miss counts reproduce the *relative* claim under test — that
+//! transposed (column-major) storage turns `(d+2)·m` potential misses per
+//! CI test into `(d+2)·(1 + 4m/B)`.
+//!
+//! * [`cache`] — one set-associative LRU cache level,
+//! * [`hierarchy`] — a two-level (L1 + LL) hierarchy with DRAM backing and
+//!   a latency model matching §IV-D3's `T_cache` / `T_DRAM` parameters,
+//! * [`trace`] — address-stream generators for the contingency-table fill
+//!   of a CI test under both data layouts,
+//! * [`report`] — Table-IV-shaped summaries.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod report;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{AccessLevel, HierarchyConfig, MemoryHierarchy};
+pub use report::{CacheReport, LevelStats};
+pub use trace::{replay_ci_test, TraceLayout, TraceSpec};

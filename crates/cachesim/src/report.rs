@@ -1,0 +1,106 @@
+//! Table-IV-shaped cache measurement reports.
+
+use crate::hierarchy::MemoryHierarchy;
+use std::fmt;
+
+/// Accesses and misses for one cache level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelStats {
+    /// Number of references reaching this level.
+    pub accesses: u64,
+    /// Number of misses at this level.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One row of a Table-IV-style report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheReport {
+    /// Label, e.g. `"Fast-BNS (col-major)"`.
+    pub label: String,
+    /// First-level cache statistics.
+    pub l1: LevelStats,
+    /// Last-level cache statistics.
+    pub ll: LevelStats,
+    /// Modelled access cost in `T_cache` units.
+    pub cycles: f64,
+}
+
+impl CacheReport {
+    /// Snapshot a hierarchy's counters.
+    pub fn snapshot(label: impl Into<String>, h: &MemoryHierarchy) -> Self {
+        Self {
+            label: label.into(),
+            l1: LevelStats { accesses: h.l1().accesses(), misses: h.l1().misses() },
+            ll: LevelStats { accesses: h.ll().accesses(), misses: h.ll().misses() },
+            cycles: h.cycles(),
+        }
+    }
+}
+
+impl fmt::Display for CacheReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} L1 {:>12} acc {:>11} miss ({:>6.2}%)  LL {:>10} acc {:>10} miss ({:>6.2}%)  cost {:.3e}",
+            self.label,
+            self.l1.accesses,
+            self.l1.misses,
+            self.l1.miss_rate() * 100.0,
+            self.ll.accesses,
+            self.ll.misses,
+            self.ll.miss_rate() * 100.0,
+            self.cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryHierarchy;
+
+    #[test]
+    fn snapshot_matches_counters() {
+        let mut h = MemoryHierarchy::typical();
+        h.access(0);
+        h.access(0);
+        h.access(4096);
+        let r = CacheReport::snapshot("test", &h);
+        assert_eq!(r.l1.accesses, 3);
+        assert_eq!(r.l1.misses, 2);
+        assert_eq!(r.ll.accesses, 2);
+        assert_eq!(r.ll.misses, 2);
+        assert!(r.cycles > 0.0);
+    }
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        let s = LevelStats { accesses: 0, misses: 0 };
+        assert_eq!(s.miss_rate(), 0.0);
+        let s = LevelStats { accesses: 4, misses: 1 };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let r = CacheReport {
+            label: "Fast-BNS".into(),
+            l1: LevelStats { accesses: 100, misses: 10 },
+            ll: LevelStats { accesses: 10, misses: 5 },
+            cycles: 123.0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("Fast-BNS") && s.contains("100") && s.contains("10.00%"), "{s}");
+    }
+}

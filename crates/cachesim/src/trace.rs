@@ -1,0 +1,155 @@
+//! Address-stream replay of a CI test's contingency-table fill.
+//!
+//! Generating the contingency table for `I(X, Y | Z1..Zd)` reads the values
+//! of `d+2` variables for all `m` samples (paper §IV-A). The byte address
+//! of `(sample s, variable v)` depends on the storage layout:
+//!
+//! * **row-major** (naive): `base + (s·n_vars + v)·elem`,
+//! * **column-major** (Fast-BNS transposed): `base + (v·n_samples + s)·elem`.
+//!
+//! Replaying both streams through the same [`MemoryHierarchy`] quantifies
+//! the §IV-C claim: with row-major storage the `d+2` reads of one sample
+//! land `n_vars·elem` bytes apart (likely distinct lines, each a potential
+//! miss); with column-major storage each variable's reads advance by `elem`
+//! bytes, so `B/elem` consecutive samples share one line.
+
+use crate::hierarchy::MemoryHierarchy;
+
+/// Storage layout to replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceLayout {
+    /// Sample-major records (baseline packages).
+    RowMajor,
+    /// Variable-major arrays (Fast-BNS).
+    ColumnMajor,
+}
+
+/// Shape of the simulated dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpec {
+    /// Number of variables in the dataset.
+    pub n_vars: usize,
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Bytes per value — the paper assumes 4-byte values in §IV-D3.
+    pub elem_bytes: usize,
+    /// Storage layout.
+    pub layout: TraceLayout,
+    /// Base byte address of the data matrix (lets callers place multiple
+    /// structures without overlap).
+    pub base_addr: u64,
+}
+
+impl TraceSpec {
+    /// A spec with the paper's element size at address 0.
+    pub fn new(n_vars: usize, n_samples: usize, layout: TraceLayout) -> Self {
+        Self { n_vars, n_samples, elem_bytes: 4, layout, base_addr: 0 }
+    }
+
+    /// Byte address of `(sample, var)` under this layout.
+    #[inline]
+    pub fn addr(&self, sample: usize, var: usize) -> u64 {
+        debug_assert!(var < self.n_vars && sample < self.n_samples);
+        let idx = match self.layout {
+            TraceLayout::RowMajor => sample * self.n_vars + var,
+            TraceLayout::ColumnMajor => var * self.n_samples + sample,
+        };
+        self.base_addr + (idx * self.elem_bytes) as u64
+    }
+}
+
+/// Replay the fill loop of one CI test over variables `vars` (X, Y, then
+/// the conditioning set): for each sample, read every variable's value.
+/// Returns the number of simulated memory references.
+pub fn replay_ci_test(h: &mut MemoryHierarchy, spec: &TraceSpec, vars: &[usize]) -> u64 {
+    let mut refs = 0u64;
+    for s in 0..spec.n_samples {
+        for &v in vars {
+            h.access(spec.addr(s, v));
+            refs += 1;
+        }
+    }
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::MemoryHierarchy;
+
+    #[test]
+    fn addresses_match_layouts() {
+        let row = TraceSpec::new(10, 100, TraceLayout::RowMajor);
+        let col = TraceSpec::new(10, 100, TraceLayout::ColumnMajor);
+        assert_eq!(row.addr(0, 0), 0);
+        assert_eq!(row.addr(0, 3), 12);
+        assert_eq!(row.addr(1, 0), 40, "next sample strides by n_vars·4");
+        assert_eq!(col.addr(0, 3), 1200, "column base is var·n_samples·4");
+        assert_eq!(col.addr(1, 3), 1204, "next sample strides by 4");
+    }
+
+    #[test]
+    fn column_major_misses_once_per_line_per_variable() {
+        // m=4096 samples, 3 variables: expected misses ≈ 3·(m·4/64).
+        let spec = TraceSpec::new(64, 4096, TraceLayout::ColumnMajor);
+        let mut h = MemoryHierarchy::typical();
+        let refs = replay_ci_test(&mut h, &spec, &[0, 5, 9]);
+        assert_eq!(refs, 3 * 4096);
+        let expected = 3 * (4096 * 4) / 64;
+        let misses = h.l1().misses();
+        assert!(
+            (misses as i64 - expected as i64).unsigned_abs() <= expected as u64 / 10,
+            "col-major misses {misses} ≉ {expected}"
+        );
+    }
+
+    #[test]
+    fn row_major_misses_dominate_when_rows_exceed_l1() {
+        // Wide dataset: each sample record is 1024 vars · 4 B = 4 KiB, so
+        // the 3 reads of one sample land on 3 distinct lines and the full
+        // traversal (16 MiB) cannot stay cached.
+        let n_vars = 1024;
+        let m = 4096;
+        let row = TraceSpec::new(n_vars, m, TraceLayout::RowMajor);
+        let col = TraceSpec::new(n_vars, m, TraceLayout::ColumnMajor);
+        let vars = [0usize, 500, 1000];
+
+        let mut h_row = MemoryHierarchy::typical();
+        replay_ci_test(&mut h_row, &row, &vars);
+        let mut h_col = MemoryHierarchy::typical();
+        replay_ci_test(&mut h_col, &col, &vars);
+
+        // Row-major: ~1 miss per reference. Column-major: ~1 per 16 refs.
+        assert!(
+            h_row.l1().misses() > 8 * h_col.l1().misses(),
+            "row {} vs col {}",
+            h_row.l1().misses(),
+            h_col.l1().misses()
+        );
+        // And the cycle model orders the same way.
+        assert!(h_row.cycles() > h_col.cycles());
+    }
+
+    #[test]
+    fn same_reference_count_either_layout() {
+        let row = TraceSpec::new(32, 500, TraceLayout::RowMajor);
+        let col = TraceSpec::new(32, 500, TraceLayout::ColumnMajor);
+        let mut h1 = MemoryHierarchy::typical();
+        let mut h2 = MemoryHierarchy::typical();
+        let r1 = replay_ci_test(&mut h1, &row, &[1, 2]);
+        let r2 = replay_ci_test(&mut h2, &col, &[1, 2]);
+        assert_eq!(r1, r2, "the algorithm does identical work in both layouts");
+        assert_eq!(h1.l1().accesses(), h2.l1().accesses());
+    }
+
+    #[test]
+    fn small_dataset_fits_in_cache_and_stops_missing() {
+        // 8 vars × 512 samples × 4 B = 16 KiB < L1: repeat tests hit.
+        let spec = TraceSpec::new(8, 512, TraceLayout::ColumnMajor);
+        let mut h = MemoryHierarchy::typical();
+        replay_ci_test(&mut h, &spec, &[0, 1, 2]);
+        h.reset_stats();
+        replay_ci_test(&mut h, &spec, &[0, 1, 2]);
+        assert_eq!(h.l1().misses(), 0, "second pass fully cached");
+    }
+}

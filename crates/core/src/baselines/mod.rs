@@ -1,0 +1,13 @@
+//! Baseline implementations standing in for the packages the paper
+//! compares against (DESIGN.md §3).
+//!
+//! These are *deliberately naive* re-implementations of PC-stable that
+//! keep the inefficiencies Fast-BNS removes — row-major data access,
+//! materialized conditioning-set lists, per-test table allocation,
+//! ordered-pair processing — while computing exactly the same skeleton
+//! (the cross-implementation oracle). Table III's sequential and parallel
+//! comparisons run against these.
+
+mod naive;
+
+pub use naive::{NaivePcStable, NaiveStyle};

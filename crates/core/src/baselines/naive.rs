@@ -1,0 +1,361 @@
+//! A faithful "reference package" PC-stable: correct, order-stable, and
+//! carrying every inefficiency the paper attributes to existing
+//! implementations.
+//!
+//! Differences from the Fast-BNS learner, on purpose:
+//!
+//! * **row-major data access** — each CI test walks sample records and
+//!   gathers strided fields (cache-hostile, §IV-C),
+//! * **materialized conditioning sets** — all `C(p, d)` subsets of an
+//!   edge's candidate pool are built as owned vectors before testing
+//!   (the memory cost §IV-C3 eliminates),
+//! * **per-test allocation** — a fresh contingency table per test instead
+//!   of a reused workhorse buffer,
+//! * **ordered-pair processing** ([`NaiveStyle::PcalgLike`]) — `(i,j)` and
+//!   `(j,i)` are separate passes, so a removal found from `a(j)`'s side
+//!   wastes the full `a(i)` sweep that preceded it (§IV-C1's motivation),
+//! * **static edge-parallelism only** ([`NaivePcStable::with_threads`]) —
+//!   the bnlearn-par analogue for Table III's parallel column.
+
+use crate::combinations::all_combinations;
+use fastbn_data::Dataset;
+use fastbn_graph::{SepSets, UGraph};
+use fastbn_parallel::{chunk_ranges, Team};
+use fastbn_stats::citest::run_ci_test;
+use fastbn_stats::{CiTestKind, ContingencyTable, DfRule};
+use parking_lot::Mutex;
+
+/// Which reference package's processing order to imitate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NaiveStyle {
+    /// Ordered-pair sweep, like pcalg's `skeleton()`: for each edge the
+    /// `(i,j)` direction's conditioning sets are exhausted in one pass and
+    /// the `(j,i)` direction in a later pass.
+    PcalgLike,
+    /// Unordered-edge sweep, like bnlearn: both directions' conditioning
+    /// sets are tried consecutively for each edge.
+    BnlearnLike,
+}
+
+/// The naive PC-stable baseline learner.
+pub struct NaivePcStable {
+    alpha: f64,
+    test: CiTestKind,
+    style: NaiveStyle,
+    threads: usize,
+    max_depth: Option<usize>,
+}
+
+impl NaivePcStable {
+    /// A sequential baseline with the paper's test settings (G², α=0.05).
+    pub fn new(style: NaiveStyle) -> Self {
+        Self { alpha: 0.05, test: CiTestKind::GSquared, style, threads: 1, max_depth: None }
+    }
+
+    /// Use `t` threads with static edge partitioning (bnlearn-par
+    /// analogue). `t = 1` keeps the sequential sweep.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// Set the significance level.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Cap the search depth.
+    pub fn with_max_depth(mut self, d: usize) -> Self {
+        self.max_depth = Some(d);
+        self
+    }
+
+    /// Learn the skeleton. Returns the graph, separating sets, and the
+    /// number of CI tests performed.
+    pub fn learn_skeleton(&self, data: &Dataset) -> (UGraph, SepSets, u64) {
+        let n = data.n_vars();
+        let mut graph = UGraph::complete(n);
+        let mut sepsets = SepSets::new(n);
+        let mut total_tests = 0u64;
+        let mut d = 0usize;
+        loop {
+            if let Some(max) = self.max_depth {
+                if d > max {
+                    break;
+                }
+            }
+            // PC-stable: snapshot all adjacency lists before the depth.
+            let snapshots: Vec<Vec<usize>> =
+                (0..n).map(|v| graph.neighbor_list(v)).collect();
+            // Work items: ordered or unordered sweeps over current edges.
+            let items = self.build_items(&graph, &snapshots, d);
+            if items.is_empty() {
+                break;
+            }
+            let tests = if self.threads <= 1 {
+                self.run_items_seq(data, &mut graph, &mut sepsets, items, d)
+            } else {
+                self.run_items_par(data, &mut graph, &mut sepsets, items, d)
+            };
+            total_tests += tests;
+            d += 1;
+        }
+        (graph, sepsets, total_tests)
+    }
+
+    /// One work item: a direction (or edge) with its *materialized* list
+    /// of conditioning sets — the naive memory layout.
+    fn build_items(
+        &self,
+        graph: &UGraph,
+        snapshots: &[Vec<usize>],
+        d: usize,
+    ) -> Vec<NaiveItem> {
+        let mut items = Vec::new();
+        for (u, v) in graph.edges() {
+            let pool = |a: usize, b: usize| -> Vec<usize> {
+                snapshots[a].iter().copied().filter(|&x| x != b).collect()
+            };
+            match self.style {
+                NaiveStyle::PcalgLike => {
+                    for (x, y) in [(u, v), (v, u)] {
+                        let p = pool(x, y);
+                        if p.len() >= d {
+                            let sets = materialize(&p, d);
+                            // Depth 0 from the second direction repeats the
+                            // empty set, exactly as an ordered-pair sweep
+                            // does; keep it (that is the inefficiency).
+                            items.push(NaiveItem { u: x, v: y, sets });
+                        }
+                    }
+                }
+                NaiveStyle::BnlearnLike => {
+                    let p1 = pool(u, v);
+                    let p2 = pool(v, u);
+                    let mut sets = Vec::new();
+                    if p1.len() >= d {
+                        sets.extend(materialize(&p1, d));
+                    }
+                    if d > 0 && p2.len() >= d {
+                        sets.extend(materialize(&p2, d));
+                    }
+                    if !sets.is_empty() {
+                        items.push(NaiveItem { u, v, sets });
+                    }
+                }
+            }
+        }
+        items
+    }
+
+    fn run_items_seq(
+        &self,
+        data: &Dataset,
+        graph: &mut UGraph,
+        sepsets: &mut SepSets,
+        items: Vec<NaiveItem>,
+        _d: usize,
+    ) -> u64 {
+        let mut tests = 0u64;
+        for item in items {
+            if !graph.has_edge(item.u, item.v) {
+                continue; // removed earlier this depth
+            }
+            for set in &item.sets {
+                tests += 1;
+                if self.ci_test_row_major(data, item.u, item.v, set) {
+                    graph.remove_edge(item.u, item.v);
+                    sepsets.set(item.u, item.v, set);
+                    break;
+                }
+            }
+        }
+        tests
+    }
+
+    fn run_items_par(
+        &self,
+        data: &Dataset,
+        graph: &mut UGraph,
+        sepsets: &mut SepSets,
+        items: Vec<NaiveItem>,
+        _d: usize,
+    ) -> u64 {
+        // Static partition, like parLapply over edge chunks: no work
+        // stealing, no early cross-thread cancellation.
+        let t = self.threads;
+        let ranges = chunk_ranges(items.len(), t);
+        type ThreadResult = (Vec<(usize, usize, Vec<usize>)>, u64);
+        let results: Vec<Mutex<ThreadResult>> =
+            (0..t).map(|_| Mutex::new((Vec::new(), 0))).collect();
+        let items_ref = &items;
+        Team::scoped(t, |team| {
+            team.broadcast(&|tid| {
+                let mut removals = Vec::new();
+                let mut tests = 0u64;
+                for item in &items_ref[ranges[tid].clone()] {
+                    for set in &item.sets {
+                        tests += 1;
+                        if self.ci_test_row_major(data, item.u, item.v, set) {
+                            removals.push((item.u, item.v, set.clone()));
+                            break;
+                        }
+                    }
+                }
+                *results[tid].lock() = (removals, tests);
+            });
+        });
+        let mut tests = 0u64;
+        let mut all: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for slot in results {
+            let (removals, c) = slot.into_inner();
+            all.extend(removals);
+            tests += c;
+        }
+        // Deterministic application: sort by pair; first-listed direction
+        // (which corresponds to the lower item index) wins. Items are
+        // generated in edge order, so sorting by (min, max, u) suffices.
+        all.sort_by_key(|&(u, v, _)| (u.min(v), u.max(v), u));
+        for (u, v, set) in all {
+            if graph.remove_edge(u, v) {
+                sepsets.set(u, v, &set);
+            }
+        }
+        tests
+    }
+
+    /// One CI test with the deliberately naive kernel: fresh table, sample-
+    /// record (row-major) traversal with strided field gathers.
+    fn ci_test_row_major(&self, data: &Dataset, u: usize, v: usize, cond: &[usize]) -> bool {
+        let rx = data.arity(u);
+        let ry = data.arity(v);
+        let mut nz = 1usize;
+        let mut strides = vec![0usize; cond.len()];
+        for i in (0..cond.len()).rev() {
+            strides[i] = nz;
+            nz *= data.arity(cond[i]);
+        }
+        let mut table = ContingencyTable::new(rx, ry, nz.max(1));
+        for s in 0..data.n_samples() {
+            let row = data.row(s);
+            let mut z = 0usize;
+            for (&c, &mul) in cond.iter().zip(&strides) {
+                z += row[c] as usize * mul;
+            }
+            table.add(row[u] as usize, row[v] as usize, z);
+        }
+        run_ci_test(&table, self.test, self.alpha, DfRule::Classic).independent
+    }
+}
+
+struct NaiveItem {
+    u: usize,
+    v: usize,
+    sets: Vec<Vec<usize>>,
+}
+
+/// Materialize all size-`d` subsets of `pool` as owned vectors of variable
+/// ids (the naive strategy's memory footprint).
+fn materialize(pool: &[usize], d: usize) -> Vec<Vec<usize>> {
+    all_combinations(pool.len(), d)
+        .into_iter()
+        .map(|combo| combo.into_iter().map(|i| pool[i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PcConfig;
+    use crate::skeleton::learn_skeleton;
+
+    fn dataset() -> Dataset {
+        // x ⟂ y; w depends on x; v depends on y.
+        let mut cols: Vec<Vec<u8>> = vec![Vec::new(); 4];
+        let mut state = 0x5EEDu64;
+        for _ in 0..2500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 33) & 1) as u8;
+            let y = ((state >> 34) & 1) as u8;
+            cols[0].push(x);
+            cols[1].push(y);
+            cols[2].push(if (state >> 35).is_multiple_of(20) { 1 - x } else { x });
+            cols[3].push(if (state >> 41).is_multiple_of(20) { 1 - y } else { y });
+        }
+        Dataset::from_columns(vec![], vec![2; 4], cols).unwrap()
+    }
+
+    #[test]
+    fn both_styles_match_fast_bns_exactly() {
+        let data = dataset();
+        let (reference, ref_sep, _) = learn_skeleton(&data, &PcConfig::fast_bns_seq());
+        for style in [NaiveStyle::PcalgLike, NaiveStyle::BnlearnLike] {
+            let (g, sep, tests) = NaivePcStable::new(style).learn_skeleton(&data);
+            assert_eq!(g, reference, "{style:?} skeleton");
+            assert!(tests > 0);
+            for v in 1..data.n_vars() {
+                for u in 0..v {
+                    assert_eq!(sep.get(u, v), ref_sep.get(u, v), "{style:?} ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_baseline_matches_sequential_baseline() {
+        let data = dataset();
+        let (seq_g, seq_sep, _) =
+            NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
+        let (par_g, par_sep, _) = NaivePcStable::new(NaiveStyle::BnlearnLike)
+            .with_threads(3)
+            .learn_skeleton(&data);
+        assert_eq!(seq_g, par_g);
+        assert_eq!(par_sep.get(0, 1), seq_sep.get(0, 1));
+    }
+
+    #[test]
+    fn pcalg_style_performs_more_tests_than_bnlearn_style() {
+        // The ordered-pair sweep repeats the empty set at depth 0, so it
+        // must run at least as many tests.
+        let data = dataset();
+        let (_, _, pcalg_tests) =
+            NaivePcStable::new(NaiveStyle::PcalgLike).learn_skeleton(&data);
+        let (_, _, bnlearn_tests) =
+            NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
+        assert!(pcalg_tests >= bnlearn_tests, "{pcalg_tests} < {bnlearn_tests}");
+    }
+
+    #[test]
+    fn naive_test_count_at_least_fast_bns() {
+        // Fast-BNS's grouping can only reduce tests relative to the
+        // ordered-pair baseline.
+        let data = dataset();
+        let (_, _, stats) = {
+            let (g, s, st) = learn_skeleton(&data, &PcConfig::fast_bns_seq());
+            (g, s, st)
+        };
+        let fast: u64 = stats.iter().map(|s| s.ci_tests).sum();
+        let (_, _, naive) = NaivePcStable::new(NaiveStyle::PcalgLike).learn_skeleton(&data);
+        assert!(naive >= fast, "naive {naive} < fast {fast}");
+    }
+
+    #[test]
+    fn max_depth_respected() {
+        let data = dataset();
+        let (g0, _, _) = NaivePcStable::new(NaiveStyle::BnlearnLike)
+            .with_max_depth(0)
+            .learn_skeleton(&data);
+        // Depth 0 only: some conditional structure may survive.
+        let (gfull, _, _) =
+            NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
+        assert!(g0.edge_count() >= gfull.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        NaivePcStable::new(NaiveStyle::PcalgLike).with_alpha(0.0);
+    }
+}

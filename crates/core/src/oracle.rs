@@ -1,0 +1,146 @@
+//! Perfect-information PC: the same skeleton/orientation pipeline driven
+//! by a **d-separation oracle** instead of statistical tests.
+//!
+//! Under a faithful oracle, PC provably recovers the true Markov
+//! equivalence class — so [`oracle_cpdag`] must equal
+//! [`fastbn_graph::dag_to_cpdag`] of the input DAG. The property tests use
+//! this as the strongest end-to-end check of the whole pipeline (task
+//! construction, conditioning-set enumeration, sepset bookkeeping,
+//! v-structures, Meek closure), with zero statistical noise.
+
+use crate::combinations::all_combinations;
+use crate::orient::orient;
+use fastbn_graph::{d_separated_by, Dag, Pdag, SepSets, UGraph};
+
+/// Learn the skeleton of `dag` with d-separation as the CI oracle.
+/// Returns the skeleton, the recorded separating sets, and the number of
+/// oracle queries performed.
+pub fn oracle_skeleton(dag: &Dag) -> (UGraph, SepSets, u64) {
+    let n = dag.n();
+    let mut graph = UGraph::complete(n);
+    let mut sepsets = SepSets::new(n);
+    let mut queries = 0u64;
+    let mut d = 0usize;
+    loop {
+        let snapshots: Vec<Vec<usize>> = (0..n).map(|v| graph.neighbor_list(v)).collect();
+        let mut any_candidates = false;
+        for (u, v) in graph.edges() {
+            let pools: [Vec<usize>; 2] = [
+                snapshots[u].iter().copied().filter(|&x| x != v).collect(),
+                snapshots[v].iter().copied().filter(|&x| x != u).collect(),
+            ];
+            let mut removed = false;
+            for (side, pool) in pools.iter().enumerate() {
+                if pool.len() < d || removed {
+                    continue;
+                }
+                if side == 1 && d == 0 {
+                    continue; // the empty set was already tested once
+                }
+                any_candidates = true;
+                for combo in all_combinations(pool.len(), d) {
+                    let cond: Vec<usize> = combo.iter().map(|&i| pool[i]).collect();
+                    queries += 1;
+                    if d_separated_by(dag, u, v, &cond) {
+                        graph.remove_edge(u, v);
+                        sepsets.set(u, v, &cond);
+                        removed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !any_candidates {
+            break;
+        }
+        d += 1;
+    }
+    (graph, sepsets, queries)
+}
+
+/// The full perfect-information PC pipeline: oracle skeleton + orientation.
+pub fn oracle_cpdag(dag: &Dag) -> Pdag {
+    let (skeleton, sepsets, _) = oracle_skeleton(dag);
+    orient(&skeleton, &sepsets).pdag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_graph::dag_to_cpdag;
+
+    fn random_dag(n: usize, p_percent: u64, seed: u64) -> Dag {
+        let mut dag = Dag::empty(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for v in 1..n {
+            for u in 0..v {
+                if next() % 100 < p_percent {
+                    dag.try_add_edge(u, v);
+                }
+            }
+        }
+        dag
+    }
+
+    #[test]
+    fn oracle_recovers_exact_skeleton() {
+        for seed in [1u64, 7, 42] {
+            let dag = random_dag(10, 25, seed);
+            let (skeleton, _, queries) = oracle_skeleton(&dag);
+            assert_eq!(skeleton, dag.skeleton(), "seed {seed}");
+            assert!(queries >= (10 * 9 / 2) as u64, "at least all marginal queries");
+        }
+    }
+
+    #[test]
+    fn oracle_recovers_exact_cpdag() {
+        // The PC soundness/completeness theorem, end to end.
+        for seed in [3u64, 11, 19, 27] {
+            let dag = random_dag(9, 30, seed);
+            let learned = oracle_cpdag(&dag);
+            let truth = dag_to_cpdag(&dag);
+            assert_eq!(learned, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_on_classic_structures() {
+        // Collider.
+        let collider = Dag::from_edges(3, &[(0, 2), (1, 2)]);
+        let cpdag = oracle_cpdag(&collider);
+        assert!(cpdag.has_directed(0, 2) && cpdag.has_directed(1, 2));
+        // Chain: fully reversible.
+        let chain = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        let cpdag = oracle_cpdag(&chain);
+        assert!(cpdag.has_undirected(0, 1) && cpdag.has_undirected(1, 2));
+        // Empty graph.
+        let empty = Dag::empty(4);
+        let (skeleton, _, _) = oracle_skeleton(&empty);
+        assert_eq!(skeleton.edge_count(), 0);
+    }
+
+    #[test]
+    fn oracle_sepsets_are_valid_separators() {
+        let dag = random_dag(10, 30, 5);
+        let (skeleton, sepsets, _) = oracle_skeleton(&dag);
+        for v in 1..dag.n() {
+            for u in 0..v {
+                if !skeleton.has_edge(u, v) {
+                    if let Some(s) = sepsets.get(u, v) {
+                        let cond: Vec<usize> = s.iter().map(|&x| x as usize).collect();
+                        assert!(
+                            d_separated_by(&dag, u, v, &cond),
+                            "recorded sepset({u},{v}) = {cond:?} is not a separator"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

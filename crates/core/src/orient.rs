@@ -1,0 +1,79 @@
+//! Steps 2–3 of PC-stable: v-structure identification and Meek-rule
+//! orientation.
+//!
+//! These steps are fast relative to skeleton discovery (the paper reports
+//! step 1 takes > 90% of total time) and are not parallelized, matching
+//! the original Fast-BNS implementation.
+
+use fastbn_graph::{apply_meek_rules, orient_v_structures, Pdag, SepSets, UGraph};
+
+/// Result of the orientation phase.
+pub struct OrientOutcome {
+    /// The completed PDAG (CPDAG if the skeleton and sepsets are faithful).
+    pub pdag: Pdag,
+    /// Edges oriented by v-structure identification (step 2).
+    pub vstructure_edges: usize,
+    /// Edges oriented by Meek rules (step 3).
+    pub meek_edges: usize,
+}
+
+/// Orient a learned skeleton using its separating sets.
+pub fn orient(skeleton: &UGraph, sepsets: &SepSets) -> OrientOutcome {
+    let mut pdag = Pdag::from_skeleton(skeleton);
+    let vstructure_edges = orient_v_structures(&mut pdag, sepsets);
+    let meek_edges = apply_meek_rules(&mut pdag);
+    OrientOutcome { pdag, vstructure_edges, meek_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collider_pipeline() {
+        // Skeleton 0—2—1 with sepset(0,1) = ∅: collider 0→2←1.
+        let skeleton = UGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let mut sepsets = SepSets::new(3);
+        sepsets.set(0, 1, &[]);
+        let out = orient(&skeleton, &sepsets);
+        assert_eq!(out.vstructure_edges, 2);
+        assert_eq!(out.meek_edges, 0);
+        assert!(out.pdag.has_directed(0, 2));
+        assert!(out.pdag.has_directed(1, 2));
+    }
+
+    #[test]
+    fn meek_extends_past_collider() {
+        // 0—2—1 collider plus chain 2—3: R1 compels 2→3.
+        let skeleton = UGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
+        let mut sepsets = SepSets::new(4);
+        sepsets.set(0, 1, &[]);
+        sepsets.set(0, 3, &[2]);
+        sepsets.set(1, 3, &[2]);
+        let out = orient(&skeleton, &sepsets);
+        assert_eq!(out.vstructure_edges, 2);
+        assert_eq!(out.meek_edges, 1);
+        assert!(out.pdag.has_directed(2, 3));
+    }
+
+    #[test]
+    fn chain_stays_undirected() {
+        let skeleton = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut sepsets = SepSets::new(3);
+        sepsets.set(0, 2, &[1]); // 1 separates ⇒ no collider
+        let out = orient(&skeleton, &sepsets);
+        assert_eq!(out.vstructure_edges + out.meek_edges, 0);
+        assert!(out.pdag.has_undirected(0, 1));
+        assert!(out.pdag.has_undirected(1, 2));
+    }
+
+    #[test]
+    fn orientation_preserves_skeleton() {
+        let skeleton = UGraph::from_edges(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
+        let mut sepsets = SepSets::new(5);
+        sepsets.set(0, 1, &[]);
+        let out = orient(&skeleton, &sepsets);
+        assert_eq!(out.pdag.skeleton(), skeleton);
+        assert!(!out.pdag.has_directed_cycle());
+    }
+}

@@ -1,0 +1,172 @@
+//! The analytic performance model of paper §IV-D.
+//!
+//! Three closed-form speedup factors quantify the Fast-BNS optimizations:
+//!
+//! * `S_CI` — CI-level parallelism with the dynamic work pool vs.
+//!   worst-case edge-level parallelism (Equations (1)–(2)),
+//! * `S_grouping = 2 / (2 − ρd)` — endpoint grouping, where `ρd` is the
+//!   depth's edge-deletion ratio,
+//! * `S_cache = T₃ / T₄` — cache-friendly storage, with
+//!   `T₃ = T_DRAM·(d+2)·B/4` and `T₄ = T_DRAM·(d+2) + T_cache·(d+2)·(B/4 − 1)`,
+//!
+//! and the overall `S = S_CI · S_grouping · S_cache`. The module's tests
+//! pin the paper's worked example (t = 4, d = 2, |Ed| = 1200, ρ = 0.6,
+//! mean degree 10, B = 64, T_DRAM/T_cache = 8 ⟹ S_CI = 3.87,
+//! S_grouping = 1.43, S_cache = 5.57, S = 30.8).
+
+use crate::combinations::binomial;
+
+/// Parameters of the §IV-D model.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelParams {
+    /// Number of threads `t`.
+    pub threads: usize,
+    /// Depth `d` under analysis.
+    pub depth: usize,
+    /// Edges to process at this depth, `|Ed|`.
+    pub edges: usize,
+    /// Edge-deletion ratio `ρd` of the depth.
+    pub deletion_ratio: f64,
+    /// Mean adjacent-node count substituted for every `a_i` (the paper's
+    /// simplification).
+    pub mean_degree: usize,
+    /// Cache line size `B` in bytes.
+    pub line_bytes: usize,
+    /// `T_DRAM / T_cache` latency ratio.
+    pub dram_cache_ratio: f64,
+}
+
+impl ModelParams {
+    /// The paper's worked-example parameters.
+    pub fn paper_example() -> Self {
+        Self {
+            threads: 4,
+            depth: 2,
+            edges: 1200,
+            deletion_ratio: 0.6,
+            mean_degree: 10,
+            line_bytes: 64,
+            dram_cache_ratio: 8.0,
+        }
+    }
+}
+
+/// CI tests per edge under the mean-degree simplification:
+/// `C(a¹,d) + C(a²,d)` with both degrees replaced by the mean.
+fn tests_per_edge(p: &ModelParams) -> f64 {
+    2.0 * binomial(p.mean_degree, p.depth) as f64
+}
+
+/// `S_CI`: worst-case edge-level time (Equation (1)) over work-pool time
+/// (Equation (2)).
+///
+/// In the paper's worst case, the `|Ed|/t` edges needing *all* their CI
+/// tests land on one thread, so `T₁ = T_CI · Σ_{i≤|Ed|/t} (C(a¹,d)+C(a²,d))`,
+/// while the pool spreads the same total plus the `(t−1)|Ed|/t` single
+/// tests evenly: `T₂ = (T_CI/t)(Σ + (t−1)|Ed|/t)`.
+pub fn s_ci(p: &ModelParams) -> f64 {
+    let per_edge = tests_per_edge(p);
+    let heavy_edges = p.edges as f64 / p.threads as f64;
+    let t1 = heavy_edges * per_edge;
+    let t2 = (heavy_edges * per_edge + (p.threads as f64 - 1.0) * heavy_edges)
+        / p.threads as f64;
+    t1 / t2
+}
+
+/// `S_grouping = 2|Ed| / (2|Ed| − ρd|Ed|) = 2 / (2 − ρd)` (§IV-D2).
+pub fn s_grouping(deletion_ratio: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&deletion_ratio), "ρ must be in [0,1]");
+    2.0 / (2.0 - deletion_ratio)
+}
+
+/// `S_cache = T₃ / T₄` (§IV-D3), the speedup of streaming `B/4` samples
+/// from `d+2` cache lines instead of missing on every access.
+pub fn s_cache(depth: usize, line_bytes: usize, dram_cache_ratio: f64) -> f64 {
+    let vars = (depth + 2) as f64; // X, Y and d conditioning variables
+    let samples_per_line = line_bytes as f64 / 4.0; // 4-byte values
+    let t3 = dram_cache_ratio * vars * samples_per_line;
+    let t4 = dram_cache_ratio * vars + vars * (samples_per_line - 1.0);
+    t3 / t4
+}
+
+/// Overall modelled speedup `S = S_CI · S_grouping · S_cache` (§IV-D4).
+pub fn overall_speedup(p: &ModelParams) -> f64 {
+    s_ci(p) * s_grouping(p.deletion_ratio) * s_cache(p.depth, p.line_bytes, p.dram_cache_ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn paper_worked_example_s_ci() {
+        // t=4, d=2, |Ed|=1200, degree 10 ⟹ S_CI ≈ 3.87.
+        let p = ModelParams::paper_example();
+        assert!(close(s_ci(&p), 3.87, 0.01), "S_CI = {}", s_ci(&p));
+    }
+
+    #[test]
+    fn paper_worked_example_s_grouping() {
+        // ρ = 0.6 ⟹ 2/(2−0.6) ≈ 1.43.
+        assert!(close(s_grouping(0.6), 1.43, 0.005), "{}", s_grouping(0.6));
+    }
+
+    #[test]
+    fn paper_worked_example_s_cache() {
+        // d=2, B=64, ratio 8 ⟹ ≈ 5.57.
+        let s = s_cache(2, 64, 8.0);
+        assert!(close(s, 5.57, 0.01), "S_cache = {s}");
+    }
+
+    #[test]
+    fn paper_worked_example_overall() {
+        // S = 3.87 · 1.43 · 5.57 ≈ 30.8.
+        let s = overall_speedup(&ModelParams::paper_example());
+        assert!(close(s, 30.8, 0.2), "S = {s}");
+    }
+
+    #[test]
+    fn s_ci_grows_with_threads() {
+        let mut prev = 1.0;
+        for t in [1, 2, 4, 8, 16] {
+            let p = ModelParams { threads: t, ..ModelParams::paper_example() };
+            let s = s_ci(&p);
+            assert!(s >= prev - 1e-12, "t={t}");
+            prev = s;
+        }
+        // And is bounded by t.
+        let p = ModelParams { threads: 8, ..ModelParams::paper_example() };
+        assert!(s_ci(&p) <= 8.0);
+    }
+
+    #[test]
+    fn s_grouping_bounds() {
+        assert!(close(s_grouping(0.0), 1.0, 1e-12), "no deletions ⇒ no gain");
+        assert!(close(s_grouping(1.0), 2.0, 1e-12), "all deleted ⇒ half the sets");
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ")]
+    fn s_grouping_rejects_bad_ratio() {
+        s_grouping(1.5);
+    }
+
+    #[test]
+    fn s_cache_improves_with_slower_dram() {
+        let fast = s_cache(2, 64, 2.0);
+        let slow = s_cache(2, 64, 20.0);
+        assert!(slow > fast);
+        // With B=4 (one value per line) there is nothing to save.
+        assert!(close(s_cache(2, 4, 8.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn single_thread_ci_speedup_is_one() {
+        let p = ModelParams { threads: 1, ..ModelParams::paper_example() };
+        assert!(close(s_ci(&p), 1.0, 1e-12));
+    }
+}

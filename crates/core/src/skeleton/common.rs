@@ -1,0 +1,599 @@
+//! Machinery shared by all four skeleton schedulers: edge tasks, the CI
+//! engine (contingency fill + test + counters), and group processing.
+
+use crate::combinations::{all_combinations, binomial, unrank_combination};
+use crate::config::{CondSetGen, PcConfig};
+use fastbn_data::{Dataset, Layout};
+use fastbn_graph::UGraph;
+use fastbn_stats::citest::run_ci_test;
+use fastbn_stats::{CiTestKind, ContingencyTable, DfRule};
+
+/// One schedulable unit of the skeleton phase: an edge (or an ordered
+/// direction of an edge when endpoint grouping is off) together with its
+/// per-depth candidate snapshot and processing progress — exactly what the
+/// paper's dynamic work pool stores.
+#[derive(Clone, Debug)]
+pub struct EdgeTask {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// Snapshot of `a(u) \ {v}` (always populated).
+    pub cand1: Box<[u32]>,
+    /// Snapshot of `a(v) \ {u}` (empty when endpoint grouping is off —
+    /// then the sibling direction is its own task).
+    pub cand2: Box<[u32]>,
+    /// `C(|cand1|, d)` — CI tests drawn from `cand1`.
+    pub n1: u64,
+    /// `C(|cand2|, d)` — CI tests drawn from `cand2`.
+    pub n2: u64,
+    /// Next CI-test rank to process, in `0..n1+n2`.
+    pub progress: u64,
+    /// Flattened pre-materialized conditioning sets (`d` variable ids per
+    /// test), populated only under [`CondSetGen::Precomputed`] — the memory
+    /// cost Fast-BNS's on-the-fly generation avoids.
+    pub precomputed: Option<Box<[u32]>>,
+}
+
+impl EdgeTask {
+    /// Total CI tests this task can perform at the current depth.
+    #[inline]
+    pub fn total_tests(&self) -> u64 {
+        self.n1 + self.n2
+    }
+}
+
+/// An edge removal discovered during a depth, applied to the graph when
+/// the depth's parallel region completes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Removal {
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// The accepted separating set (variable ids).
+    pub sepset: Vec<usize>,
+    /// True if found while conditioning on `cand1` (the `(u,v)` direction);
+    /// used to break ties deterministically when endpoint grouping is off
+    /// and both directions find a separator.
+    pub from_first_direction: bool,
+}
+
+/// Observation hook for performed CI tests (used by the trace recorder;
+/// a no-op for normal runs).
+pub trait CiObserver {
+    /// Called once per *performed* CI test with the tested pair and the
+    /// conditioning set.
+    fn record(&mut self, _u: u32, _v: u32, _cond: &[usize]) {}
+}
+
+/// The default, zero-cost observer.
+pub struct NoObserver;
+
+impl CiObserver for NoObserver {}
+
+impl<F: FnMut(u32, u32, &[usize])> CiObserver for F {
+    fn record(&mut self, u: u32, v: u32, cond: &[usize]) {
+        self(u, v, cond)
+    }
+}
+
+/// Stream the `(x, y, z)` triples of samples `range` into `sink`.
+///
+/// This is the contingency-table fill — the paper's dominant kernel — made
+/// generic over the cell sink so the same loop serves the owned-table path
+/// (plain `&mut` adds, no atomics) and the sample-level shared-table path
+/// (atomic adds). `zmul[i]` is the mixed-radix stride of `cond[i]`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot kernel; a params struct would obscure call sites
+pub fn fill_with(
+    data: &Dataset,
+    layout: Layout,
+    u: usize,
+    v: usize,
+    cond: &[usize],
+    zmul: &[usize],
+    range: std::ops::Range<usize>,
+    mut sink: impl FnMut(usize, usize, usize),
+) {
+    match layout {
+        Layout::ColumnMajor => {
+            let xcol = data.column(u);
+            let ycol = data.column(v);
+            match cond.len() {
+                0 => {
+                    for s in range {
+                        sink(xcol[s] as usize, ycol[s] as usize, 0);
+                    }
+                }
+                1 => {
+                    let z0 = data.column(cond[0]);
+                    for s in range {
+                        sink(xcol[s] as usize, ycol[s] as usize, z0[s] as usize);
+                    }
+                }
+                _ => {
+                    let zcols: Vec<&[u8]> = cond.iter().map(|&c| data.column(c)).collect();
+                    for s in range {
+                        let mut z = 0usize;
+                        for (col, &mul) in zcols.iter().zip(zmul) {
+                            z += col[s] as usize * mul;
+                        }
+                        sink(xcol[s] as usize, ycol[s] as usize, z);
+                    }
+                }
+            }
+        }
+        Layout::RowMajor => {
+            for s in range {
+                let row = data.row(s);
+                let mut z = 0usize;
+                for (&c, &mul) in cond.iter().zip(zmul) {
+                    z += row[c] as usize * mul;
+                }
+                sink(row[u] as usize, row[v] as usize, z);
+            }
+        }
+    }
+}
+
+/// Mixed-radix strides for a conditioning set (first variable most
+/// significant, matching lexicographic enumeration). Returns `None` if the
+/// configuration count would exceed `max_cells / (rx·ry)`.
+pub fn z_strides(
+    data: &Dataset,
+    cond: &[usize],
+    rx: usize,
+    ry: usize,
+    max_cells: usize,
+    out: &mut Vec<usize>,
+) -> Option<usize> {
+    out.clear();
+    out.resize(cond.len(), 0);
+    let mut nz = 1usize;
+    // Build strides right-to-left: last conditioning variable is least
+    // significant.
+    for i in (0..cond.len()).rev() {
+        out[i] = nz;
+        nz = nz.checked_mul(data.arity(cond[i]))?;
+        if nz.saturating_mul(rx * ry) > max_cells {
+            return None;
+        }
+    }
+    Some(nz)
+}
+
+/// Per-thread CI-test executor: owns the reusable contingency table and
+/// scratch buffers, and counts the tests it performs. One engine per
+/// thread is the structural reason CI-level parallelism needs no atomics
+/// (paper §IV-B): a table is never shared.
+pub struct CiEngine<'d, O: CiObserver = NoObserver> {
+    data: &'d Dataset,
+    layout: Layout,
+    test: CiTestKind,
+    df_rule: DfRule,
+    alpha: f64,
+    max_cells: usize,
+    table: ContingencyTable,
+    cond_buf: Vec<usize>,
+    combo_buf: Vec<usize>,
+    zmul_buf: Vec<usize>,
+    /// CI tests actually performed.
+    pub performed: u64,
+    /// Tests skipped because the table would exceed `max_cells` (edge kept).
+    pub skipped: u64,
+    observer: O,
+}
+
+impl<'d> CiEngine<'d, NoObserver> {
+    /// Engine with the default no-op observer.
+    pub fn new(data: &'d Dataset, cfg: &PcConfig) -> Self {
+        Self::with_observer(data, cfg, NoObserver)
+    }
+}
+
+impl<'d, O: CiObserver> CiEngine<'d, O> {
+    /// Engine that reports every performed test to `observer`.
+    pub fn with_observer(data: &'d Dataset, cfg: &PcConfig, observer: O) -> Self {
+        Self {
+            data,
+            layout: cfg.layout,
+            test: cfg.test,
+            df_rule: cfg.df_rule,
+            alpha: cfg.alpha,
+            max_cells: cfg.max_table_cells,
+            table: ContingencyTable::new(1, 1, 1),
+            cond_buf: Vec::new(),
+            combo_buf: Vec::new(),
+            zmul_buf: Vec::new(),
+            performed: 0,
+            skipped: 0,
+            observer,
+        }
+    }
+
+    /// Run one CI test `I(u, v | cond)` over the full dataset. Returns
+    /// `true` if independence is accepted. Oversized tables are treated as
+    /// "cannot test" and return `false` (the edge is conservatively kept).
+    pub fn run(&mut self, u: usize, v: usize, cond: &[usize]) -> bool {
+        let rx = self.data.arity(u);
+        let ry = self.data.arity(v);
+        let mut zmul = std::mem::take(&mut self.zmul_buf);
+        let nz = match z_strides(self.data, cond, rx, ry, self.max_cells, &mut zmul) {
+            Some(nz) => nz,
+            None => {
+                self.zmul_buf = zmul;
+                self.skipped += 1;
+                return false;
+            }
+        };
+        self.table.reshape(rx, ry, nz.max(1));
+        let table = &mut self.table;
+        fill_with(
+            self.data,
+            self.layout,
+            u,
+            v,
+            cond,
+            &zmul,
+            0..self.data.n_samples(),
+            |x, y, z| table.add(x, y, z),
+        );
+        self.zmul_buf = zmul;
+        self.performed += 1;
+        self.observer.record(u as u32, v as u32, cond);
+        run_ci_test(&self.table, self.test, self.alpha, self.df_rule).independent
+    }
+
+    /// Resolve the conditioning set of test rank `r` of `task` into this
+    /// engine's buffer and return it. Under on-the-fly generation this is a
+    /// combination unranking; under precomputation it is a slice copy.
+    pub fn resolve_cond(&mut self, task: &EdgeTask, r: u64, d: usize) -> &[usize] {
+        if let Some(pre) = &task.precomputed {
+            let start = r as usize * d;
+            self.cond_buf.clear();
+            self.cond_buf
+                .extend(pre[start..start + d].iter().map(|&x| x as usize));
+            return &self.cond_buf;
+        }
+        let (pool, rank): (&[u32], u64) = if r < task.n1 {
+            (&task.cand1, r)
+        } else {
+            (&task.cand2, r - task.n1)
+        };
+        unrank_combination(pool.len(), d, rank, &mut self.combo_buf);
+        self.cond_buf.clear();
+        self.cond_buf
+            .extend(self.combo_buf.iter().map(|&i| pool[i] as usize));
+        &self.cond_buf
+    }
+}
+
+/// Outcome of processing one group of CI tests of a task.
+pub enum GroupOutcome {
+    /// A separating set was found; the edge is finished.
+    Removed(Removal),
+    /// All tests were run without acceptance; the edge survives this depth.
+    Exhausted,
+    /// More tests remain; the task (with advanced progress) goes back to
+    /// the pool.
+    InProgress(EdgeTask),
+}
+
+/// Process the next `gs` CI tests of `task` (paper §IV-B): run the whole
+/// group, then decide. The group's independence hypothesis is accepted if
+/// *any* member accepts; the recorded separating set is the first
+/// accepting one, which keeps sepsets identical across all schedulers and
+/// group sizes.
+pub fn process_group<O: CiObserver>(
+    engine: &mut CiEngine<'_, O>,
+    mut task: EdgeTask,
+    gs: u64,
+    d: usize,
+) -> GroupOutcome {
+    let total = task.total_tests();
+    let end = (task.progress + gs).min(total);
+    let mut accepted: Option<Removal> = None;
+    for r in task.progress..end {
+        let from_first = r < task.n1;
+        let cond = engine.resolve_cond(&task, r, d);
+        let cond_owned: Vec<usize>; // only materialized on acceptance
+        let independent = {
+            // `resolve_cond` borrows the engine; copy out before `run`.
+            cond_owned = cond.to_vec();
+            engine.run(task.u as usize, task.v as usize, &cond_owned)
+        };
+        if independent && accepted.is_none() {
+            accepted = Some(Removal {
+                u: task.u,
+                v: task.v,
+                sepset: cond_owned,
+                from_first_direction: from_first,
+            });
+        }
+    }
+    if let Some(removal) = accepted {
+        GroupOutcome::Removed(removal)
+    } else if end >= total {
+        GroupOutcome::Exhausted
+    } else {
+        task.progress = end;
+        GroupOutcome::InProgress(task)
+    }
+}
+
+/// Build the per-depth task list from the current graph (Algorithm 1,
+/// lines 6–9: record all adjacency snapshots, then enumerate edges).
+///
+/// Returns the tasks for depth `d`. An edge contributes no task when both
+/// candidate pools are smaller than `d` (no conditioning set of size `d`
+/// exists); the depth loop terminates when no edge contributes (line 20).
+pub fn build_tasks(graph: &UGraph, d: usize, cfg: &PcConfig) -> Vec<EdgeTask> {
+    let mut tasks = Vec::new();
+    for (u, v) in graph.edges() {
+        let cand = |a: usize, b: usize| -> Box<[u32]> {
+            graph
+                .neighbors(a)
+                .iter_ones()
+                .filter(|&x| x != b)
+                .map(|x| x as u32)
+                .collect()
+        };
+        let c1 = cand(u, v);
+        let c2 = cand(v, u);
+        if cfg.group_endpoints {
+            let n1 = binomial(c1.len(), d);
+            // At depth 0 both pools yield the same (empty) conditioning
+            // set; testing it twice would be pure redundancy, and the
+            // paper treats depth 0 as exactly one marginal test per edge.
+            let n2 = if d == 0 { 0 } else { binomial(c2.len(), d) };
+            if n1 + n2 == 0 {
+                continue;
+            }
+            tasks.push(make_task(u as u32, v as u32, c1, c2, n1, n2, d, cfg));
+        } else {
+            // Original PC-stable: two ordered directions, each its own task.
+            let n1 = binomial(c1.len(), d);
+            if n1 > 0 {
+                tasks.push(make_task(u as u32, v as u32, c1, Box::new([]), n1, 0, d, cfg));
+            }
+            let n2 = binomial(c2.len(), d);
+            if n2 > 0 {
+                tasks.push(make_task(v as u32, u as u32, c2, Box::new([]), n2, 0, d, cfg));
+            }
+        }
+    }
+    tasks
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_task(
+    u: u32,
+    v: u32,
+    cand1: Box<[u32]>,
+    cand2: Box<[u32]>,
+    n1: u64,
+    n2: u64,
+    d: usize,
+    cfg: &PcConfig,
+) -> EdgeTask {
+    let precomputed = match cfg.cond_sets {
+        CondSetGen::OnTheFly => None,
+        CondSetGen::Precomputed => {
+            // Materialize every conditioning set up front (the strategy the
+            // paper replaces; kept for the ablation benches).
+            let mut flat: Vec<u32> = Vec::with_capacity(((n1 + n2) as usize) * d);
+            for combo in all_combinations(cand1.len(), d) {
+                flat.extend(combo.iter().map(|&i| cand1[i]));
+            }
+            for combo in all_combinations(cand2.len(), d) {
+                flat.extend(combo.iter().map(|&i| cand2[i]));
+            }
+            Some(flat.into_boxed_slice())
+        }
+    };
+    EdgeTask { u, v, cand1, cand2, n1, n2, progress: 0, precomputed }
+}
+
+/// Apply a depth's removals to the graph and sepset store. Duplicate
+/// removals of the same edge (possible when endpoint grouping is off and
+/// both direction-tasks find separators) resolve deterministically: the
+/// `(u,v)`-direction's separator wins, matching the sequential pcalg
+/// visit order.
+pub fn apply_removals(
+    graph: &mut UGraph,
+    sepsets: &mut fastbn_graph::SepSets,
+    mut removals: Vec<Removal>,
+) -> usize {
+    // Deterministic application order regardless of scheduler
+    // interleaving: sort by edge; among sibling direction-tasks of the
+    // same edge, the `(u,v)`-with-`u<v` task (the one a sequential sweep
+    // visits first) wins the tie.
+    removals.sort_by_key(|r| {
+        let (lo, hi) = if r.u < r.v { (r.u, r.v) } else { (r.v, r.u) };
+        (lo, hi, r.u > r.v, !r.from_first_direction)
+    });
+    let mut removed = 0;
+    for r in removals {
+        if graph.remove_edge(r.u as usize, r.v as usize) {
+            sepsets.set(r.u as usize, r.v as usize, &r.sepset);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_graph::SepSets;
+
+    fn xor_data() -> Dataset {
+        // x, y independent fair bits; w = x (copy). splitmix64 gives
+        // well-decorrelated bits (a plain LCG's neighbouring bits are not
+        // independent enough to pass a G² test at m = 2000).
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut w = Vec::new();
+        let mut state = 0x12345u64;
+        for _ in 0..2000 {
+            let r = next(&mut state);
+            let a = (r & 1) as u8;
+            let b = ((r >> 17) & 1) as u8;
+            x.push(a);
+            y.push(b);
+            w.push(a);
+        }
+        Dataset::from_columns(vec![], vec![2, 2, 2], vec![x, y, w]).unwrap()
+    }
+
+    #[test]
+    fn engine_detects_independence_and_dependence() {
+        let data = xor_data();
+        let cfg = PcConfig::fast_bns_seq();
+        let mut engine = CiEngine::new(&data, &cfg);
+        assert!(engine.run(0, 1, &[]), "x ⟂ y");
+        assert!(!engine.run(0, 2, &[]), "x = w dependent");
+        assert_eq!(engine.performed, 2);
+        assert_eq!(engine.skipped, 0);
+    }
+
+    #[test]
+    fn engine_layouts_agree() {
+        let data = xor_data();
+        let col = PcConfig::fast_bns_seq();
+        let row = PcConfig::fast_bns_seq().with_layout(Layout::RowMajor);
+        let mut e1 = CiEngine::new(&data, &col);
+        let mut e2 = CiEngine::new(&data, &row);
+        for (u, v, cond) in [(0usize, 1usize, vec![]), (0, 2, vec![1]), (1, 2, vec![0])] {
+            assert_eq!(e1.run(u, v, &cond), e2.run(u, v, &cond), "{u},{v}|{cond:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_table_is_skipped_conservatively() {
+        let data = xor_data();
+        let mut cfg = PcConfig::fast_bns_seq();
+        cfg.max_table_cells = 4; // 2×2×2 = 8 > 4
+        let mut engine = CiEngine::new(&data, &cfg);
+        assert!(!engine.run(0, 1, &[2]), "skipped test keeps the edge");
+        assert_eq!(engine.skipped, 1);
+        assert_eq!(engine.performed, 0);
+    }
+
+    #[test]
+    fn build_tasks_grouped_vs_ungrouped() {
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]);
+        let grouped = build_tasks(&g, 1, &PcConfig::fast_bns_seq());
+        let ungrouped =
+            build_tasks(&g, 1, &PcConfig::fast_bns_seq().with_group_endpoints(false));
+        // Grouped: one task per edge that has any candidate.
+        assert_eq!(grouped.len(), 4);
+        // Ungrouped: one per direction with a nonempty pool.
+        // Edge (0,1): a(0)\{1}=∅ (n1=0), a(1)\{0}={2,3} → 1 task.
+        // Edges (1,2),(1,3),(2,3): both directions nonempty → 2 each.
+        assert_eq!(ungrouped.len(), 1 + 2 + 2 + 2);
+        // Grouped totals must cover both directions.
+        let t01 = grouped.iter().find(|t| (t.u, t.v) == (0, 1)).unwrap();
+        assert_eq!(t01.n1, 0);
+        assert_eq!(t01.n2, 2);
+    }
+
+    #[test]
+    fn depth0_tasks_have_single_test() {
+        let g = UGraph::complete(4);
+        let tasks = build_tasks(&g, 0, &PcConfig::fast_bns_seq());
+        assert_eq!(tasks.len(), 6);
+        for t in &tasks {
+            assert_eq!(t.total_tests(), 1, "exactly one marginal test per edge");
+        }
+    }
+
+    #[test]
+    fn termination_no_tasks_when_depth_exceeds_candidates() {
+        let g = UGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        // Depth 2: a(u)\{v} has at most 1 element everywhere.
+        let tasks = build_tasks(&g, 2, &PcConfig::fast_bns_seq());
+        assert!(tasks.is_empty());
+    }
+
+    #[test]
+    fn precomputed_and_onthefly_resolve_identically() {
+        let g = UGraph::complete(5);
+        let d = 2;
+        let cfg_fly = PcConfig::fast_bns_seq();
+        let cfg_pre = PcConfig::fast_bns_seq().with_cond_sets(CondSetGen::Precomputed);
+        let fly = build_tasks(&g, d, &cfg_fly);
+        let pre = build_tasks(&g, d, &cfg_pre);
+        let data = xor_data(); // engine only used for buffers here
+        let mut engine = CiEngine::new(&data, &cfg_fly);
+        for (tf, tp) in fly.iter().zip(pre.iter()) {
+            assert_eq!((tf.u, tf.v, tf.n1, tf.n2), (tp.u, tp.v, tp.n1, tp.n2));
+            for r in 0..tf.total_tests() {
+                let a = engine.resolve_cond(tf, r, d).to_vec();
+                let b = engine.resolve_cond(tp, r, d).to_vec();
+                assert_eq!(a, b, "task ({},{}) rank {r}", tf.u, tf.v);
+            }
+        }
+    }
+
+    #[test]
+    fn group_processing_respects_group_size() {
+        let data = xor_data();
+        let cfg = PcConfig::fast_bns_seq();
+        let g = UGraph::complete(3);
+        let tasks = build_tasks(&g, 1, &cfg);
+        let mut engine = CiEngine::new(&data, &cfg);
+        // Edge (0,1) at depth 1 has 2 tests (cond {2} from each side).
+        let t01 = tasks.into_iter().find(|t| (t.u, t.v) == (0, 1)).unwrap();
+        assert_eq!(t01.total_tests(), 2);
+        match process_group(&mut engine, t01, 1, 1) {
+            // x ⟂ y given w still independent ⇒ removed at first test.
+            GroupOutcome::Removed(r) => {
+                assert_eq!(r.sepset, vec![2]);
+                assert!(r.from_first_direction);
+            }
+            _ => panic!("expected removal"),
+        }
+        assert_eq!(engine.performed, 1, "gs=1 stops after the first group");
+    }
+
+    #[test]
+    fn group_runs_all_tests_before_deciding() {
+        // gs=2 must perform both tests even if the first accepts — the
+        // redundancy Figure 4 measures.
+        let data = xor_data();
+        let cfg = PcConfig::fast_bns_seq();
+        let g = UGraph::complete(3);
+        let tasks = build_tasks(&g, 1, &cfg);
+        let t01 = tasks.into_iter().find(|t| (t.u, t.v) == (0, 1)).unwrap();
+        let mut engine = CiEngine::new(&data, &cfg);
+        match process_group(&mut engine, t01, 2, 1) {
+            GroupOutcome::Removed(r) => assert_eq!(r.sepset, vec![2]),
+            _ => panic!("expected removal"),
+        }
+        assert_eq!(engine.performed, 2, "whole group performed");
+    }
+
+    #[test]
+    fn apply_removals_deduplicates_deterministically() {
+        let mut g = UGraph::from_edges(3, &[(0, 1)]);
+        let mut sep = SepSets::new(3);
+        let removals = vec![
+            Removal { u: 1, v: 0, sepset: vec![2], from_first_direction: true },
+            Removal { u: 0, v: 1, sepset: vec![9], from_first_direction: true },
+        ];
+        // Sorted application: (0,1) direction-first wins.
+        let removed = apply_removals(&mut g, &mut sep, removals);
+        assert_eq!(removed, 1);
+        assert_eq!(sep.get(0, 1), Some(&[9u32][..]));
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Run statistics — the measurements behind Figures 2–5.
+//!
+//! Every skeleton run collects per-depth counters (CI tests performed,
+//! edges removed, wall time). Counts are accumulated in per-thread slots
+//! (see `fastbn-parallel::counters`) so the hot path stays atomic-free,
+//! then merged into these structs.
+
+use std::time::Duration;
+
+/// Counters for one depth `d` of the skeleton phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DepthStats {
+    /// The depth `d`.
+    pub depth: usize,
+    /// Edges present when the depth began (`|Ed|`).
+    pub edges_at_start: usize,
+    /// Edges removed during the depth.
+    pub edges_removed: usize,
+    /// CI tests actually performed (the Figure 4 y-axis).
+    pub ci_tests: u64,
+    /// Wall time of the depth.
+    pub duration: Duration,
+}
+
+impl DepthStats {
+    /// The paper's edge-deletion ratio `ρd = removed / |Ed|` (§IV-D2).
+    pub fn deletion_ratio(&self) -> f64 {
+        if self.edges_at_start == 0 {
+            0.0
+        } else {
+            self.edges_removed as f64 / self.edges_at_start as f64
+        }
+    }
+}
+
+/// Aggregate statistics of one learning run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-depth breakdown (index = depth).
+    pub depths: Vec<DepthStats>,
+    /// Wall time of the skeleton phase (step 1).
+    pub skeleton_duration: Duration,
+    /// Wall time of v-structure identification + Meek rules (steps 2–3).
+    pub orientation_duration: Duration,
+    /// Edges oriented by v-structure identification.
+    pub vstructure_edges: usize,
+    /// Edges oriented by Meek rules.
+    pub meek_edges: usize,
+}
+
+impl RunStats {
+    /// Total CI tests across all depths.
+    pub fn total_ci_tests(&self) -> u64 {
+        self.depths.iter().map(|d| d.ci_tests).sum()
+    }
+
+    /// Total edges removed across all depths.
+    pub fn total_edges_removed(&self) -> usize {
+        self.depths.iter().map(|d| d.edges_removed).sum()
+    }
+
+    /// Deepest depth reached.
+    pub fn max_depth(&self) -> usize {
+        self.depths.last().map(|d| d.depth).unwrap_or(0)
+    }
+
+    /// End-to-end wall time (skeleton + orientation).
+    pub fn total_duration(&self) -> Duration {
+        self.skeleton_duration + self.orientation_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deletion_ratio() {
+        let d = DepthStats { edges_at_start: 1200, edges_removed: 720, ..Default::default() };
+        assert!((d.deletion_ratio() - 0.6).abs() < 1e-12);
+        let empty = DepthStats::default();
+        assert_eq!(empty.deletion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let stats = RunStats {
+            depths: vec![
+                DepthStats { depth: 0, ci_tests: 100, edges_removed: 40, ..Default::default() },
+                DepthStats { depth: 1, ci_tests: 55, edges_removed: 5, ..Default::default() },
+            ],
+            skeleton_duration: Duration::from_millis(30),
+            orientation_duration: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(stats.total_ci_tests(), 155);
+        assert_eq!(stats.total_edges_removed(), 45);
+        assert_eq!(stats.max_depth(), 1);
+        assert_eq!(stats.total_duration(), Duration::from_millis(33));
+    }
+
+    #[test]
+    fn empty_run() {
+        let stats = RunStats::default();
+        assert_eq!(stats.total_ci_tests(), 0);
+        assert_eq!(stats.max_depth(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal CSV serialization for discrete datasets.
+//!
+//! The benchmark networks in the paper ship as sampled CSV data in the
+//! authors' repository; this module provides the equivalent interchange
+//! format without pulling a serialization dependency. Two cell syntaxes are
+//! accepted:
+//!
+//! * integer state codes (`0,1,2,…`) — arity inferred as `max + 1`,
+//! * arbitrary categorical strings — levels are sorted lexicographically
+//!   and mapped to codes, matching R's `factor()` default, so round-trips
+//!   through bnlearn-style CSVs are stable.
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// Errors reading a CSV dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// The input had a header but no data rows.
+    NoRows,
+    /// A row's field count differs from the header's.
+    RaggedRow { line: usize, expected: usize, got: usize },
+    /// A column has more than 255 distinct levels.
+    TooManyLevels { var: String, levels: usize },
+    /// An empty cell (missing value) was found — datasets must be complete.
+    MissingValue { line: usize, column: usize },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header line"),
+            CsvError::NoRows => write!(f, "no data rows"),
+            CsvError::RaggedRow { line, expected, got } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::TooManyLevels { var, levels } => {
+                write!(f, "column {var}: {levels} levels exceed the 255 limit")
+            }
+            CsvError::MissingValue { line, column } => {
+                write!(f, "line {line}, column {column}: missing value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serialize a dataset to CSV with a header of variable names and integer
+/// state codes as cells.
+pub fn dataset_to_csv(d: &Dataset) -> String {
+    let mut out = String::with_capacity(d.n_samples() * d.n_vars() * 2 + 64);
+    out.push_str(&d.names().join(","));
+    out.push('\n');
+    for s in 0..d.n_samples() {
+        let row = d.row(s);
+        for (v, &val) in row.iter().enumerate() {
+            if v > 0 {
+                out.push(',');
+            }
+            out.push_str(itoa_u8(val).as_str());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn itoa_u8(v: u8) -> String {
+    v.to_string()
+}
+
+/// Parse a CSV string into a [`Dataset`].
+///
+/// Cells that all parse as `u8` integers are taken as state codes; any
+/// non-integer cell switches the whole column to categorical mode (levels
+/// sorted lexicographically, coded `0..k`).
+pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let n_vars = names.len();
+
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_vars];
+    let mut n_rows = 0usize;
+    for (line_no, line) in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_vars {
+            return Err(CsvError::RaggedRow {
+                line: line_no + 1,
+                expected: n_vars,
+                got: fields.len(),
+            });
+        }
+        for (v, f) in fields.iter().enumerate() {
+            let t = f.trim();
+            if t.is_empty() {
+                return Err(CsvError::MissingValue { line: line_no + 1, column: v + 1 });
+            }
+            cells[v].push(t.to_string());
+        }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err(CsvError::NoRows);
+    }
+
+    let mut columns: Vec<Vec<u8>> = Vec::with_capacity(n_vars);
+    let mut arities: Vec<u8> = Vec::with_capacity(n_vars);
+    for (v, col) in cells.iter().enumerate() {
+        let all_int: Option<Vec<u8>> =
+            col.iter().map(|c| c.parse::<u8>().ok()).collect();
+        match all_int {
+            Some(codes) => {
+                let max = codes.iter().copied().max().unwrap_or(0);
+                arities.push(max.saturating_add(1));
+                columns.push(codes);
+            }
+            None => {
+                // Categorical: sorted distinct levels → codes.
+                let mut levels: Vec<&String> = col.iter().collect();
+                levels.sort_unstable();
+                levels.dedup();
+                if levels.len() > 255 {
+                    return Err(CsvError::TooManyLevels {
+                        var: names[v].clone(),
+                        levels: levels.len(),
+                    });
+                }
+                let codes = col
+                    .iter()
+                    .map(|c| levels.binary_search(&c).unwrap() as u8)
+                    .collect();
+                arities.push(levels.len() as u8);
+                columns.push(codes);
+            }
+        }
+    }
+
+    Dataset::from_columns(names, arities, columns)
+        .map_err(|_| CsvError::NoRows /* unreachable: inputs validated above */)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integer_csv() {
+        let d = Dataset::from_columns(
+            vec!["x".into(), "y".into()],
+            vec![2, 3],
+            vec![vec![0, 1, 1], vec![2, 0, 1]],
+        )
+        .unwrap();
+        let csv = dataset_to_csv(&d);
+        let back = dataset_from_csv(&csv).unwrap();
+        assert_eq!(back.names(), d.names());
+        assert_eq!(back.n_samples(), 3);
+        for s in 0..3 {
+            assert_eq!(back.row(s), d.row(s));
+        }
+    }
+
+    #[test]
+    fn categorical_levels_sorted() {
+        let csv = "weather,play\nsunny,yes\nrain,no\novercast,yes\n";
+        let d = dataset_from_csv(csv).unwrap();
+        assert_eq!(d.arity(0), 3);
+        assert_eq!(d.arity(1), 2);
+        // Levels: overcast=0, rain=1, sunny=2; no=0, yes=1.
+        assert_eq!(d.column(0), &[2, 1, 0]);
+        assert_eq!(d.column(1), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn mixed_integer_and_categorical_columns() {
+        let csv = "a,b\n0,low\n1,high\n0,low\n";
+        let d = dataset_from_csv(csv).unwrap();
+        assert_eq!(d.arity(0), 2);
+        assert_eq!(d.column(1), &[1, 0, 1]); // high=0, low=1
+    }
+
+    #[test]
+    fn header_only_is_error() {
+        assert_eq!(dataset_from_csv("a,b\n").unwrap_err(), CsvError::NoRows);
+        assert_eq!(dataset_from_csv("").unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = dataset_from_csv("a,b\n0,1\n0\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { got: 1, expected: 2, .. }));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = dataset_from_csv("a,b\n0,\n").unwrap_err();
+        assert!(matches!(err, CsvError::MissingValue { .. }));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let d = dataset_from_csv("a , b\n 0 , 1 \n1,0\n").unwrap();
+        assert_eq!(d.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(d.column(0), &[0, 1]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let d = dataset_from_csv("a\n0\n\n1\n\n").unwrap();
+        assert_eq!(d.n_samples(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! The [`Dataset`] type: a complete discrete sample matrix in both layouts.
+
+use std::fmt;
+
+/// Which physical layout a consumer wants to stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// One contiguous array per variable (Fast-BNS's transposed storage).
+    #[default]
+    ColumnMajor,
+    /// One contiguous record per sample (naive/baseline storage).
+    RowMajor,
+}
+
+/// Errors constructing or validating a dataset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// A column's length differs from the sample count.
+    RaggedColumns { var: usize, expected: usize, got: usize },
+    /// A stored value is outside `0..arity` for its variable.
+    ValueOutOfRange { var: usize, sample: usize, value: u8, arity: u8 },
+    /// An arity below 1 was declared.
+    BadArity { var: usize, arity: u8 },
+    /// Name list length differs from the number of variables.
+    NameCountMismatch { names: usize, vars: usize },
+    /// The dataset would contain zero variables.
+    NoVariables,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RaggedColumns { var, expected, got } => {
+                write!(f, "column {var} has {got} samples, expected {expected}")
+            }
+            DataError::ValueOutOfRange { var, sample, value, arity } => write!(
+                f,
+                "value {value} at (sample {sample}, var {var}) exceeds arity {arity}"
+            ),
+            DataError::BadArity { var, arity } => {
+                write!(f, "variable {var} has invalid arity {arity}")
+            }
+            DataError::NameCountMismatch { names, vars } => {
+                write!(f, "{names} names provided for {vars} variables")
+            }
+            DataError::NoVariables => write!(f, "dataset must have at least one variable"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// A complete (no missing values) discrete dataset over `n_vars` variables
+/// and `n_samples` samples, materialized in both row- and column-major
+/// layouts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    n_vars: usize,
+    n_samples: usize,
+    arities: Vec<u8>,
+    names: Vec<String>,
+    /// `col_major[v * n_samples + s]`
+    col_major: Vec<u8>,
+    /// `row_major[s * n_vars + v]`
+    row_major: Vec<u8>,
+}
+
+impl Dataset {
+    /// Build from per-variable columns.
+    ///
+    /// `names` may be empty (defaults to `V0..Vn`). Every value is validated
+    /// against its variable's arity.
+    pub fn from_columns(
+        names: Vec<String>,
+        arities: Vec<u8>,
+        columns: Vec<Vec<u8>>,
+    ) -> Result<Self, DataError> {
+        let n_vars = columns.len();
+        if n_vars == 0 {
+            return Err(DataError::NoVariables);
+        }
+        if !names.is_empty() && names.len() != n_vars {
+            return Err(DataError::NameCountMismatch { names: names.len(), vars: n_vars });
+        }
+        if arities.len() != n_vars {
+            return Err(DataError::NameCountMismatch { names: arities.len(), vars: n_vars });
+        }
+        let n_samples = columns[0].len();
+        for (v, col) in columns.iter().enumerate() {
+            if col.len() != n_samples {
+                return Err(DataError::RaggedColumns {
+                    var: v,
+                    expected: n_samples,
+                    got: col.len(),
+                });
+            }
+        }
+        for (v, &a) in arities.iter().enumerate() {
+            if a == 0 {
+                return Err(DataError::BadArity { var: v, arity: a });
+            }
+        }
+        for (v, col) in columns.iter().enumerate() {
+            for (s, &val) in col.iter().enumerate() {
+                if val >= arities[v] {
+                    return Err(DataError::ValueOutOfRange {
+                        var: v,
+                        sample: s,
+                        value: val,
+                        arity: arities[v],
+                    });
+                }
+            }
+        }
+        let names = if names.is_empty() {
+            (0..n_vars).map(|v| format!("V{v}")).collect()
+        } else {
+            names
+        };
+        let mut col_major = Vec::with_capacity(n_vars * n_samples);
+        for col in &columns {
+            col_major.extend_from_slice(col);
+        }
+        let mut row_major = vec![0u8; n_vars * n_samples];
+        for (v, col) in columns.iter().enumerate() {
+            for (s, &val) in col.iter().enumerate() {
+                row_major[s * n_vars + v] = val;
+            }
+        }
+        Ok(Self { n_vars, n_samples, arities, names, col_major, row_major })
+    }
+
+    /// Build from per-sample rows (each of length `n_vars`).
+    pub fn from_rows(
+        names: Vec<String>,
+        arities: Vec<u8>,
+        rows: &[Vec<u8>],
+    ) -> Result<Self, DataError> {
+        let n_vars = arities.len();
+        if n_vars == 0 {
+            return Err(DataError::NoVariables);
+        }
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_vars];
+        for (s, row) in rows.iter().enumerate() {
+            if row.len() != n_vars {
+                return Err(DataError::RaggedColumns {
+                    var: s,
+                    expected: n_vars,
+                    got: row.len(),
+                });
+            }
+            for (v, &val) in row.iter().enumerate() {
+                columns[v].push(val);
+            }
+        }
+        Self::from_columns(names, arities, columns)
+    }
+
+    /// Number of variables (features / BN nodes).
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Arity (number of states) of variable `v`.
+    #[inline]
+    pub fn arity(&self, v: usize) -> usize {
+        self.arities[v] as usize
+    }
+
+    /// All arities.
+    #[inline]
+    pub fn arities(&self) -> &[u8] {
+        &self.arities
+    }
+
+    /// Variable names.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Value of variable `v` in sample `s` (reads the column-major copy).
+    #[inline(always)]
+    pub fn value(&self, s: usize, v: usize) -> u8 {
+        self.col_major[v * self.n_samples + s]
+    }
+
+    /// The contiguous column of variable `v` — Fast-BNS's streaming access.
+    #[inline]
+    pub fn column(&self, v: usize) -> &[u8] {
+        &self.col_major[v * self.n_samples..(v + 1) * self.n_samples]
+    }
+
+    /// The contiguous record of sample `s` — the baselines' access pattern.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[u8] {
+        &self.row_major[s * self.n_vars..(s + 1) * self.n_vars]
+    }
+
+    /// A view of the first `k` samples (cheap truncation used by the
+    /// sample-size sweeps of Figures 3–4).
+    ///
+    /// # Panics
+    /// Panics if `k > n_samples`.
+    pub fn truncated(&self, k: usize) -> Dataset {
+        assert!(k <= self.n_samples, "cannot truncate {k} > {}", self.n_samples);
+        let columns: Vec<Vec<u8>> =
+            (0..self.n_vars).map(|v| self.column(v)[..k].to_vec()).collect();
+        Dataset::from_columns(self.names.clone(), self.arities.clone(), columns)
+            .expect("truncation of a valid dataset is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![2, 3],
+            vec![vec![0, 1, 0, 1], vec![2, 0, 1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layouts_agree() {
+        let d = small();
+        assert_eq!(d.n_vars(), 2);
+        assert_eq!(d.n_samples(), 4);
+        for s in 0..4 {
+            for v in 0..2 {
+                assert_eq!(d.value(s, v), d.row(s)[v]);
+                assert_eq!(d.value(s, v), d.column(v)[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_matches_from_columns() {
+        let rows = vec![vec![0, 2], vec![1, 0], vec![0, 1], vec![1, 2]];
+        let d2 = Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![2, 3],
+            &rows,
+        )
+        .unwrap();
+        assert_eq!(small(), d2);
+    }
+
+    #[test]
+    fn default_names_generated() {
+        let d = Dataset::from_columns(vec![], vec![2], vec![vec![0, 1]]).unwrap();
+        assert_eq!(d.names(), &["V0".to_string()]);
+    }
+
+    #[test]
+    fn value_out_of_range_rejected() {
+        let err = Dataset::from_columns(vec![], vec![2], vec![vec![0, 2]]).unwrap_err();
+        assert!(matches!(err, DataError::ValueOutOfRange { value: 2, .. }));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err =
+            Dataset::from_columns(vec![], vec![2, 2], vec![vec![0, 1], vec![0]]).unwrap_err();
+        assert!(matches!(err, DataError::RaggedColumns { .. }));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        let err = Dataset::from_columns(vec![], vec![0], vec![vec![]]).unwrap_err();
+        assert!(matches!(err, DataError::BadArity { .. }));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert_eq!(
+            Dataset::from_columns(vec![], vec![], vec![]).unwrap_err(),
+            DataError::NoVariables
+        );
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let d = small().truncated(2);
+        assert_eq!(d.n_samples(), 2);
+        assert_eq!(d.column(0), &[0, 1]);
+        assert_eq!(d.column(1), &[2, 0]);
+        assert_eq!(d.row(1), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn over_truncation_panics() {
+        small().truncated(5);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = Dataset::from_columns(vec![], vec![2], vec![vec![0, 7]]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('7') && msg.contains("arity"), "{msg}");
+    }
+}

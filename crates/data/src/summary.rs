@@ -1,0 +1,115 @@
+//! Dataset summary statistics.
+//!
+//! Used by examples and the bench harness to report workload
+//! characteristics (state counts, entropies) alongside timings, and by
+//! tests to validate synthetic data against its generating distribution.
+
+use crate::dataset::Dataset;
+
+/// Per-variable state counts of variable `v`.
+pub fn column_counts(d: &Dataset, v: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; d.arity(v)];
+    for &val in d.column(v) {
+        counts[val as usize] += 1;
+    }
+    counts
+}
+
+/// Empirical entropy (nats) of variable `v`.
+pub fn column_entropy(d: &Dataset, v: usize) -> f64 {
+    let counts = column_counts(d, v);
+    let n = d.n_samples() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// A compact description of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSummary {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Smallest arity over variables.
+    pub min_arity: usize,
+    /// Largest arity over variables.
+    pub max_arity: usize,
+    /// Mean arity over variables.
+    pub mean_arity: f64,
+    /// Mean per-variable empirical entropy (nats).
+    pub mean_entropy: f64,
+}
+
+impl DatasetSummary {
+    /// Summarize a dataset.
+    pub fn of(d: &Dataset) -> Self {
+        let arities: Vec<usize> = (0..d.n_vars()).map(|v| d.arity(v)).collect();
+        let mean_entropy = (0..d.n_vars())
+            .map(|v| column_entropy(d, v))
+            .sum::<f64>()
+            / d.n_vars() as f64;
+        Self {
+            n_vars: d.n_vars(),
+            n_samples: d.n_samples(),
+            min_arity: arities.iter().copied().min().unwrap_or(0),
+            max_arity: arities.iter().copied().max().unwrap_or(0),
+            mean_arity: arities.iter().sum::<usize>() as f64 / arities.len() as f64,
+            mean_entropy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> Dataset {
+        Dataset::from_columns(
+            vec![],
+            vec![2, 4],
+            vec![vec![0, 0, 1, 1], vec![0, 1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_sum_to_samples() {
+        let d = make();
+        let c0 = column_counts(&d, 0);
+        assert_eq!(c0, vec![2, 2]);
+        assert_eq!(c0.iter().sum::<u64>(), d.n_samples() as u64);
+        assert_eq!(column_counts(&d, 1), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_binary_is_ln2() {
+        let d = make();
+        assert!((column_entropy(&d, 0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((column_entropy(&d, 1) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_column_is_zero() {
+        let d = Dataset::from_columns(vec![], vec![2], vec![vec![1, 1, 1]]).unwrap();
+        assert_eq!(column_entropy(&d, 0), 0.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = DatasetSummary::of(&make());
+        assert_eq!(s.n_vars, 2);
+        assert_eq!(s.n_samples, 4);
+        assert_eq!((s.min_arity, s.max_arity), (2, 4));
+        assert!((s.mean_arity - 3.0).abs() < 1e-12);
+        assert!(s.mean_entropy > 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-capacity bitsets backed by `u64` words.
+//!
+//! One `BitSet` row per node gives a dense adjacency matrix whose
+//! neighbourhood queries (`iter_ones`, `count_ones`, intersection) compile
+//! to word-wide operations — the representation behind both the skeleton
+//! graph and the per-depth adjacency snapshots of PC-stable.
+
+/// A fixed-capacity set of small integers (`0..capacity`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Create an empty set with room for values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Capacity (exclusive upper bound on storable values).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `v`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity, "bitset value {v} out of range");
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Remove `v`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: usize) -> bool {
+        debug_assert!(v < self.capacity, "bitset value {v} out of range");
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        let (w, b) = (v / 64, v % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Insert every value in `0..capacity`.
+    pub fn fill(&mut self) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let base = i * 64;
+            let remaining = self.capacity.saturating_sub(base);
+            *w = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+        }
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterate the elements in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let base = i * 64;
+            std::iter::successors(
+                if word == 0 { None } else { Some(word) },
+                |w| {
+                    let w = w & (w - 1); // clear lowest set bit
+                    if w == 0 {
+                        None
+                    } else {
+                        Some(w)
+                    }
+                },
+            )
+            .map(move |w| base + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// Collect the elements into a `Vec` (used for adjacency snapshots).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "out of range contains is false");
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut s = BitSet::new(200);
+        for v in [5, 63, 64, 65, 127, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.to_vec(), vec![5, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn fill_sets_exactly_capacity_bits() {
+        for cap in [0, 1, 63, 64, 65, 127, 128, 130] {
+            let mut s = BitSet::new(cap);
+            s.fill();
+            assert_eq!(s.count_ones(), cap, "cap={cap}");
+            if cap > 0 {
+                assert!(s.contains(cap - 1));
+            }
+            assert!(!s.contains(cap));
+        }
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for v in [1, 2, 3, 50] {
+            a.insert(v);
+        }
+        for v in [2, 3, 4, 99] {
+            b.insert(v);
+        }
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![2, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4, 50, 99]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+    }
+}

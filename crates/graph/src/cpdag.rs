@@ -1,0 +1,101 @@
+//! DAG → CPDAG conversion.
+//!
+//! The completed partially directed acyclic graph (CPDAG) canonically
+//! represents a Markov equivalence class: its directed edges are compelled
+//! (same direction in every equivalent DAG) and its undirected edges are
+//! reversible. Two DAGs are Markov equivalent iff they share a skeleton and
+//! v-structures (Verma & Pearl), so the CPDAG is computed by keeping the
+//! skeleton, orienting the DAG's v-structures, and closing under Meek rules
+//! R1–R3 — exactly the procedure PC itself performs, which makes this the
+//! right ground-truth representation to score a learned structure against.
+
+use crate::dag::Dag;
+use crate::meek::apply_meek_rules;
+use crate::pdag::Pdag;
+
+/// Compute the CPDAG of a DAG.
+pub fn dag_to_cpdag(dag: &Dag) -> Pdag {
+    let mut pdag = Pdag::from_skeleton(&dag.skeleton());
+    // Orient the DAG's v-structures: i → k ← j with i, j nonadjacent.
+    let n = dag.n();
+    for k in 0..n {
+        let parents = dag.parents(k).to_vec();
+        for (ai, &i) in parents.iter().enumerate() {
+            for &j in &parents[ai + 1..] {
+                if !dag.has_edge(i, j) && !dag.has_edge(j, i) {
+                    pdag.orient(i, k);
+                    pdag.orient(j, k);
+                }
+            }
+        }
+    }
+    apply_meek_rules(&mut pdag);
+    pdag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdag::EdgeMark;
+
+    #[test]
+    fn chain_is_fully_reversible() {
+        // 0 → 1 → 2 has no v-structure: CPDAG is the undirected chain.
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        let cpdag = dag_to_cpdag(&dag);
+        assert_eq!(cpdag.mark(0, 1), EdgeMark::Undirected);
+        assert_eq!(cpdag.mark(1, 2), EdgeMark::Undirected);
+    }
+
+    #[test]
+    fn collider_is_compelled() {
+        // 0 → 2 ← 1: the v-structure is compelled in the CPDAG.
+        let dag = Dag::from_edges(3, &[(0, 2), (1, 2)]);
+        let cpdag = dag_to_cpdag(&dag);
+        assert_eq!(cpdag.mark(0, 2), EdgeMark::Out);
+        assert_eq!(cpdag.mark(1, 2), EdgeMark::Out);
+    }
+
+    #[test]
+    fn collider_descendants_compelled_by_meek() {
+        // 0 → 2 ← 1 plus 2 → 3: edge 2 → 3 is compelled by R1 (otherwise a
+        // new collider at 2 would appear).
+        let dag = Dag::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
+        let cpdag = dag_to_cpdag(&dag);
+        assert_eq!(cpdag.mark(2, 3), EdgeMark::Out);
+    }
+
+    #[test]
+    fn markov_equivalent_dags_share_cpdag() {
+        // 0 → 1 → 2 and 0 ← 1 → 2 and 0 ← 1 ← 2 are equivalent.
+        let a = dag_to_cpdag(&Dag::from_edges(3, &[(0, 1), (1, 2)]));
+        let b = dag_to_cpdag(&Dag::from_edges(3, &[(1, 0), (1, 2)]));
+        let c = dag_to_cpdag(&Dag::from_edges(3, &[(2, 1), (1, 0)]));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn non_equivalent_dags_differ() {
+        // The collider is not equivalent to the chain.
+        let chain = dag_to_cpdag(&Dag::from_edges(3, &[(0, 1), (1, 2)]));
+        let collider = dag_to_cpdag(&Dag::from_edges(3, &[(0, 1), (2, 1)]));
+        assert_ne!(chain, collider);
+    }
+
+    #[test]
+    fn cpdag_preserves_skeleton() {
+        let dag = Dag::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 4), (1, 4)]);
+        let cpdag = dag_to_cpdag(&dag);
+        assert_eq!(cpdag.skeleton(), dag.skeleton());
+    }
+
+    #[test]
+    fn complete_dag_is_fully_reversible() {
+        // A complete DAG has no unshielded triple: everything reversible.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let cpdag = dag_to_cpdag(&dag);
+        assert!(cpdag.directed_edges().is_empty());
+        assert_eq!(cpdag.undirected_edges().len(), 6);
+    }
+}

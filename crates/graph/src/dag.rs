@@ -1,0 +1,243 @@
+//! Directed acyclic graphs — ground-truth Bayesian-network structures.
+//!
+//! The learner never manipulates a `Dag` directly (it learns a skeleton and
+//! then a CPDAG), but the data-generation pipeline does: benchmark networks
+//! are DAGs with CPTs, and evaluation compares the learned CPDAG against
+//! [`crate::cpdag::dag_to_cpdag`] of the truth.
+
+use crate::bitset::BitSet;
+use crate::ugraph::UGraph;
+
+/// A directed acyclic graph on nodes `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dag {
+    n: usize,
+    parents: Vec<BitSet>,
+    children: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// Empty DAG on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            parents: vec![BitSet::new(n); n],
+            children: vec![BitSet::new(n); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Build from an edge list `(parent, child)`.
+    ///
+    /// # Panics
+    /// Panics if adding any edge would create a cycle or a self-loop.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            assert!(
+                g.try_add_edge(u, v),
+                "edge ({u},{v}) would create a cycle"
+            );
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// True if `u → v` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.children[u].contains(v)
+    }
+
+    /// Parent set of `v` (`Pa(Vi)` in the paper).
+    #[inline]
+    pub fn parents(&self, v: usize) -> &BitSet {
+        &self.parents[v]
+    }
+
+    /// Child set of `v`.
+    #[inline]
+    pub fn children(&self, v: usize) -> &BitSet {
+        &self.children[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.parents[v].count_ones()
+    }
+
+    /// Add `u → v` if it keeps the graph acyclic; returns whether it was
+    /// added. Self-loops and duplicate edges return `false`.
+    pub fn try_add_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v || u >= self.n || v >= self.n || self.has_edge(u, v) {
+            return false;
+        }
+        if self.reaches(v, u) {
+            return false; // u → v would close a cycle v ⇝ u → v
+        }
+        self.children[u].insert(v);
+        self.parents[v].insert(u);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Remove `u → v`; returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if self.has_edge(u, v) {
+            self.children[u].remove(v);
+            self.parents[v].remove(u);
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if there is a directed path `from ⇝ to` (including length 0).
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BitSet::new(self.n);
+        let mut stack = vec![from];
+        seen.insert(from);
+        while let Some(x) = stack.pop() {
+            for c in self.children[x].iter_ones() {
+                if c == to {
+                    return true;
+                }
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the nodes (Kahn's algorithm). Always succeeds
+    /// because the structure maintains acyclicity.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|v| self.in_degree(v)).collect();
+        let mut queue: Vec<usize> =
+            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for c in self.children[v].iter_ones() {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.n, "acyclicity invariant violated");
+        order
+    }
+
+    /// The underlying undirected skeleton.
+    pub fn skeleton(&self) -> UGraph {
+        let mut g = UGraph::empty(self.n);
+        for u in 0..self.n {
+            for v in self.children[u].iter_ones() {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// All directed edges `(parent, child)` in lexicographic order.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in 0..self.n {
+            for v in self.children[u].iter_ones() {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.parents(3).to_vec(), vec![1, 2]);
+        assert_eq!(g.children(0).to_vec(), vec![1, 2]);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!g.try_add_edge(2, 0), "2→0 closes a cycle");
+        assert!(!g.try_add_edge(1, 1), "self-loop");
+        assert!(!g.try_add_edge(0, 1), "duplicate");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = Dag::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert!(g.reaches(0, 2));
+        assert!(g.reaches(0, 0));
+        assert!(!g.reaches(2, 0));
+        assert!(!g.reaches(0, 4));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = Dag::from_edges(6, &[(5, 0), (0, 1), (0, 2), (2, 3), (1, 3), (3, 4)]);
+        let order = g.topological_order();
+        assert_eq!(order.len(), 6);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u] < pos[v], "{u}→{v} violated");
+        }
+    }
+
+    #[test]
+    fn skeleton_drops_directions() {
+        let g = Dag::from_edges(3, &[(0, 1), (2, 1)]);
+        let s = g.skeleton();
+        assert!(s.has_edge(1, 0) && s.has_edge(1, 2));
+        assert_eq!(s.edge_count(), 2);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = Dag::from_edges(3, &[(0, 1)]);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.parents(1).is_empty());
+        assert!(g.children(0).is_empty());
+        assert!(!g.remove_edge(0, 1));
+    }
+}

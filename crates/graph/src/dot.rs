@@ -1,0 +1,108 @@
+//! Graphviz DOT export for learned structures.
+//!
+//! A downstream-user convenience: learned CPDAGs (and ground-truth DAGs /
+//! skeletons) render directly with `dot -Tpng`. Undirected CPDAG edges are
+//! emitted with `dir=none`, compelled edges as arrows.
+
+use crate::dag::Dag;
+use crate::pdag::Pdag;
+use crate::ugraph::UGraph;
+
+fn quote(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\\\""))
+}
+
+fn node_name(names: Option<&[String]>, v: usize) -> String {
+    match names {
+        Some(ns) => quote(&ns[v]),
+        None => format!("V{v}"),
+    }
+}
+
+/// Render a DAG as a directed DOT graph.
+pub fn dag_to_dot(dag: &Dag, names: Option<&[String]>) -> String {
+    let mut out = String::from("digraph G {\n");
+    for v in 0..dag.n() {
+        out.push_str(&format!("  {};\n", node_name(names, v)));
+    }
+    for (u, v) in dag.edges() {
+        out.push_str(&format!("  {} -> {};\n", node_name(names, u), node_name(names, v)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an undirected skeleton as DOT (`graph` with `--` edges).
+pub fn ugraph_to_dot(g: &UGraph, names: Option<&[String]>) -> String {
+    let mut out = String::from("graph G {\n");
+    for v in 0..g.n() {
+        out.push_str(&format!("  {};\n", node_name(names, v)));
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("  {} -- {};\n", node_name(names, u), node_name(names, v)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a CPDAG/PDAG as DOT: compelled edges as arrows, reversible edges
+/// with `dir=none`.
+pub fn pdag_to_dot(p: &Pdag, names: Option<&[String]>) -> String {
+    let mut out = String::from("digraph G {\n");
+    for v in 0..p.n() {
+        out.push_str(&format!("  {};\n", node_name(names, v)));
+    }
+    for (u, v) in p.directed_edges() {
+        out.push_str(&format!("  {} -> {};\n", node_name(names, u), node_name(names, v)));
+    }
+    for (u, v) in p.undirected_edges() {
+        out.push_str(&format!(
+            "  {} -> {} [dir=none];\n",
+            node_name(names, u),
+            node_name(names, v)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_export() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = dag_to_dot(&dag, None);
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("V0 -> V1;"));
+        assert!(dot.contains("V1 -> V2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn skeleton_export_uses_undirected_edges() {
+        let g = UGraph::from_edges(3, &[(0, 2)]);
+        let dot = ugraph_to_dot(&g, None);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.contains("V0 -- V2;"));
+    }
+
+    #[test]
+    fn pdag_export_distinguishes_edge_kinds() {
+        let mut p = Pdag::empty(3);
+        p.add_directed(0, 2);
+        p.add_undirected(1, 2);
+        let dot = pdag_to_dot(&p, None);
+        assert!(dot.contains("V0 -> V2;"));
+        assert!(dot.contains("V1 -> V2 [dir=none];"));
+    }
+
+    #[test]
+    fn names_are_quoted_and_escaped() {
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let names = vec!["rain level".to_string(), "say \"hi\"".to_string()];
+        let dot = dag_to_dot(&dag, Some(&names));
+        assert!(dot.contains("\"rain level\" -> \"say \\\"hi\\\"\";"));
+    }
+}

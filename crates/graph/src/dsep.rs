@@ -1,0 +1,174 @@
+//! d-separation — the graphical independence oracle.
+//!
+//! `d_separated(G, x, y, Z)` decides whether every path between `x` and
+//! `y` is blocked by `Z` in DAG `G`, via the reachable-by-active-trail
+//! algorithm (Koller & Friedman, Alg. 3.1): a collider is traversable iff
+//! it (or a descendant) is in `Z`; a non-collider is traversable iff it is
+//! not in `Z`.
+//!
+//! The oracle serves two purposes in this reproduction: (a) unit-level
+//! ground truth for the statistical CI tests (faithful data should agree
+//! with d-separation at large sample sizes), and (b) the perfect-
+//! information PC run in `fastbn-core::oracle`, which must recover the
+//! exact CPDAG — the strongest end-to-end correctness check available.
+
+use crate::bitset::BitSet;
+use crate::dag::Dag;
+
+/// True iff `x` and `y` are d-separated by the conditioning set `z` in
+/// `dag`.
+///
+/// # Panics
+/// Panics if `x == y` or either endpoint is in `z`.
+pub fn d_separated(dag: &Dag, x: usize, y: usize, z: &BitSet) -> bool {
+    assert!(x != y, "d-separation of a node from itself is undefined");
+    assert!(!z.contains(x) && !z.contains(y), "endpoints cannot be conditioned on");
+    let n = dag.n();
+
+    // Phase 1: Z and its ancestors (collider activation set).
+    let mut anc_z = z.clone();
+    {
+        let mut stack: Vec<usize> = z.iter_ones().collect();
+        while let Some(w) = stack.pop() {
+            for p in dag.parents(w).iter_ones() {
+                if anc_z.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    // Phase 2: BFS over (node, arrival direction). `up` = arrived from a
+    // child (trail moving towards parents), `down` = arrived from a
+    // parent.
+    let mut visited_up = BitSet::new(n);
+    let mut visited_down = BitSet::new(n);
+    let mut queue: Vec<(usize, bool)> = vec![(x, true)]; // (node, is_up)
+    visited_up.insert(x);
+    while let Some((w, is_up)) = queue.pop() {
+        if w == y {
+            return false; // active trail reached y
+        }
+        if is_up {
+            // Arrived from a child: w is a non-collider on this trail.
+            if !z.contains(w) {
+                for p in dag.parents(w).iter_ones() {
+                    if visited_up.insert(p) {
+                        queue.push((p, true));
+                    }
+                }
+                for c in dag.children(w).iter_ones() {
+                    if visited_down.insert(c) {
+                        queue.push((c, false));
+                    }
+                }
+            }
+        } else {
+            // Arrived from a parent.
+            if !z.contains(w) {
+                // Chain/fork continuation downwards.
+                for c in dag.children(w).iter_ones() {
+                    if visited_down.insert(c) {
+                        queue.push((c, false));
+                    }
+                }
+            }
+            if anc_z.contains(w) {
+                // Collider at w is activated (w ∈ An(Z) ∪ Z): bounce up.
+                for p in dag.parents(w).iter_ones() {
+                    if visited_up.insert(p) {
+                        queue.push((p, true));
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Convenience wrapper taking a slice conditioning set.
+pub fn d_separated_by(dag: &Dag, x: usize, y: usize, z: &[usize]) -> bool {
+    let mut set = BitSet::new(dag.n());
+    for &w in z {
+        set.insert(w);
+    }
+    d_separated(dag, x, y, &set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_blocked_by_middle() {
+        // x → m → y
+        let g = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!d_separated_by(&g, 0, 2, &[]), "open without conditioning");
+        assert!(d_separated_by(&g, 0, 2, &[1]), "blocked by the mediator");
+    }
+
+    #[test]
+    fn fork_blocked_by_root() {
+        // x ← m → y
+        let g = Dag::from_edges(3, &[(1, 0), (1, 2)]);
+        assert!(!d_separated_by(&g, 0, 2, &[]));
+        assert!(d_separated_by(&g, 0, 2, &[1]), "blocked by the common cause");
+    }
+
+    #[test]
+    fn collider_opens_when_conditioned() {
+        // x → c ← y
+        let g = Dag::from_edges(3, &[(0, 1), (2, 1)]);
+        assert!(d_separated_by(&g, 0, 2, &[]), "collider blocks by default");
+        assert!(!d_separated_by(&g, 0, 2, &[1]), "conditioning opens the collider");
+    }
+
+    #[test]
+    fn collider_descendant_also_opens() {
+        // x → c ← y, c → d: conditioning on d opens the collider.
+        let g = Dag::from_edges(4, &[(0, 1), (2, 1), (1, 3)]);
+        assert!(d_separated_by(&g, 0, 2, &[]));
+        assert!(!d_separated_by(&g, 0, 2, &[3]));
+    }
+
+    #[test]
+    fn adjacent_nodes_never_separated() {
+        let g = Dag::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
+        assert!(!d_separated_by(&g, 0, 1, &[]));
+        assert!(!d_separated_by(&g, 0, 1, &[2, 3]));
+    }
+
+    #[test]
+    fn disconnected_nodes_always_separated() {
+        let g = Dag::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(d_separated_by(&g, 0, 2, &[]));
+        assert!(d_separated_by(&g, 1, 3, &[0, 2]));
+    }
+
+    #[test]
+    fn m_structure() {
+        // The classic M: a → x, a → b? No — M-structure:
+        // x ← a → m ← b → y. Conditioning on m opens a↔b, creating the
+        // active trail x ← a → m ← b → y.
+        let g = Dag::from_edges(5, &[(1, 0), (1, 2), (3, 2), (3, 4)]);
+        assert!(d_separated_by(&g, 0, 4, &[]));
+        assert!(!d_separated_by(&g, 0, 4, &[2]), "conditioning on the collider opens");
+        assert!(d_separated_by(&g, 0, 4, &[2, 1]), "also blocking a re-separates");
+        assert!(d_separated_by(&g, 0, 4, &[2, 3]), "blocking b re-separates too");
+    }
+
+    #[test]
+    fn markov_condition_holds() {
+        // Each node ⟂ non-descendants given parents, on a small example.
+        // 0 → 1 → 3, 2 → 3: node 3's parents {1,2}; 0 is a non-descendant.
+        let g = Dag::from_edges(4, &[(0, 1), (1, 3), (2, 3)]);
+        assert!(d_separated_by(&g, 3, 0, &[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "conditioned")]
+    fn endpoint_in_z_panics() {
+        let g = Dag::from_edges(2, &[(0, 1)]);
+        d_separated_by(&g, 0, 1, &[0]);
+    }
+}

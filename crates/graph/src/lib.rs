@@ -1,0 +1,47 @@
+//! # fastbn-graph — graph substrate for Bayesian-network structure learning
+//!
+//! From-scratch graph machinery for the PC-stable algorithm and its Fast-BNS
+//! acceleration:
+//!
+//! * [`bitset`] — fixed-size bitsets, the storage behind adjacency matrices,
+//! * [`ugraph`] — dense undirected graphs (the evolving skeleton; supports
+//!   the "complete graph minus removals" workload PC-stable runs on),
+//! * [`dag`] — directed acyclic graphs (ground-truth networks, topological
+//!   order, reachability),
+//! * [`dsep`] — the d-separation oracle (perfect-information CI tests),
+//! * [`pdag`] — partially directed graphs (the CPDAG output of PC),
+//! * [`sepset`] — separation-set storage keyed by unordered node pairs,
+//! * [`vstructure`] — v-structure (collider) identification, step 2 of PC,
+//! * [`meek`] — Meek orientation rules R1–R4, step 3 of PC,
+//! * [`cpdag`] — DAG → CPDAG conversion (for comparing learned vs. truth),
+//! * [`metrics`] — skeleton precision/recall/F1 and structural Hamming
+//!   distance between CPDAGs.
+//!
+//! All structures use dense bitset adjacency: for the paper's largest
+//! network (Munin3, 1041 nodes) a full adjacency matrix is ~135 KiB —
+//! small enough to live in L2 — and bitset rows make `adj(G, Vi)` queries
+//! and neighbourhood snapshots branch-free streams, in keeping with the
+//! paper's cache-consciousness.
+
+pub mod bitset;
+pub mod cpdag;
+pub mod dag;
+pub mod dot;
+pub mod dsep;
+pub mod meek;
+pub mod metrics;
+pub mod pdag;
+pub mod sepset;
+pub mod ugraph;
+pub mod vstructure;
+
+pub use bitset::BitSet;
+pub use cpdag::dag_to_cpdag;
+pub use dag::Dag;
+pub use dot::{dag_to_dot, pdag_to_dot, ugraph_to_dot};
+pub use dsep::{d_separated, d_separated_by};
+pub use meek::apply_meek_rules;
+pub use pdag::{EdgeMark, Pdag};
+pub use sepset::SepSets;
+pub use ugraph::UGraph;
+pub use vstructure::orient_v_structures;

@@ -1,0 +1,232 @@
+//! Meek orientation rules — step 3 of the PC-stable pipeline.
+//!
+//! After v-structures are fixed, the remaining undirected edges are oriented
+//! wherever every consistent DAG extension agrees, by applying Meek's rules
+//! (Meek, 1995) to a fixpoint:
+//!
+//! * **R1** `a → b`, `b − c`, `a` and `c` nonadjacent ⟹ `b → c`
+//!   (otherwise a new v-structure `a → b ← c` would appear — the example
+//!   rule quoted in the paper's §III-C),
+//! * **R2** `a → b`, `b → c`, `a − c` ⟹ `a → c`
+//!   (otherwise a directed cycle would appear),
+//! * **R3** `a − b`, `a − c`, `a − d`, `c → b`, `d → b`, `c` and `d`
+//!   nonadjacent ⟹ `a → b`,
+//! * **R4** `a − b`, `a − c`, `c → d`, `d → b`, `c` and `b` nonadjacent
+//!   ⟹ `a → b` (only reachable with background knowledge; R1–R3 are
+//!   complete for plain PC, R4 is included for API completeness and tested
+//!   on crafted inputs).
+//!
+//! Rules R1–R3 applied to the v-structure closure of a skeleton yield the
+//! CPDAG of the Markov equivalence class.
+
+use crate::pdag::Pdag;
+
+/// Apply Meek rules R1–R4 to a fixpoint. Returns the number of edges
+/// oriented.
+pub fn apply_meek_rules(pdag: &mut Pdag) -> usize {
+    let mut total = 0;
+    loop {
+        let before = total;
+        total += apply_rule1(pdag);
+        total += apply_rule2(pdag);
+        total += apply_rule3(pdag);
+        total += apply_rule4(pdag);
+        if total == before {
+            return total;
+        }
+    }
+}
+
+/// One pass of R1: `a → b`, `b − c`, `a ∉ adj(c)` ⟹ `b → c`.
+fn apply_rule1(pdag: &mut Pdag) -> usize {
+    let n = pdag.n();
+    let mut oriented = 0;
+    for b in 0..n {
+        let parents = pdag.directed_parents(b).to_vec();
+        if parents.is_empty() {
+            continue;
+        }
+        let und: Vec<usize> = pdag.undirected_neighbors(b).to_vec();
+        for c in und {
+            if parents.iter().any(|&a| !pdag.is_adjacent(a, c)) && pdag.orient(b, c) {
+                oriented += 1;
+            }
+        }
+    }
+    oriented
+}
+
+/// One pass of R2: `a → b → c`, `a − c` ⟹ `a → c`.
+fn apply_rule2(pdag: &mut Pdag) -> usize {
+    let n = pdag.n();
+    let mut oriented = 0;
+    for a in 0..n {
+        let und: Vec<usize> = pdag.undirected_neighbors(a).to_vec();
+        for c in und {
+            // Is there b with a → b and b → c?
+            let has_chain = pdag
+                .directed_children(a)
+                .iter_ones()
+                .any(|b| pdag.has_directed(b, c));
+            if has_chain && pdag.orient(a, c) {
+                oriented += 1;
+            }
+        }
+    }
+    oriented
+}
+
+/// One pass of R3: `a − b`, `a − c`, `a − d`, `c → b`, `d → b`,
+/// `c ∉ adj(d)` ⟹ `a → b`.
+fn apply_rule3(pdag: &mut Pdag) -> usize {
+    let n = pdag.n();
+    let mut oriented = 0;
+    for a in 0..n {
+        let und: Vec<usize> = pdag.undirected_neighbors(a).to_vec();
+        for &b in &und {
+            // Candidates: nodes undirected-adjacent to a that point into b.
+            let pointing: Vec<usize> = und
+                .iter()
+                .copied()
+                .filter(|&x| x != b && pdag.has_directed(x, b))
+                .collect();
+            let fires = pointing.iter().enumerate().any(|(i, &c)| {
+                pointing[i + 1..].iter().any(|&d| !pdag.is_adjacent(c, d))
+            });
+            if fires && pdag.orient(a, b) {
+                oriented += 1;
+            }
+        }
+    }
+    oriented
+}
+
+/// One pass of R4: `a − b`, `a − c`, `c → d`, `d → b`, `c ∉ adj(b)`
+/// ⟹ `a → b`.
+fn apply_rule4(pdag: &mut Pdag) -> usize {
+    let n = pdag.n();
+    let mut oriented = 0;
+    for a in 0..n {
+        let und: Vec<usize> = pdag.undirected_neighbors(a).to_vec();
+        for &b in &und {
+            let fires = und.iter().copied().filter(|&c| c != b).any(|c| {
+                !pdag.is_adjacent(c, b)
+                    && pdag
+                        .directed_children(c)
+                        .iter_ones()
+                        .any(|d| pdag.has_directed(d, b))
+            });
+            if fires && pdag.orient(a, b) {
+                oriented += 1;
+            }
+        }
+    }
+    oriented
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule1_extends_collider_free_chains() {
+        // 0 → 1, 1 − 2, 0 and 2 nonadjacent ⟹ 1 → 2.
+        let mut p = Pdag::empty(3);
+        p.add_directed(0, 1);
+        p.add_undirected(1, 2);
+        assert_eq!(apply_meek_rules(&mut p), 1);
+        assert!(p.has_directed(1, 2));
+    }
+
+    #[test]
+    fn rule1_blocked_by_shield() {
+        // 0 → 1, 1 − 2, but 0 − 2 exists: R1 does not fire on (0,1,2)…
+        // R2 does not fire either (no directed chain 0 ⇝ 2). But note the
+        // triangle still resolves: R1 cannot orient 1−2 because 0 ∈ adj(2).
+        let mut p = Pdag::empty(3);
+        p.add_directed(0, 1);
+        p.add_undirected(1, 2);
+        p.add_undirected(0, 2);
+        apply_meek_rules(&mut p);
+        // 1−2 must not have been oriented by R1 (shielded).
+        // 0−2 may be oriented by R2 only if a chain exists — it does not.
+        assert!(p.has_undirected(1, 2) || !p.has_directed(2, 1));
+        assert!(!p.has_directed(1, 2));
+    }
+
+    #[test]
+    fn rule2_avoids_cycles() {
+        // 0 → 1 → 2, 0 − 2 ⟹ 0 → 2 (else cycle).
+        let mut p = Pdag::empty(3);
+        p.add_directed(0, 1);
+        p.add_directed(1, 2);
+        p.add_undirected(0, 2);
+        assert_eq!(apply_meek_rules(&mut p), 1);
+        assert!(p.has_directed(0, 2));
+        assert!(!p.has_directed_cycle());
+    }
+
+    #[test]
+    fn rule3_kite() {
+        // a=0 undirected to b=1, c=2, d=3; c → b, d → b; c,d nonadjacent.
+        let mut p = Pdag::empty(4);
+        p.add_undirected(0, 1);
+        p.add_undirected(0, 2);
+        p.add_undirected(0, 3);
+        p.add_directed(2, 1);
+        p.add_directed(3, 1);
+        let oriented = apply_meek_rules(&mut p);
+        assert!(p.has_directed(0, 1), "R3 must orient a → b");
+        assert!(oriented >= 1);
+        assert!(!p.has_directed_cycle());
+    }
+
+    #[test]
+    fn rule4_chain() {
+        // a=0 − b=1, a − c=2, c → d=3, d → b, c and b nonadjacent ⟹ a → b.
+        let mut p = Pdag::empty(4);
+        p.add_undirected(0, 1);
+        p.add_undirected(0, 2);
+        p.add_directed(2, 3);
+        p.add_directed(3, 1);
+        // also a adjacent to d to keep configuration realistic
+        p.add_undirected(0, 3);
+        apply_meek_rules(&mut p);
+        assert!(p.has_directed(0, 1), "R4 must orient a → b");
+    }
+
+    #[test]
+    fn fixpoint_is_idempotent() {
+        let mut p = Pdag::empty(4);
+        p.add_directed(0, 1);
+        p.add_undirected(1, 2);
+        p.add_undirected(2, 3);
+        let first = apply_meek_rules(&mut p);
+        assert!(first >= 1);
+        let again = apply_meek_rules(&mut p);
+        assert_eq!(again, 0, "fixpoint reached ⇒ second run orients nothing");
+    }
+
+    #[test]
+    fn rules_never_create_directed_cycles() {
+        // A denser case mixing all rules.
+        let mut p = Pdag::empty(6);
+        p.add_directed(0, 2);
+        p.add_directed(1, 2);
+        p.add_undirected(2, 3);
+        p.add_undirected(3, 4);
+        p.add_undirected(4, 5);
+        p.add_undirected(2, 4);
+        apply_meek_rules(&mut p);
+        assert!(!p.has_directed_cycle());
+    }
+
+    #[test]
+    fn no_rules_fire_on_plain_undirected_graph() {
+        let mut p = Pdag::empty(4);
+        p.add_undirected(0, 1);
+        p.add_undirected(1, 2);
+        p.add_undirected(2, 3);
+        assert_eq!(apply_meek_rules(&mut p), 0);
+    }
+}

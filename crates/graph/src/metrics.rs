@@ -1,0 +1,173 @@
+//! Structural accuracy metrics.
+//!
+//! The paper omits accuracy numbers because Fast-BNS provably computes the
+//! same output as PC-stable; our reproduction still needs metrics to (a)
+//! verify that claim across all execution modes and (b) confirm the learned
+//! structures are sane against the ground-truth generators.
+
+use crate::pdag::Pdag;
+use crate::ugraph::UGraph;
+
+/// Precision/recall-style comparison of a learned skeleton to the truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkeletonMetrics {
+    /// Edges present in both graphs.
+    pub true_positives: usize,
+    /// Edges in the learned graph but not the truth.
+    pub false_positives: usize,
+    /// Edges in the truth but not the learned graph.
+    pub false_negatives: usize,
+    /// `tp / (tp + fp)` (1 if no learned edges).
+    pub precision: f64,
+    /// `tp / (tp + fn)` (1 if no true edges).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Compare a learned undirected skeleton against the ground truth.
+///
+/// # Panics
+/// Panics if the graphs have different node counts.
+pub fn skeleton_metrics(truth: &UGraph, learned: &UGraph) -> SkeletonMetrics {
+    assert_eq!(truth.n(), learned.n(), "node count mismatch");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fnn = 0;
+    for v in 1..truth.n() {
+        for u in 0..v {
+            match (truth.has_edge(u, v), learned.has_edge(u, v)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fnn += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    SkeletonMetrics {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fnn,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Structural Hamming distance between two PDAGs/CPDAGs: the number of
+/// unordered node pairs whose edge mark differs (missing edge, extra edge,
+/// wrong orientation, or direction vs. undirected each count 1).
+///
+/// # Panics
+/// Panics if the graphs have different node counts.
+pub fn shd_cpdag(a: &Pdag, b: &Pdag) -> usize {
+    assert_eq!(a.n(), b.n(), "node count mismatch");
+    let mut shd = 0;
+    for v in 1..a.n() {
+        for u in 0..v {
+            let ma = a.mark(u, v);
+            let mb = b.mark(u, v);
+            if ma != mb {
+                shd += 1;
+            }
+        }
+    }
+    shd
+}
+
+/// Hamming distance between two undirected skeletons (edge set symmetric
+/// difference size).
+pub fn skeleton_hamming(a: &UGraph, b: &UGraph) -> usize {
+    assert_eq!(a.n(), b.n(), "node count mismatch");
+    let mut d = 0;
+    for v in 1..a.n() {
+        for u in 0..v {
+            if a.has_edge(u, v) != b.has_edge(u, v) {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery() {
+        let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = skeleton_metrics(&g, &g.clone());
+        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (3, 0, 0));
+        assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
+        assert_eq!(skeleton_hamming(&g, &g.clone()), 0);
+    }
+
+    #[test]
+    fn mixed_errors() {
+        let truth = UGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let learned = UGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let m = skeleton_metrics(&truth, &learned);
+        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (1, 1, 1));
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+        assert_eq!(skeleton_hamming(&truth, &learned), 2);
+    }
+
+    #[test]
+    fn empty_graphs_are_perfect() {
+        let a = UGraph::empty(3);
+        let b = UGraph::empty(3);
+        let m = skeleton_metrics(&a, &b);
+        assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn all_wrong_gives_zero_f1() {
+        let truth = UGraph::from_edges(3, &[(0, 1)]);
+        let learned = UGraph::from_edges(3, &[(1, 2)]);
+        let m = skeleton_metrics(&truth, &learned);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn shd_counts_orientation_differences() {
+        let mut a = Pdag::empty(3);
+        a.add_directed(0, 1);
+        a.add_undirected(1, 2);
+        let mut b = Pdag::empty(3);
+        b.add_directed(1, 0); // reversed
+        b.add_undirected(1, 2); // same
+        assert_eq!(shd_cpdag(&a, &b), 1);
+
+        let mut c = Pdag::empty(3);
+        c.add_directed(0, 1); // same as a
+        // edge (1,2) missing entirely
+        assert_eq!(shd_cpdag(&a, &c), 1);
+
+        assert_eq!(shd_cpdag(&a, &a.clone()), 0);
+    }
+
+    #[test]
+    fn shd_direction_vs_undirected_counts_one() {
+        let mut a = Pdag::empty(2);
+        a.add_directed(0, 1);
+        let mut b = Pdag::empty(2);
+        b.add_undirected(0, 1);
+        assert_eq!(shd_cpdag(&a, &b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn size_mismatch_panics() {
+        skeleton_metrics(&UGraph::empty(2), &UGraph::empty(3));
+    }
+}

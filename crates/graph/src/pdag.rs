@@ -1,0 +1,306 @@
+//! Partially directed acyclic graphs (PDAGs).
+//!
+//! The output of the PC-stable pipeline is a CPDAG: a PDAG whose directed
+//! edges are compelled (shared by every DAG in the Markov equivalence class)
+//! and whose undirected edges are reversible. `Pdag` stores the two edge
+//! kinds separately so orientation (steps 2–3 of PC) is a cheap state
+//! transition `undirected → directed`.
+
+use crate::bitset::BitSet;
+use crate::ugraph::UGraph;
+
+/// The relationship between an ordered node pair `(u, v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeMark {
+    /// No edge between `u` and `v`.
+    Absent,
+    /// Undirected edge `u — v`.
+    Undirected,
+    /// Directed edge `u → v`.
+    Out,
+    /// Directed edge `v → u`.
+    In,
+}
+
+/// A graph with both directed and undirected edges (at most one edge per
+/// unordered pair).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pdag {
+    n: usize,
+    /// Symmetric undirected adjacency.
+    und: Vec<BitSet>,
+    /// `dir_out[u]` contains `v` iff `u → v`.
+    dir_out: Vec<BitSet>,
+    /// `dir_in[v]` contains `u` iff `u → v`.
+    dir_in: Vec<BitSet>,
+}
+
+impl Pdag {
+    /// A PDAG with no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            und: vec![BitSet::new(n); n],
+            dir_out: vec![BitSet::new(n); n],
+            dir_in: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// Start from an undirected skeleton (every edge undirected) — the state
+    /// after step 1 of PC-stable.
+    pub fn from_skeleton(skeleton: &UGraph) -> Self {
+        let mut p = Self::empty(skeleton.n());
+        for (u, v) in skeleton.edges() {
+            p.und[u].insert(v);
+            p.und[v].insert(u);
+        }
+        p
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The mark on ordered pair `(u, v)`.
+    pub fn mark(&self, u: usize, v: usize) -> EdgeMark {
+        if self.und[u].contains(v) {
+            EdgeMark::Undirected
+        } else if self.dir_out[u].contains(v) {
+            EdgeMark::Out
+        } else if self.dir_in[u].contains(v) {
+            EdgeMark::In
+        } else {
+            EdgeMark::Absent
+        }
+    }
+
+    /// True if `u — v` (undirected).
+    #[inline]
+    pub fn has_undirected(&self, u: usize, v: usize) -> bool {
+        self.und[u].contains(v)
+    }
+
+    /// True if `u → v` (directed).
+    #[inline]
+    pub fn has_directed(&self, u: usize, v: usize) -> bool {
+        self.dir_out[u].contains(v)
+    }
+
+    /// True if `u` and `v` are connected by any edge.
+    #[inline]
+    pub fn is_adjacent(&self, u: usize, v: usize) -> bool {
+        self.und[u].contains(v) || self.dir_out[u].contains(v) || self.dir_in[u].contains(v)
+    }
+
+    /// Add an undirected edge (used by tests and builders).
+    ///
+    /// # Panics
+    /// Panics if the pair already carries an edge or `u == v`.
+    pub fn add_undirected(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loop");
+        assert_eq!(self.mark(u, v), EdgeMark::Absent, "pair already has an edge");
+        self.und[u].insert(v);
+        self.und[v].insert(u);
+    }
+
+    /// Add a directed edge `u → v` to an empty pair.
+    ///
+    /// # Panics
+    /// Panics if the pair already carries an edge or `u == v`.
+    pub fn add_directed(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loop");
+        assert_eq!(self.mark(u, v), EdgeMark::Absent, "pair already has an edge");
+        self.dir_out[u].insert(v);
+        self.dir_in[v].insert(u);
+    }
+
+    /// Orient the existing undirected edge `u — v` into `u → v`.
+    ///
+    /// Returns `false` (no change) if the edge is not currently undirected —
+    /// the Meek-rule driver relies on this to be idempotent and to never
+    /// flip an already-compelled edge.
+    pub fn orient(&mut self, u: usize, v: usize) -> bool {
+        if !self.und[u].contains(v) {
+            return false;
+        }
+        self.und[u].remove(v);
+        self.und[v].remove(u);
+        self.dir_out[u].insert(v);
+        self.dir_in[v].insert(u);
+        true
+    }
+
+    /// Undirected neighbours of `v`.
+    #[inline]
+    pub fn undirected_neighbors(&self, v: usize) -> &BitSet {
+        &self.und[v]
+    }
+
+    /// Nodes `u` with `u → v`.
+    #[inline]
+    pub fn directed_parents(&self, v: usize) -> &BitSet {
+        &self.dir_in[v]
+    }
+
+    /// Nodes `w` with `v → w`.
+    #[inline]
+    pub fn directed_children(&self, v: usize) -> &BitSet {
+        &self.dir_out[v]
+    }
+
+    /// All directed edges `(u, v)` meaning `u → v`, lexicographic.
+    pub fn directed_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in self.dir_out[u].iter_ones() {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// All undirected edges `(u, v)` with `u < v`, lexicographic.
+    pub fn undirected_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in self.und[u].iter_ones() {
+                if v > u {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of edges (directed + undirected).
+    pub fn edge_count(&self) -> usize {
+        self.directed_edges().len() + self.undirected_edges().len()
+    }
+
+    /// The undirected skeleton (drop all orientation marks).
+    pub fn skeleton(&self) -> UGraph {
+        let mut g = UGraph::empty(self.n);
+        for (u, v) in self.undirected_edges() {
+            g.add_edge(u, v);
+        }
+        for (u, v) in self.directed_edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// True if the directed part contains a cycle (sanity check used by
+    /// property tests on the Meek rules).
+    pub fn has_directed_cycle(&self) -> bool {
+        // Iterative three-colour DFS over directed edges only.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour = vec![WHITE; self.n];
+        for start in 0..self.n {
+            if colour[start] != WHITE {
+                continue;
+            }
+            let mut stack: Vec<(usize, Vec<usize>)> =
+                vec![(start, self.dir_out[start].to_vec())];
+            colour[start] = GREY;
+            while let Some((v, rest)) = stack.last_mut() {
+                if let Some(w) = rest.pop() {
+                    match colour[w] {
+                        GREY => return true,
+                        WHITE => {
+                            colour[w] = GREY;
+                            let next = self.dir_out[w].to_vec();
+                            stack.push((w, next));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[*v] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_and_adjacency() {
+        let mut p = Pdag::empty(3);
+        p.add_undirected(0, 1);
+        p.add_directed(1, 2);
+        assert_eq!(p.mark(0, 1), EdgeMark::Undirected);
+        assert_eq!(p.mark(1, 0), EdgeMark::Undirected);
+        assert_eq!(p.mark(1, 2), EdgeMark::Out);
+        assert_eq!(p.mark(2, 1), EdgeMark::In);
+        assert_eq!(p.mark(0, 2), EdgeMark::Absent);
+        assert!(p.is_adjacent(0, 1) && p.is_adjacent(2, 1));
+        assert!(!p.is_adjacent(0, 2));
+        assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn orientation_is_one_way() {
+        let mut p = Pdag::empty(2);
+        p.add_undirected(0, 1);
+        assert!(p.orient(0, 1));
+        assert_eq!(p.mark(0, 1), EdgeMark::Out);
+        assert!(!p.orient(1, 0), "directed edge must not be re-orientable");
+        assert!(!p.orient(0, 1), "orienting twice is a no-op");
+        assert_eq!(p.mark(0, 1), EdgeMark::Out);
+    }
+
+    #[test]
+    fn from_skeleton_all_undirected() {
+        let s = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Pdag::from_skeleton(&s);
+        assert_eq!(p.undirected_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(p.directed_edges().is_empty());
+        assert_eq!(p.skeleton(), s);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut p = Pdag::empty(3);
+        p.add_directed(0, 1);
+        p.add_directed(1, 2);
+        assert!(!p.has_directed_cycle());
+        p.add_directed(2, 0);
+        assert!(p.has_directed_cycle());
+    }
+
+    #[test]
+    fn undirected_edges_do_not_count_as_cycles() {
+        let mut p = Pdag::empty(3);
+        p.add_undirected(0, 1);
+        p.add_undirected(1, 2);
+        p.add_undirected(0, 2);
+        assert!(!p.has_directed_cycle());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an edge")]
+    fn double_edge_rejected() {
+        let mut p = Pdag::empty(2);
+        p.add_undirected(0, 1);
+        p.add_directed(0, 1);
+    }
+
+    #[test]
+    fn parent_child_sets() {
+        let mut p = Pdag::empty(4);
+        p.add_directed(0, 2);
+        p.add_directed(1, 2);
+        p.add_undirected(2, 3);
+        assert_eq!(p.directed_parents(2).to_vec(), vec![0, 1]);
+        assert_eq!(p.directed_children(0).to_vec(), vec![2]);
+        assert_eq!(p.undirected_neighbors(2).to_vec(), vec![3]);
+    }
+}

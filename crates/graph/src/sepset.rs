@@ -1,0 +1,116 @@
+//! Separation-set storage.
+//!
+//! When PC-stable removes an edge `(Vi, Vj)` because `I(Vi, Vj | S)` was
+//! accepted, the set `S` is stored in `SepSet(Vi, Vj)`; step 2 consults it
+//! to decide which unshielded triples are v-structures. Storage is a flat
+//! triangular array indexed by the unordered pair, so lookups are O(1) and
+//! allocation-free.
+
+/// Separation sets for unordered node pairs over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct SepSets {
+    n: usize,
+    sets: Vec<Option<Box<[u32]>>>,
+}
+
+impl SepSets {
+    /// Empty store for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, sets: vec![None; n * (n.saturating_sub(1)) / 2] }
+    }
+
+    /// Number of nodes this store covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Triangular index of the unordered pair `{u, v}`.
+    #[inline]
+    fn idx(&self, u: usize, v: usize) -> usize {
+        debug_assert!(u != v && u < self.n && v < self.n);
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        hi * (hi - 1) / 2 + lo
+    }
+
+    /// Record `S` as the separating set of `{u, v}` (overwrites).
+    pub fn set(&mut self, u: usize, v: usize, s: &[usize]) {
+        let i = self.idx(u, v);
+        self.sets[i] = Some(s.iter().map(|&x| x as u32).collect());
+    }
+
+    /// The stored separating set of `{u, v}`, if any.
+    pub fn get(&self, u: usize, v: usize) -> Option<&[u32]> {
+        self.sets[self.idx(u, v)].as_deref()
+    }
+
+    /// True if a separating set is recorded for `{u, v}` and contains `k`.
+    pub fn separates_with(&self, u: usize, v: usize, k: usize) -> bool {
+        self.get(u, v).is_some_and(|s| s.contains(&(k as u32)))
+    }
+
+    /// Number of pairs with a recorded separating set.
+    pub fn recorded_pairs(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_symmetric() {
+        let mut s = SepSets::new(5);
+        s.set(1, 3, &[0, 4]);
+        assert_eq!(s.get(1, 3), Some(&[0u32, 4][..]));
+        assert_eq!(s.get(3, 1), Some(&[0u32, 4][..]));
+        assert_eq!(s.get(0, 1), None);
+        assert_eq!(s.recorded_pairs(), 1);
+    }
+
+    #[test]
+    fn empty_set_is_recorded_distinctly_from_absent() {
+        let mut s = SepSets::new(3);
+        s.set(0, 1, &[]);
+        assert_eq!(s.get(0, 1), Some(&[][..]));
+        assert_eq!(s.get(0, 2), None);
+    }
+
+    #[test]
+    fn separates_with_membership() {
+        let mut s = SepSets::new(4);
+        s.set(0, 2, &[1]);
+        assert!(s.separates_with(0, 2, 1));
+        assert!(s.separates_with(2, 0, 1));
+        assert!(!s.separates_with(0, 2, 3));
+        assert!(!s.separates_with(1, 3, 0), "absent pair separates nothing");
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SepSets::new(4);
+        s.set(0, 1, &[2]);
+        s.set(1, 0, &[3]);
+        assert_eq!(s.get(0, 1), Some(&[3u32][..]));
+        assert_eq!(s.recorded_pairs(), 1);
+    }
+
+    #[test]
+    fn all_pairs_addressable() {
+        let n = 20;
+        let mut s = SepSets::new(n);
+        let mut count = 0;
+        for v in 1..n {
+            for u in 0..v {
+                s.set(u, v, &[u]);
+                count += 1;
+            }
+        }
+        assert_eq!(s.recorded_pairs(), count);
+        for v in 1..n {
+            for u in 0..v {
+                assert_eq!(s.get(v, u), Some(&[u as u32][..]));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Dense undirected graphs — the evolving skeleton of PC-stable.
+//!
+//! PC-stable starts from the complete graph over `n` nodes and removes
+//! edges; adjacency is therefore dense early on, making a bitset matrix the
+//! natural representation. `UGraph` maintains the symmetric invariant
+//! internally — callers think in unordered edges.
+
+use crate::bitset::BitSet;
+
+/// A simple undirected graph on nodes `0..n` with bitset adjacency rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UGraph {
+    n: usize,
+    adj: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl UGraph {
+    /// Empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self { n, adj: vec![BitSet::new(n); n], edge_count: 0 }
+    }
+
+    /// Complete graph on `n` nodes (the PC-stable starting point).
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::empty(n);
+        for i in 0..n {
+            g.adj[i].fill();
+            g.adj[i].remove(i);
+        }
+        g.edge_count = n * n.saturating_sub(1) / 2;
+        g
+    }
+
+    /// Build from an explicit edge list.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add the undirected edge `{u, v}`. Idempotent.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        if self.adj[u].insert(v) {
+            self.adj[v].insert(u);
+            self.edge_count += 1;
+        }
+    }
+
+    /// Remove the undirected edge `{u, v}`. Returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        if self.adj[u].remove(v) {
+            self.adj[v].remove(u);
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adjacency test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].contains(v)
+    }
+
+    /// The bitset of neighbours of `v` — `adj(G, Vi)` in the paper.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count_ones()
+    }
+
+    /// Snapshot of the neighbour list of `v` as a sorted `Vec`.
+    ///
+    /// PC-stable records `a(Vi) = adj(G, Vi)` for *all* nodes at the start
+    /// of each depth; these snapshots are what conditioning sets are drawn
+    /// from, which is what makes the algorithm order-independent.
+    pub fn neighbor_list(&self, v: usize) -> Vec<usize> {
+        self.adj[v].to_vec()
+    }
+
+    /// All edges as ordered pairs `(u, v)` with `u < v`, in lexicographic
+    /// order (deterministic iteration matters for reproducible scheduling).
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in 0..self.n {
+            for v in self.adj[u].iter_ones() {
+                if v > u {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean degree `2|E|/n`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_all_edges() {
+        let g = UGraph::complete(5);
+        assert_eq!(g.edge_count(), 10);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(g.has_edge(u, v), u != v);
+            }
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn add_remove_symmetric() {
+        let mut g = UGraph::empty(4);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(2, 0) && g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 1);
+        g.add_edge(2, 0); // idempotent
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(2, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.remove_edge(0, 2));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_sorted_and_unique() {
+        let g = UGraph::from_edges(5, &[(3, 1), (0, 4), (1, 0), (2, 3)]);
+        assert_eq!(g.edges(), vec![(0, 1), (0, 4), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn neighbor_snapshot_is_independent_of_later_removals() {
+        let mut g = UGraph::complete(4);
+        let snap = g.neighbor_list(0);
+        g.remove_edge(0, 1);
+        assert_eq!(snap, vec![1, 2, 3], "snapshot must not alias the graph");
+        assert_eq!(g.neighbor_list(0), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        UGraph::empty(3).add_edge(1, 1);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = UGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+        let empty = UGraph::empty(0);
+        assert_eq!(empty.mean_degree(), 0.0);
+        assert_eq!(empty.max_degree(), 0);
+    }
+}

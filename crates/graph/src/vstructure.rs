@@ -1,0 +1,115 @@
+//! V-structure (collider) identification — step 2 of the PC-stable pipeline.
+//!
+//! A v-structure is an unshielded triple `Vi − Vk − Vj` (with `Vi`, `Vj`
+//! nonadjacent) oriented `Vi → Vk ← Vj`. PC orients the triple as a
+//! collider exactly when `Vk` is *not* in the recorded separating set of
+//! `(Vi, Vj)` — if `Vk` had explained the dependence away, it would have
+//! appeared in the set.
+
+use crate::pdag::Pdag;
+use crate::sepset::SepSets;
+
+/// Orient all v-structures in `pdag` (which must still be fully undirected,
+/// i.e. fresh from [`Pdag::from_skeleton`]) using the separating sets from
+/// the skeleton phase.
+///
+/// Conflicting colliders (a middle edge already compelled the other way by
+/// an earlier triple) are resolved first-come-first-served in deterministic
+/// `(i, j, k)` order — the same policy as pcalg's `u2pd = "rand"`-free
+/// deterministic mode, so repeated runs agree exactly.
+///
+/// Returns the number of edges that received an orientation.
+pub fn orient_v_structures(pdag: &mut Pdag, sepsets: &SepSets) -> usize {
+    let n = pdag.n();
+    let mut oriented = 0;
+    // Deterministic sweep over ordered triples (i < j, any k).
+    for k in 0..n {
+        // Snapshot: neighbours of k in the skeleton (any mark).
+        let nbrs: Vec<usize> =
+            (0..n).filter(|&x| x != k && pdag.is_adjacent(x, k)).collect();
+        for (a_idx, &i) in nbrs.iter().enumerate() {
+            for &j in &nbrs[a_idx + 1..] {
+                if pdag.is_adjacent(i, j) {
+                    continue; // shielded triple
+                }
+                // Unshielded i − k − j: collider iff k ∉ SepSet(i, j).
+                if !sepsets.separates_with(i, j, k) {
+                    if pdag.orient(i, k) {
+                        oriented += 1;
+                    }
+                    if pdag.orient(j, k) {
+                        oriented += 1;
+                    }
+                }
+            }
+        }
+    }
+    oriented
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ugraph::UGraph;
+
+    #[test]
+    fn classic_collider_is_oriented() {
+        // Skeleton 0 − 2 − 1, sepset(0,1) = ∅ (does not contain 2).
+        let s = UGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let mut p = Pdag::from_skeleton(&s);
+        let mut sep = SepSets::new(3);
+        sep.set(0, 1, &[]);
+        let oriented = orient_v_structures(&mut p, &sep);
+        assert_eq!(oriented, 2);
+        assert!(p.has_directed(0, 2));
+        assert!(p.has_directed(1, 2));
+    }
+
+    #[test]
+    fn non_collider_left_undirected() {
+        // Chain 0 − 2 − 1 where 2 ∈ sepset(0,1): no collider.
+        let s = UGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let mut p = Pdag::from_skeleton(&s);
+        let mut sep = SepSets::new(3);
+        sep.set(0, 1, &[2]);
+        assert_eq!(orient_v_structures(&mut p, &sep), 0);
+        assert!(p.has_undirected(0, 2));
+        assert!(p.has_undirected(1, 2));
+    }
+
+    #[test]
+    fn shielded_triple_ignored() {
+        // Triangle: never a v-structure regardless of sepsets.
+        let s = UGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let mut p = Pdag::from_skeleton(&s);
+        let sep = SepSets::new(3);
+        assert_eq!(orient_v_structures(&mut p, &sep), 0);
+        assert_eq!(p.directed_edges().len(), 0);
+    }
+
+    #[test]
+    fn missing_sepset_means_collider() {
+        // If no sepset was recorded for a nonadjacent pair (can happen when
+        // the pair was never adjacent), the triple is treated as a collider
+        // (k trivially not in the absent set).
+        let s = UGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let mut p = Pdag::from_skeleton(&s);
+        let sep = SepSets::new(3);
+        assert_eq!(orient_v_structures(&mut p, &sep), 2);
+    }
+
+    #[test]
+    fn double_collider_shares_edges() {
+        // 0 − 2 − 1 and 0 − 2 − 3, both colliders into 2: edges 0→2, 1→2,
+        // 3→2; the shared edge 0→2 oriented once.
+        let s = UGraph::from_edges(4, &[(0, 2), (1, 2), (3, 2)]);
+        let mut p = Pdag::from_skeleton(&s);
+        let mut sep = SepSets::new(4);
+        sep.set(0, 1, &[]);
+        sep.set(0, 3, &[]);
+        sep.set(1, 3, &[]);
+        let oriented = orient_v_structures(&mut p, &sep);
+        assert_eq!(oriented, 3);
+        assert!(p.has_directed(0, 2) && p.has_directed(1, 2) && p.has_directed(3, 2));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the graph substrate.
+
+use fastbn_graph::metrics::{shd_cpdag, skeleton_hamming, skeleton_metrics};
+use fastbn_graph::{apply_meek_rules, dag_to_cpdag, BitSet, Dag, Pdag, SepSets, UGraph};
+use proptest::prelude::*;
+
+/// Deterministic random DAG on exactly `n` nodes from a seed.
+fn make_dag(n: usize, seed: u64, p: f64) -> Dag {
+    // xorshift for deterministic edge choice
+    let mut s = seed | 1;
+    let mut rand01 = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut dag = Dag::empty(n);
+    for v in 1..n {
+        for u in 0..v {
+            if rand01() < p {
+                dag.try_add_edge(u, v);
+            }
+        }
+    }
+    dag
+}
+
+/// Random DAG: permute nodes, pick forward edges with probability p.
+fn dag_strategy(max_n: usize) -> impl Strategy<Value = Dag> {
+    (2usize..=max_n, any::<u64>(), 0.05f64..0.5)
+        .prop_map(|(n, seed, p)| make_dag(n, seed, p))
+}
+
+/// Two random DAGs over the same node count.
+fn dag_pair_strategy(max_n: usize) -> impl Strategy<Value = (Dag, Dag)> {
+    (2usize..=max_n, any::<u64>(), any::<u64>(), 0.05f64..0.5).prop_map(
+        |(n, s1, s2, p)| (make_dag(n, s1, p), make_dag(n, s2, p)),
+    )
+}
+
+proptest! {
+    #[test]
+    fn bitset_insert_then_contains(vals in proptest::collection::vec(0usize..500, 0..60)) {
+        let mut s = BitSet::new(500);
+        for &v in &vals {
+            s.insert(v);
+        }
+        for &v in &vals {
+            prop_assert!(s.contains(v));
+        }
+        let mut sorted: Vec<usize> = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(s.to_vec(), sorted);
+    }
+
+    #[test]
+    fn ugraph_edges_roundtrip(edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80)) {
+        let clean: Vec<(usize, usize)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = UGraph::from_edges(30, &clean);
+        let listed = g.edges();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        // Rebuilding from the listed edges gives the same graph.
+        let g2 = UGraph::from_edges(30, &listed);
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dag_topo_order_is_consistent(dag in dag_strategy(20)) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.n());
+        let mut pos = vec![0usize; dag.n()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for (u, v) in dag.edges() {
+            prop_assert!(pos[u] < pos[v]);
+        }
+    }
+
+    #[test]
+    fn cpdag_is_invariant_over_equivalence(dag in dag_strategy(12)) {
+        // The CPDAG's skeleton equals the DAG's skeleton, its directed part
+        // is acyclic, and converting twice is deterministic.
+        let c1 = dag_to_cpdag(&dag);
+        let c2 = dag_to_cpdag(&dag);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(c1.skeleton(), dag.skeleton());
+        prop_assert!(!c1.has_directed_cycle());
+    }
+
+    #[test]
+    fn meek_rules_preserve_skeleton_and_acyclicity(dag in dag_strategy(12)) {
+        // Start from the v-structure-oriented PDAG of a true DAG and check
+        // Meek closure invariants.
+        let mut pdag = Pdag::from_skeleton(&dag.skeleton());
+        for k in 0..dag.n() {
+            let parents = dag.parents(k).to_vec();
+            for (ai, &i) in parents.iter().enumerate() {
+                for &j in &parents[ai + 1..] {
+                    if !dag.has_edge(i, j) && !dag.has_edge(j, i) {
+                        pdag.orient(i, k);
+                        pdag.orient(j, k);
+                    }
+                }
+            }
+        }
+        let skeleton_before = pdag.skeleton();
+        apply_meek_rules(&mut pdag);
+        prop_assert_eq!(pdag.skeleton(), skeleton_before);
+        prop_assert!(!pdag.has_directed_cycle());
+        // Idempotence at fixpoint.
+        prop_assert_eq!(apply_meek_rules(&mut pdag), 0);
+    }
+
+    #[test]
+    fn compelled_edges_match_dag_direction(dag in dag_strategy(12)) {
+        // Every directed edge of the CPDAG must agree with the generating
+        // DAG (compelled edges are shared by all members of the class).
+        let cpdag = dag_to_cpdag(&dag);
+        for (u, v) in cpdag.directed_edges() {
+            prop_assert!(dag.has_edge(u, v), "compelled {u}→{v} not in DAG");
+        }
+    }
+
+    #[test]
+    fn shd_is_a_metric_on_examples((d1, d2) in dag_pair_strategy(10)) {
+        let c1 = dag_to_cpdag(&d1);
+        let c2 = dag_to_cpdag(&d2);
+        // Identity and symmetry.
+        prop_assert_eq!(shd_cpdag(&c1, &c1), 0);
+        prop_assert_eq!(shd_cpdag(&c1, &c2), shd_cpdag(&c2, &c1));
+        // SHD dominates the skeleton Hamming distance.
+        prop_assert!(shd_cpdag(&c1, &c2) >= skeleton_hamming(&c1.skeleton(), &c2.skeleton()));
+    }
+
+    #[test]
+    fn skeleton_metrics_counts_add_up((d1, d2) in dag_pair_strategy(10)) {
+        let (t, l) = (d1.skeleton(), d2.skeleton());
+        let m = skeleton_metrics(&t, &l);
+        prop_assert_eq!(m.true_positives + m.false_negatives, t.edge_count());
+        prop_assert_eq!(m.true_positives + m.false_positives, l.edge_count());
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn sepsets_store_any_pair(n in 2usize..40, pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..50)) {
+        let mut s = SepSets::new(n);
+        let valid: Vec<(usize, usize)> = pairs
+            .into_iter()
+            .filter(|&(u, v)| u != v && u < n && v < n)
+            .collect();
+        for &(u, v) in &valid {
+            s.set(u, v, &[u.min(v)]);
+        }
+        for &(u, v) in &valid {
+            prop_assert_eq!(s.get(v, u), Some(&[u.min(v) as u32][..]));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The [`BayesNet`] type: a DAG with one CPT per node.
+
+use crate::cpt::Cpt;
+use fastbn_data::Dataset;
+use fastbn_graph::Dag;
+
+/// A discrete Bayesian network.
+#[derive(Clone, Debug)]
+pub struct BayesNet {
+    name: String,
+    dag: Dag,
+    cpts: Vec<Cpt>,
+    node_names: Vec<String>,
+}
+
+impl BayesNet {
+    /// Assemble a network from its parts.
+    ///
+    /// # Panics
+    /// Panics if the CPT parent sets disagree with the DAG structure, if
+    /// counts mismatch, or if a CPT's parent arities disagree with the
+    /// referenced nodes' arities.
+    pub fn new(name: impl Into<String>, dag: Dag, cpts: Vec<Cpt>, node_names: Vec<String>) -> Self {
+        assert_eq!(dag.n(), cpts.len(), "one CPT per node required");
+        assert_eq!(dag.n(), node_names.len(), "one name per node required");
+        for (v, cpt) in cpts.iter().enumerate() {
+            let dag_parents = dag.parents(v).to_vec();
+            let cpt_parents: Vec<usize> =
+                cpt.parents().iter().map(|&p| p as usize).collect();
+            let mut sorted = cpt_parents.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, dag_parents, "CPT parents of node {v} disagree with DAG");
+            for (i, &p) in cpt.parents().iter().enumerate() {
+                assert_eq!(
+                    cpt.parent_arities()[i] as usize,
+                    cpts[p as usize].arity(),
+                    "parent arity mismatch at node {v}, parent {p}"
+                );
+            }
+        }
+        Self { name: name.into(), dag, cpts, node_names }
+    }
+
+    /// Network name (e.g. `"alarm-replica"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dag.n()
+    }
+
+    /// The ground-truth DAG.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The CPT of node `v`.
+    #[inline]
+    pub fn cpt(&self, v: usize) -> &Cpt {
+        &self.cpts[v]
+    }
+
+    /// Node names.
+    #[inline]
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Arity of node `v`.
+    #[inline]
+    pub fn arity(&self, v: usize) -> usize {
+        self.cpts[v].arity()
+    }
+
+    /// All arities as `u8` (dataset metadata).
+    pub fn arities(&self) -> Vec<u8> {
+        self.cpts.iter().map(|c| c.arity() as u8).collect()
+    }
+
+    /// Joint probability of one complete assignment
+    /// `P(V0=a0, …, Vn−1=an−1) = ∏ P(Vi = ai | Pa(Vi))` (paper §III-A).
+    pub fn joint_probability(&self, assignment: &[u8]) -> f64 {
+        assert_eq!(assignment.len(), self.n());
+        let mut p = 1.0;
+        let mut parent_vals: Vec<u8> = Vec::with_capacity(8);
+        for (v, cpt) in self.cpts.iter().enumerate() {
+            parent_vals.clear();
+            parent_vals.extend(cpt.parents().iter().map(|&u| assignment[u as usize]));
+            p *= cpt.prob(assignment[v], &parent_vals);
+        }
+        p
+    }
+
+    /// Log-likelihood of a dataset under this network.
+    pub fn log_likelihood(&self, data: &Dataset) -> f64 {
+        assert_eq!(data.n_vars(), self.n(), "variable count mismatch");
+        let mut ll = 0.0;
+        for s in 0..data.n_samples() {
+            let row = data.row(s);
+            let p = self.joint_probability(row);
+            ll += p.max(f64::MIN_POSITIVE).ln();
+        }
+        ll
+    }
+
+    /// Forward-sample `m` complete observations (see [`crate::sampling`]).
+    pub fn sample_dataset(&self, m: usize, seed: u64) -> Dataset {
+        crate::sampling::forward_sample(self, m, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic 2-node net: A → B.
+    pub(crate) fn two_node() -> BayesNet {
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let cpt_a = Cpt::new(2, vec![], vec![], vec![0.3, 0.7]).unwrap();
+        let cpt_b =
+            Cpt::new(2, vec![0], vec![2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        BayesNet::new("ab", dag, vec![cpt_a, cpt_b], vec!["A".into(), "B".into()])
+    }
+
+    #[test]
+    fn joint_probability_factorizes() {
+        let net = two_node();
+        // P(A=0,B=0) = 0.3·0.9
+        assert!((net.joint_probability(&[0, 0]) - 0.27).abs() < 1e-12);
+        // P(A=1,B=1) = 0.7·0.8
+        assert!((net.joint_probability(&[1, 1]) - 0.56).abs() < 1e-12);
+        // Total mass over all assignments is 1.
+        let total: f64 = (0..2)
+            .flat_map(|a| (0..2).map(move |b| (a, b)))
+            .map(|(a, b)| net.joint_probability(&[a, b]))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree with DAG")]
+    fn cpt_dag_mismatch_panics() {
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let cpt_a = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
+        let cpt_b = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap(); // missing parent
+        BayesNet::new("bad", dag, vec![cpt_a, cpt_b], vec!["A".into(), "B".into()]);
+    }
+
+    #[test]
+    fn log_likelihood_prefers_generating_network() {
+        let net = two_node();
+        let data = net.sample_dataset(2000, 11);
+        // An alternative network with independent nodes.
+        let dag = Dag::empty(2);
+        let alt = BayesNet::new(
+            "indep",
+            dag,
+            vec![
+                Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap(),
+                Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap(),
+            ],
+            vec!["A".into(), "B".into()],
+        );
+        assert!(net.log_likelihood(&data) > alt.log_likelihood(&data));
+    }
+
+    #[test]
+    fn arities_reported() {
+        let net = two_node();
+        assert_eq!(net.arities(), vec![2, 2]);
+        assert_eq!(net.arity(0), 2);
+        assert_eq!(net.n(), 2);
+    }
+}

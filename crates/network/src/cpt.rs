@@ -1,0 +1,218 @@
+//! Conditional probability tables.
+//!
+//! A CPT stores `P(V = state | parents = config)` for every state of `V`
+//! and every joint configuration of its parents, in config-major layout:
+//! `table[config * arity + state]`. Parent configurations use mixed-radix
+//! indexing with the *first parent as the most significant digit*, matching
+//! the order returned by [`Cpt::parents`].
+
+use std::fmt;
+
+/// Validation errors for CPT construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CptError {
+    /// Table length is not `n_configs * arity`.
+    WrongLength { expected: usize, got: usize },
+    /// A probability row does not sum to 1 (tolerance 1e-9).
+    NotNormalized { config: usize, sum: f64 },
+    /// A probability is negative or non-finite.
+    BadProbability { config: usize, state: usize, value: f64 },
+    /// Arity of the variable or a parent is zero.
+    ZeroArity,
+}
+
+impl fmt::Display for CptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CptError::WrongLength { expected, got } => {
+                write!(f, "CPT table has {got} entries, expected {expected}")
+            }
+            CptError::NotNormalized { config, sum } => {
+                write!(f, "CPT row for config {config} sums to {sum}, expected 1")
+            }
+            CptError::BadProbability { config, state, value } => {
+                write!(f, "CPT entry ({config},{state}) = {value} is not a probability")
+            }
+            CptError::ZeroArity => write!(f, "zero arity"),
+        }
+    }
+}
+
+impl std::error::Error for CptError {}
+
+/// The conditional probability table of one node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cpt {
+    arity: u8,
+    parents: Vec<u32>,
+    parent_arities: Vec<u8>,
+    /// `table[config * arity + state]`, each config row summing to 1.
+    table: Vec<f64>,
+}
+
+impl Cpt {
+    /// Build and validate a CPT.
+    pub fn new(
+        arity: u8,
+        parents: Vec<u32>,
+        parent_arities: Vec<u8>,
+        table: Vec<f64>,
+    ) -> Result<Self, CptError> {
+        if arity == 0 || parent_arities.contains(&0) {
+            return Err(CptError::ZeroArity);
+        }
+        assert_eq!(parents.len(), parent_arities.len(), "parent metadata mismatch");
+        let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
+        let expected = n_configs * arity as usize;
+        if table.len() != expected {
+            return Err(CptError::WrongLength { expected, got: table.len() });
+        }
+        for config in 0..n_configs {
+            let row = &table[config * arity as usize..(config + 1) * arity as usize];
+            let mut sum = 0.0;
+            for (state, &p) in row.iter().enumerate() {
+                if !(p.is_finite() && p >= 0.0) {
+                    return Err(CptError::BadProbability { config, state, value: p });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(CptError::NotNormalized { config, sum });
+            }
+        }
+        Ok(Self { arity, parents, parent_arities, table })
+    }
+
+    /// Number of states of this variable.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Parent variable indices, most-significant digit first.
+    #[inline]
+    pub fn parents(&self) -> &[u32] {
+        &self.parents
+    }
+
+    /// Arities of the parents, aligned with [`Cpt::parents`].
+    #[inline]
+    pub fn parent_arities(&self) -> &[u8] {
+        &self.parent_arities
+    }
+
+    /// Number of joint parent configurations.
+    #[inline]
+    pub fn n_configs(&self) -> usize {
+        self.parent_arities.iter().map(|&a| a as usize).product()
+    }
+
+    /// Raw table (config-major), for serialization.
+    #[inline]
+    pub fn raw_table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Mixed-radix index of a parent value assignment (aligned with
+    /// [`Cpt::parents`]).
+    ///
+    /// # Panics
+    /// Panics (debug) if a value exceeds its parent's arity.
+    #[inline]
+    pub fn config_index(&self, parent_values: &[u8]) -> usize {
+        debug_assert_eq!(parent_values.len(), self.parents.len());
+        let mut idx = 0usize;
+        for (i, &v) in parent_values.iter().enumerate() {
+            debug_assert!(v < self.parent_arities[i]);
+            idx = idx * self.parent_arities[i] as usize + v as usize;
+        }
+        idx
+    }
+
+    /// The probability row `P(V | config)`.
+    #[inline]
+    pub fn distribution(&self, config: usize) -> &[f64] {
+        &self.table[config * self.arity as usize..(config + 1) * self.arity as usize]
+    }
+
+    /// `P(V = state | parents = parent_values)`.
+    #[inline]
+    pub fn prob(&self, state: u8, parent_values: &[u8]) -> f64 {
+        self.distribution(self.config_index(parent_values))[state as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like() -> Cpt {
+        // P(v=1 | a, b) high iff a ≠ b.
+        Cpt::new(
+            2,
+            vec![0, 1],
+            vec![2, 2],
+            vec![
+                0.9, 0.1, // a=0, b=0
+                0.1, 0.9, // a=0, b=1
+                0.1, 0.9, // a=1, b=0
+                0.9, 0.1, // a=1, b=1
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_indexing_is_mixed_radix() {
+        let c = xor_like();
+        assert_eq!(c.config_index(&[0, 0]), 0);
+        assert_eq!(c.config_index(&[0, 1]), 1);
+        assert_eq!(c.config_index(&[1, 0]), 2);
+        assert_eq!(c.config_index(&[1, 1]), 3);
+        assert_eq!(c.n_configs(), 4);
+    }
+
+    #[test]
+    fn prob_lookup() {
+        let c = xor_like();
+        assert_eq!(c.prob(1, &[0, 1]), 0.9);
+        assert_eq!(c.prob(0, &[1, 1]), 0.9);
+        assert_eq!(c.prob(1, &[0, 0]), 0.1);
+    }
+
+    #[test]
+    fn root_node_has_single_config() {
+        let c = Cpt::new(3, vec![], vec![], vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(c.n_configs(), 1);
+        assert_eq!(c.config_index(&[]), 0);
+        assert_eq!(c.distribution(0), &[0.2, 0.3, 0.5]);
+    }
+
+    #[test]
+    fn non_normalized_rejected() {
+        let err = Cpt::new(2, vec![], vec![], vec![0.5, 0.6]).unwrap_err();
+        assert!(matches!(err, CptError::NotNormalized { .. }));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let err = Cpt::new(2, vec![], vec![], vec![-0.1, 1.1]).unwrap_err();
+        assert!(matches!(err, CptError::BadProbability { .. }));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let err = Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5]).unwrap_err();
+        assert!(matches!(err, CptError::WrongLength { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn mixed_arity_parents() {
+        // parents: arity 3 (msd) then 2 (lsd); configs = 6.
+        let table: Vec<f64> = (0..6).flat_map(|_| [0.25, 0.75]).collect();
+        let c = Cpt::new(2, vec![5, 9], vec![3, 2], table).unwrap();
+        assert_eq!(c.config_index(&[2, 1]), 5);
+        assert_eq!(c.config_index(&[1, 0]), 2);
+        assert_eq!(c.n_configs(), 6);
+    }
+}

@@ -1,0 +1,186 @@
+//! Maximum-likelihood CPT estimation (with Laplace smoothing).
+//!
+//! Completes the structure-learning pipeline: once PC-stable has produced
+//! a DAG (e.g. a consistent extension of the learned CPDAG, or the ground
+//! truth in simulation studies), `fit_cpts` estimates each node's
+//! conditional distribution from the data by counting parent-configuration
+//! frequencies:
+//!
+//! ```text
+//! P(V = k | pa = c) = (N_{k,c} + λ) / (N_c + λ·|V|)
+//! ```
+//!
+//! with λ = 0 giving the MLE (undefined rows fall back to uniform) and
+//! λ > 0 Lidstone/Laplace smoothing.
+
+use crate::bayesnet::BayesNet;
+use crate::cpt::Cpt;
+use fastbn_data::Dataset;
+use fastbn_graph::Dag;
+
+/// Estimate CPTs for `dag` from `data`.
+///
+/// # Panics
+/// Panics if `data.n_vars() != dag.n()` or `smoothing < 0`.
+pub fn fit_cpts(dag: &Dag, data: &Dataset, smoothing: f64, name: &str) -> BayesNet {
+    assert_eq!(data.n_vars(), dag.n(), "variable count mismatch");
+    assert!(smoothing >= 0.0, "smoothing must be nonnegative");
+    let n = dag.n();
+    let m = data.n_samples();
+    let mut cpts = Vec::with_capacity(n);
+    for v in 0..n {
+        let parents: Vec<u32> = dag.parents(v).iter_ones().map(|p| p as u32).collect();
+        let parent_arities: Vec<u8> =
+            parents.iter().map(|&p| data.arity(p as usize) as u8).collect();
+        let k = data.arity(v);
+        let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
+
+        // Count joint (config, state) frequencies.
+        let mut counts = vec![0u64; n_configs * k];
+        let vcol = data.column(v);
+        let pcols: Vec<&[u8]> =
+            parents.iter().map(|&p| data.column(p as usize)).collect();
+        for s in 0..m {
+            let mut config = 0usize;
+            for (col, &a) in pcols.iter().zip(&parent_arities) {
+                config = config * a as usize + col[s] as usize;
+            }
+            counts[config * k + vcol[s] as usize] += 1;
+        }
+
+        // Normalize with smoothing; empty unsmoothed rows become uniform.
+        let mut table = Vec::with_capacity(n_configs * k);
+        for c in 0..n_configs {
+            let row = &counts[c * k..(c + 1) * k];
+            let total: u64 = row.iter().sum();
+            let denom = total as f64 + smoothing * k as f64;
+            if denom == 0.0 {
+                table.extend(std::iter::repeat_n(1.0 / k as f64, k));
+            } else {
+                // Exact renormalization guards the Cpt validator against
+                // floating-point drift.
+                let probs: Vec<f64> =
+                    row.iter().map(|&c| (c as f64 + smoothing) / denom).collect();
+                let sum: f64 = probs.iter().sum();
+                table.extend(probs.into_iter().map(|p| p / sum));
+            }
+        }
+        cpts.push(
+            Cpt::new(k as u8, parents, parent_arities, table)
+                .expect("fitted rows are normalized"),
+        );
+    }
+    BayesNet::new(name, dag.clone(), cpts, data.names().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, NetworkSpec};
+
+    #[test]
+    fn fitted_probabilities_match_empirical_frequencies() {
+        // Root node with no parents: fitted distribution = column freqs.
+        let data = Dataset::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![2, 2],
+            vec![vec![0, 0, 0, 1], vec![1, 1, 0, 0]],
+        )
+        .unwrap();
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let net = fit_cpts(&dag, &data, 0.0, "fit");
+        assert!((net.cpt(0).distribution(0)[0] - 0.75).abs() < 1e-12);
+        // P(b=1 | a=0) = 2/3.
+        assert!((net.cpt(1).prob(1, &[0]) - 2.0 / 3.0).abs() < 1e-12);
+        // P(b=0 | a=1) = 1.
+        assert!((net.cpt(1).prob(0, &[1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_pulls_towards_uniform() {
+        let data = Dataset::from_columns(
+            vec![],
+            vec![2],
+            vec![vec![0, 0, 0, 0]],
+        )
+        .unwrap();
+        let dag = Dag::empty(1);
+        let mle = fit_cpts(&dag, &data, 0.0, "mle");
+        let smooth = fit_cpts(&dag, &data, 1.0, "laplace");
+        assert_eq!(mle.cpt(0).distribution(0), &[1.0, 0.0]);
+        let s = smooth.cpt(0).distribution(0);
+        assert!((s[0] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s[1] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_parent_configs_fall_back_to_uniform() {
+        // Parent always 0, so config a=1 is never observed.
+        let data = Dataset::from_columns(
+            vec![],
+            vec![2, 3],
+            vec![vec![0, 0, 0], vec![0, 1, 2]],
+        )
+        .unwrap();
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let net = fit_cpts(&dag, &data, 0.0, "fit");
+        let unseen = net.cpt(1).distribution(1);
+        for &p in unseen {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12, "unseen row must be uniform: {unseen:?}");
+        }
+    }
+
+    #[test]
+    fn fit_recovers_generating_cpts_at_scale() {
+        let spec = NetworkSpec::small("truth", 8, 9);
+        let truth = generate_network(&spec, 3);
+        let data = truth.sample_dataset(30000, 4);
+        let fitted = fit_cpts(truth.dag(), &data, 0.5, "refit");
+        // Compare conditional probabilities on *well-observed* parent
+        // configurations only (rare configs have high estimation variance
+        // regardless of implementation correctness).
+        let mut max_err = 0.0f64;
+        let mut checked = 0usize;
+        for v in 0..truth.n() {
+            let t = truth.cpt(v);
+            let f = fitted.cpt(v);
+            // Empirical config counts.
+            let parents: Vec<usize> = t.parents().iter().map(|&p| p as usize).collect();
+            let mut counts = vec![0u64; t.n_configs()];
+            for s in 0..data.n_samples() {
+                let vals: Vec<u8> = parents.iter().map(|&p| data.value(s, p)).collect();
+                counts[t.config_index(&vals)] += 1;
+            }
+            #[allow(clippy::needless_range_loop)] // cfg indexes two tables
+            for cfg in 0..t.n_configs() {
+                if counts[cfg] < 500 {
+                    continue;
+                }
+                checked += 1;
+                for s in 0..t.arity() {
+                    let err = (t.distribution(cfg)[s] - f.distribution(cfg)[s]).abs();
+                    max_err = max_err.max(err);
+                }
+            }
+        }
+        assert!(checked > 0, "no well-observed configs to check");
+        assert!(max_err < 0.05, "max CPT error {max_err} too large at 30k samples");
+    }
+
+    #[test]
+    fn fitted_model_fits_training_data_at_least_as_well_as_truth() {
+        // Classic MLE property (modulo light smoothing).
+        let spec = NetworkSpec::small("truth", 6, 7);
+        let truth = generate_network(&spec, 9);
+        let data = truth.sample_dataset(5000, 10);
+        let fitted = fit_cpts(truth.dag(), &data, 1e-9, "refit");
+        assert!(fitted.log_likelihood(&data) >= truth.log_likelihood(&data) - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "variable count mismatch")]
+    fn shape_mismatch_panics() {
+        let data = Dataset::from_columns(vec![], vec![2], vec![vec![0]]).unwrap();
+        fit_cpts(&Dag::empty(2), &data, 0.0, "bad");
+    }
+}

@@ -1,0 +1,286 @@
+//! Plain-text serialization of Bayesian networks (`.bnet`).
+//!
+//! A deliberately simple line-based format so networks can be saved and
+//! reloaded (examples, harness caching) without a serialization dependency:
+//!
+//! ```text
+//! bnet-v1
+//! name alarm-replica
+//! nodes 2
+//! node 0 A 2
+//! node 1 B 2 | 0
+//! cpt 0 0.3 0.7
+//! cpt 1 0.9 0.1 0.2 0.8
+//! end
+//! ```
+//!
+//! `node <idx> <name> <arity> [| <parent indices…>]`; `cpt <idx>` carries
+//! `n_configs · arity` probabilities in config-major order (parents in the
+//! listed order, first parent most significant).
+
+use crate::bayesnet::BayesNet;
+use crate::cpt::Cpt;
+use fastbn_graph::Dag;
+use std::fmt;
+
+/// Parse errors for the `.bnet` format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FormatError {
+    /// Missing or wrong magic line.
+    BadMagic,
+    /// A structural line could not be parsed.
+    Malformed { line: usize, reason: String },
+    /// Node or CPT indices missing/duplicated.
+    Incomplete(String),
+    /// CPT contents failed validation.
+    BadCpt { node: usize, reason: String },
+    /// Declared edges would form a cycle.
+    Cyclic,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "missing `bnet-v1` magic line"),
+            FormatError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            FormatError::Incomplete(what) => write!(f, "incomplete network: {what}"),
+            FormatError::BadCpt { node, reason } => {
+                write!(f, "bad CPT for node {node}: {reason}")
+            }
+            FormatError::Cyclic => write!(f, "declared parent sets form a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Serialize a network to the `.bnet` text format.
+pub fn bnet_to_string(net: &BayesNet) -> String {
+    let mut out = String::new();
+    out.push_str("bnet-v1\n");
+    out.push_str(&format!("name {}\n", net.name()));
+    out.push_str(&format!("nodes {}\n", net.n()));
+    for v in 0..net.n() {
+        let cpt = net.cpt(v);
+        out.push_str(&format!("node {v} {} {}", net.node_names()[v], cpt.arity()));
+        if !cpt.parents().is_empty() {
+            out.push_str(" |");
+            for p in cpt.parents() {
+                out.push_str(&format!(" {p}"));
+            }
+        }
+        out.push('\n');
+    }
+    for v in 0..net.n() {
+        out.push_str(&format!("cpt {v}"));
+        for p in net.cpt(v).raw_table() {
+            out.push_str(&format!(" {p}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse a network from the `.bnet` text format.
+pub fn bnet_from_str(text: &str) -> Result<BayesNet, FormatError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "bnet-v1" => {}
+        _ => return Err(FormatError::BadMagic),
+    }
+
+    let mut name = String::from("unnamed");
+    let mut n: Option<usize> = None;
+    let mut node_names: Vec<Option<String>> = Vec::new();
+    let mut arities: Vec<u8> = Vec::new();
+    let mut parents: Vec<Vec<u32>> = Vec::new();
+    let mut tables: Vec<Option<Vec<f64>>> = Vec::new();
+
+    let malformed = |line: usize, reason: &str| FormatError::Malformed {
+        line: line + 1,
+        reason: reason.to_string(),
+    };
+
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "end" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                name = parts.collect::<Vec<_>>().join(" ");
+            }
+            Some("nodes") => {
+                let count: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(idx, "bad node count"))?;
+                n = Some(count);
+                node_names = vec![None; count];
+                arities = vec![0; count];
+                parents = vec![Vec::new(); count];
+                tables = vec![None; count];
+            }
+            Some("node") => {
+                let count = n.ok_or_else(|| malformed(idx, "`node` before `nodes`"))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v| v < count)
+                    .ok_or_else(|| malformed(idx, "bad node index"))?;
+                let node_name = parts
+                    .next()
+                    .ok_or_else(|| malformed(idx, "missing node name"))?
+                    .to_string();
+                let arity: u8 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&a| a > 0)
+                    .ok_or_else(|| malformed(idx, "bad arity"))?;
+                let rest: Vec<&str> = parts.collect();
+                let mut ps = Vec::new();
+                if !rest.is_empty() {
+                    if rest[0] != "|" {
+                        return Err(malformed(idx, "expected `|` before parents"));
+                    }
+                    for tok in &rest[1..] {
+                        let p: u32 = tok
+                            .parse()
+                            .ok()
+                            .filter(|&p| (p as usize) < count)
+                            .ok_or_else(|| malformed(idx, "bad parent index"))?;
+                        ps.push(p);
+                    }
+                }
+                node_names[v] = Some(node_name);
+                arities[v] = arity;
+                parents[v] = ps;
+            }
+            Some("cpt") => {
+                let count = n.ok_or_else(|| malformed(idx, "`cpt` before `nodes`"))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v| v < count)
+                    .ok_or_else(|| malformed(idx, "bad cpt index"))?;
+                let vals: Result<Vec<f64>, _> =
+                    parts.map(|s| s.parse::<f64>()).collect();
+                let vals = vals.map_err(|_| malformed(idx, "bad probability"))?;
+                tables[v] = Some(vals);
+            }
+            _ => return Err(malformed(idx, "unknown directive")),
+        }
+    }
+
+    let count = n.ok_or_else(|| FormatError::Incomplete("missing `nodes`".into()))?;
+    for v in 0..count {
+        if node_names[v].is_none() {
+            return Err(FormatError::Incomplete(format!("node {v} undeclared")));
+        }
+        if tables[v].is_none() {
+            return Err(FormatError::Incomplete(format!("cpt {v} missing")));
+        }
+    }
+
+    // Build the DAG from parent declarations.
+    let mut edges = Vec::new();
+    for (v, ps) in parents.iter().enumerate() {
+        for &p in ps {
+            edges.push((p as usize, v));
+        }
+    }
+    let mut dag = Dag::empty(count);
+    for (u, v) in edges {
+        if !dag.try_add_edge(u, v) {
+            return Err(FormatError::Cyclic);
+        }
+    }
+
+    let mut cpts = Vec::with_capacity(count);
+    for v in 0..count {
+        let parent_arities: Vec<u8> =
+            parents[v].iter().map(|&p| arities[p as usize]).collect();
+        let cpt = Cpt::new(
+            arities[v],
+            parents[v].clone(),
+            parent_arities,
+            tables[v].take().unwrap(),
+        )
+        .map_err(|e| FormatError::BadCpt { node: v, reason: e.to_string() })?;
+        cpts.push(cpt);
+    }
+    let names: Vec<String> = node_names.into_iter().map(Option::unwrap).collect();
+    Ok(BayesNet::new(name, dag, cpts, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, NetworkSpec};
+
+    #[test]
+    fn roundtrip_generated_network() {
+        let net = generate_network(&NetworkSpec::small("rt", 15, 20), 9);
+        let text = bnet_to_string(&net);
+        let back = bnet_from_str(&text).unwrap();
+        assert_eq!(back.name(), "rt");
+        assert_eq!(back.n(), net.n());
+        assert_eq!(back.dag().edges(), net.dag().edges());
+        for v in 0..net.n() {
+            assert_eq!(back.cpt(v).parents(), net.cpt(v).parents());
+            for (a, b) in back.cpt(v).raw_table().iter().zip(net.cpt(v).raw_table()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn documented_example_parses() {
+        let text = "bnet-v1\nname ab\nnodes 2\nnode 0 A 2\nnode 1 B 2 | 0\ncpt 0 0.3 0.7\ncpt 1 0.9 0.1 0.2 0.8\nend\n";
+        let net = bnet_from_str(text).unwrap();
+        assert_eq!(net.name(), "ab");
+        assert_eq!(net.n(), 2);
+        assert!(net.dag().has_edge(0, 1));
+        assert!((net.joint_probability(&[0, 0]) - 0.27).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(bnet_from_str("bnet-v2\n").unwrap_err(), FormatError::BadMagic);
+        assert_eq!(bnet_from_str("").unwrap_err(), FormatError::BadMagic);
+    }
+
+    #[test]
+    fn missing_cpt_rejected() {
+        let text = "bnet-v1\nnodes 1\nnode 0 A 2\nend\n";
+        assert!(matches!(bnet_from_str(text).unwrap_err(), FormatError::Incomplete(_)));
+    }
+
+    #[test]
+    fn cyclic_parents_rejected() {
+        let text = "bnet-v1\nnodes 2\nnode 0 A 2 | 1\nnode 1 B 2 | 0\ncpt 0 0.5 0.5 0.5 0.5\ncpt 1 0.5 0.5 0.5 0.5\nend\n";
+        assert_eq!(bnet_from_str(text).unwrap_err(), FormatError::Cyclic);
+    }
+
+    #[test]
+    fn unnormalized_cpt_rejected() {
+        let text = "bnet-v1\nnodes 1\nnode 0 A 2\ncpt 0 0.5 0.6\nend\n";
+        assert!(matches!(bnet_from_str(text).unwrap_err(), FormatError::BadCpt { .. }));
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "bnet-v1\nnodes 1\nnode zero A 2\n";
+        match bnet_from_str(text).unwrap_err() {
+            FormatError::Malformed { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Seeded random Bayesian-network generation.
+//!
+//! Builds a network with an exact node count and a target edge count under
+//! a fan-in cap, then fills CPTs with *skewed* rows (one dominant state per
+//! parent configuration). Skewed CPTs create the strong conditional
+//! dependencies that make structure recoverable from realistic sample
+//! sizes — mirroring the benchmark networks, which are expert-built medical
+//! systems with highly deterministic local distributions.
+
+use crate::bayesnet::BayesNet;
+use crate::cpt::Cpt;
+use fastbn_graph::Dag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for a generated network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkSpec {
+    /// Network name (used in reports).
+    pub name: String,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Target number of directed edges (achieved exactly unless the fan-in
+    /// cap makes it infeasible, which `generate_network` rejects).
+    pub n_edges: usize,
+    /// Minimum node arity (inclusive).
+    pub min_arity: u8,
+    /// Maximum node arity (inclusive).
+    pub max_arity: u8,
+    /// Maximum number of parents per node (CPT size control).
+    pub max_in_degree: usize,
+    /// Dominant-state probability floor for CPT rows (0.5–0.95 sensible);
+    /// higher = stronger dependencies = easier structure recovery.
+    pub skew: f64,
+    /// Largest sample size the paper draws from this network (metadata for
+    /// the bench harness; Table II's "max # of samples" column).
+    pub max_samples: usize,
+}
+
+impl NetworkSpec {
+    /// A compact default spec for tests and examples.
+    pub fn small(name: &str, n_nodes: usize, n_edges: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            n_nodes,
+            n_edges,
+            min_arity: 2,
+            max_arity: 4,
+            max_in_degree: 4,
+            skew: 0.75,
+            max_samples: 15000,
+        }
+    }
+}
+
+/// Generate a network deterministically from a spec and seed.
+///
+/// Nodes `0..n` are taken in topological order; edges `(u, v)` with `u < v`
+/// are drawn uniformly until the edge budget is met, rejecting duplicates
+/// and fan-in violations.
+///
+/// # Panics
+/// Panics if the edge budget is infeasible under the fan-in cap
+/// (`n_edges > Σ_v min(v, max_in_degree)`).
+pub fn generate_network(spec: &NetworkSpec, seed: u64) -> BayesNet {
+    let n = spec.n_nodes;
+    assert!(n >= 2, "need at least two nodes");
+    let capacity: usize = (0..n).map(|v| v.min(spec.max_in_degree)).sum();
+    assert!(
+        spec.n_edges <= capacity,
+        "edge budget {} infeasible: max {} edges with fan-in {} on {} nodes",
+        spec.n_edges,
+        capacity,
+        spec.max_in_degree,
+        n
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_B05C);
+
+    // Arities.
+    let arities: Vec<u8> =
+        (0..n).map(|_| rng.gen_range(spec.min_arity..=spec.max_arity)).collect();
+
+    // Edge selection: uniform proposals with rejection; falls back to a
+    // deterministic sweep if rejection stalls (very dense specs).
+    let mut dag = Dag::empty(n);
+    let mut in_deg = vec![0usize; n];
+    let mut stall = 0usize;
+    while dag.edge_count() < spec.n_edges {
+        let v = rng.gen_range(1..n);
+        let u = rng.gen_range(0..v);
+        if in_deg[v] < spec.max_in_degree && dag.try_add_edge(u, v) {
+            in_deg[v] += 1;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall > 50 * n {
+                // Deterministic completion sweep.
+                #[allow(clippy::needless_range_loop)] // u and v both index; iterator form is murkier
+                'outer: for v in 1..n {
+                    for u in 0..v {
+                        if dag.edge_count() >= spec.n_edges {
+                            break 'outer;
+                        }
+                        if in_deg[v] < spec.max_in_degree && dag.try_add_edge(u, v) {
+                            in_deg[v] += 1;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(dag.edge_count(), spec.n_edges);
+
+    // CPTs with one dominant state per configuration.
+    let mut cpts = Vec::with_capacity(n);
+    for v in 0..n {
+        let parents: Vec<u32> = dag.parents(v).iter_ones().map(|p| p as u32).collect();
+        let parent_arities: Vec<u8> =
+            parents.iter().map(|&p| arities[p as usize]).collect();
+        let k = arities[v] as usize;
+        let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
+        let mut table = Vec::with_capacity(n_configs * k);
+        for _ in 0..n_configs {
+            table.extend_from_slice(&skewed_row(k, spec.skew, &mut rng));
+        }
+        cpts.push(
+            Cpt::new(arities[v], parents, parent_arities, table)
+                .expect("generated rows are normalized"),
+        );
+    }
+
+    let names: Vec<String> = (0..n).map(|v| format!("N{v}")).collect();
+    BayesNet::new(spec.name.clone(), dag, cpts, names)
+}
+
+/// One probability row with a random dominant state at probability
+/// `skew + U(0, 1−skew)·0.8` and the remainder split randomly.
+fn skewed_row(k: usize, skew: f64, rng: &mut StdRng) -> Vec<f64> {
+    if k == 1 {
+        return vec![1.0];
+    }
+    let dominant = rng.gen_range(0..k);
+    let p_dom = skew + rng.gen::<f64>() * (1.0 - skew) * 0.8;
+    let mut rest: Vec<f64> = (0..k - 1).map(|_| rng.gen::<f64>() + 0.05).collect();
+    let rest_sum: f64 = rest.iter().sum();
+    let scale = (1.0 - p_dom) / rest_sum;
+    for r in &mut rest {
+        *r *= scale;
+    }
+    let mut row = Vec::with_capacity(k);
+    let mut rest_it = rest.into_iter();
+    for state in 0..k {
+        if state == dominant {
+            row.push(p_dom);
+        } else {
+            row.push(rest_it.next().unwrap());
+        }
+    }
+    // Exact renormalization to absorb round-off.
+    let sum: f64 = row.iter().sum();
+    for p in &mut row {
+        *p /= sum;
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_and_node_counts() {
+        let spec = NetworkSpec::small("t", 40, 55);
+        let net = generate_network(&spec, 3);
+        assert_eq!(net.n(), 40);
+        assert_eq!(net.dag().edge_count(), 55);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = NetworkSpec::small("t", 25, 30);
+        let a = generate_network(&spec, 5);
+        let b = generate_network(&spec, 5);
+        assert_eq!(a.dag().edges(), b.dag().edges());
+        assert_eq!(a.cpt(3).raw_table(), b.cpt(3).raw_table());
+        let c = generate_network(&spec, 6);
+        assert_ne!(a.dag().edges(), c.dag().edges());
+    }
+
+    #[test]
+    fn fan_in_respected() {
+        let mut spec = NetworkSpec::small("t", 30, 60);
+        spec.max_in_degree = 3;
+        let net = generate_network(&spec, 7);
+        for v in 0..net.n() {
+            assert!(net.dag().in_degree(v) <= 3, "node {v} exceeds fan-in");
+        }
+    }
+
+    #[test]
+    fn arities_in_range() {
+        let mut spec = NetworkSpec::small("t", 20, 25);
+        spec.min_arity = 3;
+        spec.max_arity = 5;
+        let net = generate_network(&spec, 11);
+        for v in 0..net.n() {
+            assert!((3..=5).contains(&net.arity(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_budget_panics() {
+        let mut spec = NetworkSpec::small("t", 5, 100);
+        spec.max_in_degree = 2;
+        generate_network(&spec, 1);
+    }
+
+    #[test]
+    fn dense_spec_completes_via_sweep() {
+        // Nearly the maximum number of edges under the cap: forces the
+        // deterministic completion path.
+        let mut spec = NetworkSpec::small("t", 12, 0);
+        spec.max_in_degree = 3;
+        spec.n_edges = (0..12).map(|v: usize| v.min(3)).sum::<usize>() - 1;
+        let net = generate_network(&spec, 13);
+        assert_eq!(net.dag().edge_count(), spec.n_edges);
+    }
+
+    #[test]
+    fn cpt_rows_are_skewed() {
+        let spec = NetworkSpec::small("t", 10, 12);
+        let net = generate_network(&spec, 17);
+        for v in 0..net.n() {
+            let cpt = net.cpt(v);
+            for cfg in 0..cpt.n_configs() {
+                let row = cpt.distribution(cfg);
+                let max = row.iter().cloned().fold(0.0, f64::max);
+                assert!(max >= spec.skew - 1e-9, "row not skewed: {row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Exact inference by variable elimination.
+//!
+//! The paper motivates BN structure learning by the networks' use for
+//! "efficient reasoning" (§I); this module closes that loop: once a
+//! structure is learned and its CPTs fitted, posterior queries
+//! `P(X | evidence)` are answered exactly by factor elimination.
+//!
+//! * [`Factor`] — a table over a sorted set of discrete variables with
+//!   product / marginalization / evidence-reduction operations,
+//! * [`variable_elimination`] — greedy min-width elimination answering
+//!   single-variable posterior queries.
+
+use crate::bayesnet::BayesNet;
+
+/// A nonnegative table over a set of discrete variables (sorted by id),
+/// stored mixed-radix with the **first variable most significant**.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    vars: Vec<u32>,
+    arities: Vec<u8>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Build a factor from explicit parts.
+    ///
+    /// # Panics
+    /// Panics if `vars` is not strictly increasing, lengths mismatch, or
+    /// `values.len() != ∏ arities`.
+    pub fn new(vars: Vec<u32>, arities: Vec<u8>, values: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), arities.len(), "vars/arities mismatch");
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly increasing");
+        let cells: usize = arities.iter().map(|&a| a as usize).product();
+        assert_eq!(values.len(), cells, "value count mismatch");
+        Self { vars, arities, values }
+    }
+
+    /// The factor of node `v`'s CPT: `φ(v, parents) = P(v | parents)`.
+    pub fn from_cpt(net: &BayesNet, v: usize) -> Self {
+        let cpt = net.cpt(v);
+        let mut vars: Vec<u32> = cpt.parents().to_vec();
+        vars.push(v as u32);
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by_key(|&i| vars[i]);
+        let sorted_vars: Vec<u32> = order.iter().map(|&i| vars[i]).collect();
+        let sorted_arities: Vec<u8> =
+            sorted_vars.iter().map(|&x| net.arity(x as usize) as u8).collect();
+
+        let mut out = Factor {
+            vars: sorted_vars,
+            arities: sorted_arities,
+            values: vec![0.0; cpt.n_configs() * cpt.arity()],
+        };
+        // Enumerate all assignments of (parents..., v) and place the CPT
+        // entries at the sorted index.
+        let mut assignment = vec![0u8; vars.len()]; // parents then v
+        loop {
+            let parent_vals = &assignment[..vars.len() - 1];
+            let state = assignment[vars.len() - 1];
+            let p = cpt.prob(state, parent_vals);
+            // Sorted-index of this assignment.
+            let mut idx = 0usize;
+            for (slot, &orig_pos) in order.iter().enumerate() {
+                idx = idx * out.arities[slot] as usize + assignment[orig_pos] as usize;
+            }
+            out.values[idx] = p;
+            // Odometer over the unsorted assignment.
+            let mut k = vars.len();
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                let arity = if k == vars.len() - 1 {
+                    cpt.arity() as u8
+                } else {
+                    net.arity(cpt.parents()[k] as usize) as u8
+                };
+                assignment[k] += 1;
+                if assignment[k] < arity {
+                    break;
+                }
+                assignment[k] = 0;
+                if k == 0 {
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Variables of this factor (sorted).
+    pub fn vars(&self) -> &[u32] {
+        &self.vars
+    }
+
+    /// Number of table cells.
+    pub fn cells(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at a full assignment of this factor's variables (aligned with
+    /// [`Factor::vars`]).
+    pub fn value_at(&self, assignment: &[u8]) -> f64 {
+        assert_eq!(assignment.len(), self.vars.len());
+        let mut idx = 0usize;
+        for (i, &v) in assignment.iter().enumerate() {
+            debug_assert!(v < self.arities[i]);
+            idx = idx * self.arities[i] as usize + v as usize;
+        }
+        self.values[idx]
+    }
+
+    /// Pointwise product, defined over the union of the variable sets.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Union of variables (both sorted).
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut arities = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_left = j >= other.vars.len()
+                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            if take_left {
+                if j < other.vars.len() && i < self.vars.len() && self.vars[i] == other.vars[j]
+                {
+                    j += 1;
+                }
+                vars.push(self.vars[i]);
+                arities.push(self.arities[i]);
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                arities.push(other.arities[j]);
+                j += 1;
+            }
+        }
+        // Positions of each operand's vars within the union.
+        let pos = |f: &Factor| -> Vec<usize> {
+            f.vars
+                .iter()
+                .map(|v| vars.binary_search(v).expect("var in union"))
+                .collect()
+        };
+        let pos_a = pos(self);
+        let pos_b = pos(other);
+        let cells: usize = arities.iter().map(|&a| a as usize).product();
+        let mut values = Vec::with_capacity(cells);
+        let mut assignment = vec![0u8; vars.len()];
+        for _ in 0..cells {
+            let a_val = {
+                let asg: Vec<u8> = pos_a.iter().map(|&p| assignment[p]).collect();
+                self.value_at(&asg)
+            };
+            let b_val = {
+                let asg: Vec<u8> = pos_b.iter().map(|&p| assignment[p]).collect();
+                other.value_at(&asg)
+            };
+            values.push(a_val * b_val);
+            // Odometer (last variable least significant).
+            for k in (0..vars.len()).rev() {
+                assignment[k] += 1;
+                if assignment[k] < arities[k] {
+                    break;
+                }
+                assignment[k] = 0;
+            }
+        }
+        Factor { vars, arities, values }
+    }
+
+    /// Sum out `var`, removing it from the scope.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the factor.
+    pub fn marginalize(&self, var: u32) -> Factor {
+        let pos = self.vars.binary_search(&var).expect("var must be in scope");
+        let arity = self.arities[pos] as usize;
+        let right: usize =
+            self.arities[pos + 1..].iter().map(|&a| a as usize).product();
+        let left_cells = self.values.len() / (arity * right);
+        let mut vars = self.vars.clone();
+        let mut arities = self.arities.clone();
+        vars.remove(pos);
+        arities.remove(pos);
+        let mut values = vec![0.0; left_cells * right];
+        for l in 0..left_cells {
+            for a in 0..arity {
+                let src = (l * arity + a) * right;
+                let dst = l * right;
+                for r in 0..right {
+                    values[dst + r] += self.values[src + r];
+                }
+            }
+        }
+        Factor { vars, arities, values }
+    }
+
+    /// Condition on `var = value`, removing it from the scope.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the factor or `value` out of range.
+    pub fn reduce(&self, var: u32, value: u8) -> Factor {
+        let pos = self.vars.binary_search(&var).expect("var must be in scope");
+        let arity = self.arities[pos] as usize;
+        assert!((value as usize) < arity, "evidence value out of range");
+        let right: usize =
+            self.arities[pos + 1..].iter().map(|&a| a as usize).product();
+        let left_cells = self.values.len() / (arity * right);
+        let mut vars = self.vars.clone();
+        let mut arities = self.arities.clone();
+        vars.remove(pos);
+        arities.remove(pos);
+        let mut values = Vec::with_capacity(left_cells * right);
+        for l in 0..left_cells {
+            let src = (l * arity + value as usize) * right;
+            values.extend_from_slice(&self.values[src..src + right]);
+        }
+        Factor { vars, arities, values }
+    }
+
+    /// Normalize to total mass 1 (no-op on an all-zero factor).
+    pub fn normalized(mut self) -> Factor {
+        let total: f64 = self.values.iter().sum();
+        if total > 0.0 {
+            for v in &mut self.values {
+                *v /= total;
+            }
+        }
+        self
+    }
+
+    /// Raw values (mixed-radix, first var most significant).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Exact posterior `P(query | evidence)` by variable elimination with a
+/// greedy min-resulting-factor-size ordering.
+///
+/// # Panics
+/// Panics if `query` appears in the evidence, or any index/value is out of
+/// range.
+pub fn variable_elimination(
+    net: &BayesNet,
+    query: usize,
+    evidence: &[(usize, u8)],
+) -> Vec<f64> {
+    assert!(query < net.n(), "query variable out of range");
+    assert!(
+        evidence.iter().all(|&(v, _)| v != query),
+        "query cannot also be evidence"
+    );
+
+    // CPT factors, reduced by evidence.
+    let mut factors: Vec<Factor> = (0..net.n())
+        .map(|v| {
+            let mut f = Factor::from_cpt(net, v);
+            for &(ev, val) in evidence {
+                if f.vars().contains(&(ev as u32)) {
+                    f = f.reduce(ev as u32, val);
+                }
+            }
+            f
+        })
+        .filter(|f| !f.vars().is_empty() || f.cells() > 0)
+        .collect();
+
+    // Eliminate every non-query, non-evidence variable.
+    let mut to_eliminate: Vec<u32> = (0..net.n() as u32)
+        .filter(|&v| v as usize != query && evidence.iter().all(|&(e, _)| e as u32 != v))
+        .collect();
+
+    while !to_eliminate.is_empty() {
+        // Greedy: eliminate the variable whose combined factor is smallest.
+        let (best_idx, _) = to_eliminate
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut cells = 1usize;
+                let mut seen: Vec<u32> = Vec::new();
+                for f in factors.iter().filter(|f| f.vars().contains(&v)) {
+                    for (&fv, &fa) in f.vars.iter().zip(&f.arities) {
+                        if fv != v && !seen.contains(&fv) {
+                            seen.push(fv);
+                            cells = cells.saturating_mul(fa as usize);
+                        }
+                    }
+                }
+                (i, cells)
+            })
+            .min_by_key(|&(_, cells)| cells)
+            .expect("nonempty elimination set");
+        let var = to_eliminate.swap_remove(best_idx);
+
+        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars().contains(&var));
+        factors = rest;
+        if touching.is_empty() {
+            continue;
+        }
+        let mut combined = touching[0].clone();
+        for f in &touching[1..] {
+            combined = combined.product(f);
+        }
+        factors.push(combined.marginalize(var));
+    }
+
+    // Multiply what remains (all scoped over {query} or empty).
+    let mut result = Factor::new(
+        vec![query as u32],
+        vec![net.arity(query) as u8],
+        vec![1.0; net.arity(query)],
+    );
+    for f in &factors {
+        if f.vars().is_empty() {
+            continue; // constant factors cancel in normalization
+        }
+        result = result.product(f);
+    }
+    result.normalized().values().to_vec()
+}
+
+/// Brute-force posterior by full joint enumeration — the test oracle for
+/// [`variable_elimination`] (exponential; small nets only).
+pub fn brute_force_posterior(
+    net: &BayesNet,
+    query: usize,
+    evidence: &[(usize, u8)],
+) -> Vec<f64> {
+    let n = net.n();
+    let mut posterior = vec![0.0; net.arity(query)];
+    let mut assignment = vec![0u8; n];
+    loop {
+        if evidence.iter().all(|&(v, val)| assignment[v] == val) {
+            posterior[assignment[query] as usize] += net.joint_probability(&assignment);
+        }
+        // Odometer.
+        let mut k = n;
+        loop {
+            if k == 0 {
+                let total: f64 = posterior.iter().sum();
+                if total > 0.0 {
+                    for p in &mut posterior {
+                        *p /= total;
+                    }
+                }
+                return posterior;
+            }
+            k -= 1;
+            assignment[k] += 1;
+            if (assignment[k] as usize) < net.arity(k) {
+                break;
+            }
+            assignment[k] = 0;
+            if k == 0 {
+                let total: f64 = posterior.iter().sum();
+                if total > 0.0 {
+                    for p in &mut posterior {
+                        *p /= total;
+                    }
+                }
+                return posterior;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpt::Cpt;
+    use crate::generator::{generate_network, NetworkSpec};
+    use fastbn_graph::Dag;
+
+    /// Classic sprinkler network: cloudy → sprinkler, cloudy → rain,
+    /// sprinkler/rain → wet.
+    fn sprinkler() -> BayesNet {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cloudy = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
+        let sprinkler =
+            Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap();
+        let rain = Cpt::new(2, vec![0], vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap();
+        let wet = Cpt::new(
+            2,
+            vec![1, 2],
+            vec![2, 2],
+            vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+        )
+        .unwrap();
+        BayesNet::new(
+            "sprinkler",
+            dag,
+            vec![cloudy, sprinkler, rain, wet],
+            vec!["cloudy".into(), "sprinkler".into(), "rain".into(), "wet".into()],
+        )
+    }
+
+    fn assert_dist_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn prior_marginal_matches_brute_force() {
+        let net = sprinkler();
+        for q in 0..4 {
+            let ve = variable_elimination(&net, q, &[]);
+            let bf = brute_force_posterior(&net, q, &[]);
+            assert_dist_close(&ve, &bf, 1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_explaining_away() {
+        let net = sprinkler();
+        // P(rain=1 | wet=1) — raised above prior.
+        let prior = variable_elimination(&net, 2, &[]);
+        let posterior = variable_elimination(&net, 2, &[(3, 1)]);
+        assert!(posterior[1] > prior[1], "wet grass raises rain belief");
+        // Also seeing the sprinkler on explains the wet grass away.
+        let explained = variable_elimination(&net, 2, &[(3, 1), (1, 1)]);
+        assert!(
+            explained[1] < posterior[1],
+            "sprinkler evidence must lower rain belief: {explained:?} vs {posterior:?}"
+        );
+        // All match brute force.
+        assert_dist_close(&posterior, &brute_force_posterior(&net, 2, &[(3, 1)]), 1e-12);
+        assert_dist_close(
+            &explained,
+            &brute_force_posterior(&net, 2, &[(3, 1), (1, 1)]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn random_networks_match_brute_force() {
+        for seed in [1u64, 5, 9] {
+            let net = generate_network(&NetworkSpec::small("ve", 7, 8), seed);
+            let evidence = vec![(0usize, 0u8), (3usize, 1u8.min(net.arity(3) as u8 - 1))];
+            for q in [1usize, 5] {
+                let ve = variable_elimination(&net, q, &evidence);
+                let bf = brute_force_posterior(&net, q, &evidence);
+                assert_dist_close(&ve, &bf, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let net = sprinkler();
+        let p = variable_elimination(&net, 0, &[(3, 1)]);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn factor_product_and_marginalize() {
+        // φ1(A,B)·φ2(B,C) then Σ_B — the textbook example.
+        let f1 = Factor::new(vec![0, 1], vec![2, 2], vec![0.3, 0.7, 0.9, 0.1]);
+        let f2 = Factor::new(vec![1, 2], vec![2, 2], vec![0.2, 0.8, 0.6, 0.4]);
+        let prod = f1.product(&f2);
+        assert_eq!(prod.vars(), &[0, 1, 2]);
+        assert_eq!(prod.cells(), 8);
+        // value at (A=0,B=1,C=0) = f1(0,1)·f2(1,0) = 0.7·0.6
+        assert!((prod.value_at(&[0, 1, 0]) - 0.42).abs() < 1e-12);
+        let marg = prod.marginalize(1);
+        assert_eq!(marg.vars(), &[0, 2]);
+        // (A=0,C=0): Σ_B f1(0,B)f2(B,0) = 0.3·0.2 + 0.7·0.6 = 0.48
+        assert!((marg.value_at(&[0, 0]) - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_reduce_selects_slice() {
+        let f = Factor::new(vec![0, 1], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = f.reduce(0, 1);
+        assert_eq!(r.vars(), &[1]);
+        assert_eq!(r.values(), &[4., 5., 6.]);
+        let r2 = f.reduce(1, 2);
+        assert_eq!(r2.vars(), &[0]);
+        assert_eq!(r2.values(), &[3., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query cannot also be evidence")]
+    fn query_as_evidence_panics() {
+        variable_elimination(&sprinkler(), 0, &[(0, 1)]);
+    }
+
+    #[test]
+    fn from_cpt_respects_sorted_scope() {
+        let net = sprinkler();
+        // wet has parents 1,2 — scope must be sorted {1,2,3}.
+        let f = Factor::from_cpt(&net, 3);
+        assert_eq!(f.vars(), &[1, 2, 3]);
+        // P(wet=1 | sprinkler=1, rain=0) = 0.9
+        assert!((f.value_at(&[1, 0, 1]) - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fastbn-network — Bayesian-network substrate
+//!
+//! The paper evaluates on data sampled from eight benchmark Bayesian
+//! networks (Table II: Alarm … Munin3). This crate provides everything
+//! needed to regenerate those workloads from scratch:
+//!
+//! * [`cpt`] — conditional probability tables with mixed-radix parent
+//!   configuration indexing,
+//! * [`bayesnet`] — a DAG plus one CPT per node; joint probability and
+//!   log-likelihood evaluation,
+//! * [`sampling`] — forward (ancestral) sampling into a [`fastbn_data::Dataset`],
+//! * [`generator`] — seeded random-network construction for a given
+//!   node/edge budget, arity range and fan-in cap,
+//! * [`zoo`] — size-matched *replicas* of the paper's Table II networks
+//!   (see DESIGN.md §3: the real `.bif` files are not redistributable here,
+//!   so seeded generators matched on node count, edge count and realistic
+//!   arities stand in; every algorithmic comparison is internal, so all
+//!   modes see identical inputs),
+//! * [`format`] — a small plain-text serialization (`.bnet`) with a parser
+//!   and writer, so examples can save and reload networks without a
+//!   serialization dependency.
+
+pub mod bayesnet;
+pub mod cpt;
+pub mod fit;
+pub mod format;
+pub mod generator;
+pub mod infer;
+pub mod sampling;
+pub mod zoo;
+
+pub use bayesnet::BayesNet;
+pub use cpt::Cpt;
+pub use fit::fit_cpts;
+pub use format::{bnet_from_str, bnet_to_string, FormatError};
+pub use generator::{generate_network, NetworkSpec};
+pub use infer::{brute_force_posterior, variable_elimination, Factor};
+pub use zoo::{by_name, table2_specs};

@@ -1,0 +1,29 @@
+//! # fastbn-parallel — parallel substrate for Fast-BNS
+//!
+//! The paper implements its three parallelism granularities with OpenMP;
+//! this crate provides the equivalent runtime pieces in Rust, from scratch:
+//!
+//! * [`team`] — a scoped worker **team**: `n` threads spawned once per
+//!   parallel region that repeatedly execute broadcast jobs. This is the
+//!   analogue of an OpenMP parallel region, amortizing thread start-up the
+//!   same way (critical for a fair sample-level-parallelism baseline, which
+//!   launches one job per CI test),
+//! * [`workpool`] — the paper's **dynamic work pool** (§IV-B): a shared
+//!   LIFO of tasks with an in-flight count, plus a [`workpool::run_pool`]
+//!   driver that runs the pop → process-group → push-back loop on a team,
+//! * [`partition`] — balanced contiguous range splitting (edge-level and
+//!   sample-level static scheduling),
+//! * [`counters`] — per-thread accumulator slots (cache-padded) so workers
+//!   can count CI tests without sharing cache lines, merged after a join;
+//!   this is how Fast-BNS collects statistics while staying atomic-free on
+//!   the hot path.
+
+pub mod counters;
+pub mod partition;
+pub mod team;
+pub mod workpool;
+
+pub use counters::PerThread;
+pub use partition::chunk_ranges;
+pub use team::Team;
+pub use workpool::{run_pool, StepResult, WorkPool};

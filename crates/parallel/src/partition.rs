@@ -1,0 +1,71 @@
+//! Balanced contiguous range partitioning.
+//!
+//! Edge-level parallelism dedicates `|Ed|/t` edges to each thread and
+//! sample-level parallelism dedicates `m/t` samples (paper §IV-A); both are
+//! static splits of a contiguous index range. The remainder is spread over
+//! the first `n mod k` chunks so chunk sizes differ by at most one.
+
+use std::ops::Range;
+
+/// Split `0..n` into `k` contiguous chunks whose sizes differ by ≤ 1.
+/// Chunks may be empty when `n < k`. `k == 0` is promoted to 1.
+pub fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.max(1);
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_exactly() {
+        for n in [0usize, 1, 7, 64, 1000, 1001] {
+            for k in [1usize, 2, 3, 8, 17] {
+                let chunks = chunk_ranges(n, k);
+                assert_eq!(chunks.len(), k);
+                let mut expected = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expected, "contiguous");
+                    expected = c.end;
+                }
+                assert_eq!(expected, n, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        for n in [10usize, 99, 1000] {
+            for k in [3usize, 7, 16] {
+                let sizes: Vec<usize> = chunk_ranges(n, k).iter().map(|c| c.len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} k={k}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_items_yields_empties() {
+        let chunks = chunk_ranges(2, 5);
+        let nonempty = chunks.iter().filter(|c| !c.is_empty()).count();
+        assert_eq!(nonempty, 2);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn zero_k_promoted() {
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+    }
+}

@@ -1,0 +1,227 @@
+//! A scoped worker team — the OpenMP-parallel-region analogue.
+//!
+//! [`Team::scoped`] spawns `n` workers inside a [`std::thread::scope`] and
+//! hands the caller a handle whose [`Team::broadcast`] runs a job closure on
+//! every worker (passing each its thread id) and blocks until all are done.
+//! Workers park between jobs, so a broadcast costs one mutex round-trip and
+//! two condvar signals instead of `n` thread spawns — the same amortization
+//! OpenMP gets by reusing its pool across `#pragma omp parallel` regions.
+//!
+//! # Safety design
+//!
+//! A job is passed to workers as a raw `*const dyn Fn(usize)` because the
+//! borrow only needs to live for the duration of the broadcast (workers are
+//! barriered before `broadcast` returns), which the borrow checker cannot
+//! express through a `Mutex`. The invariants making this sound:
+//!
+//! 1. `broadcast` does not return until `done == n_threads` for the job's
+//!    generation, so the pointee strictly outlives every dereference;
+//! 2. workers read the pointer only after observing the generation bump
+//!    through the mutex (release/acquire via the lock);
+//! 3. the scope joins all workers before `scoped` returns, so no worker
+//!    outlives the team.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Raw fat pointer to the current job; `usize` generation tags prevent a
+/// worker from re-running a stale job.
+struct Slot {
+    job: Option<JobPtr>,
+    generation: u64,
+    done: usize,
+    shutdown: bool,
+}
+
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from many threads) and the
+// Team protocol guarantees the pointee outlives all dereferences (see module
+// docs). The pointer itself is only moved under the mutex.
+unsafe impl Send for JobPtr {}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+/// Handle to a running worker team (see module docs).
+pub struct Team<'a> {
+    shared: &'a Shared,
+    n_threads: usize,
+}
+
+impl Team<'_> {
+    /// Number of workers (≥ 1).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run `job` on every worker (ids `0..n_threads`), blocking until all
+    /// finish. Panics in a worker abort the process (standard scoped-thread
+    /// behaviour) rather than deadlocking the caller.
+    pub fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        let mut slot = self.shared.slot.lock();
+        debug_assert!(slot.job.is_none(), "broadcast while a job is running");
+        // SAFETY: see module docs — we erase the lifetime but do not return
+        // until all workers completed this generation.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync),
+            >(job as *const _)
+        });
+        slot.job = Some(ptr);
+        slot.generation += 1;
+        slot.done = 0;
+        let gen = slot.generation;
+        self.shared.work_ready.notify_all();
+        while !(slot.done == self.n_threads && slot.generation == gen) {
+            self.shared.work_done.wait(&mut slot);
+        }
+        slot.job = None;
+    }
+
+    /// Create a team of `n_threads` workers, run `f` with its handle, then
+    /// shut the workers down. `n_threads == 0` is promoted to 1.
+    pub fn scoped<R>(n_threads: usize, f: impl FnOnce(&Team<'_>) -> R) -> R {
+        let n_threads = n_threads.max(1);
+        let shared = Shared {
+            slot: Mutex::new(Slot { job: None, generation: 0, done: 0, shutdown: false }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for tid in 0..n_threads {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, tid, n_threads));
+            }
+            let team = Team { shared: &shared, n_threads };
+            let result = f(&team);
+            // Shut down.
+            {
+                let mut slot = shared.slot.lock();
+                slot.shutdown = true;
+                shared.work_ready.notify_all();
+            }
+            result
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize, n_threads: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != last_gen {
+                    if let Some(job) = slot.job {
+                        last_gen = slot.generation;
+                        break job;
+                    }
+                }
+                shared.work_ready.wait(&mut slot);
+            }
+        };
+        // SAFETY: pointee outlives this call (module docs invariant 1).
+        let f = unsafe { &*job.0 };
+        f(tid);
+        let mut slot = shared.slot.lock();
+        slot.done += 1;
+        if slot.done == n_threads {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_worker_once() {
+        for n in [1, 2, 4, 7] {
+            let hits = AtomicUsize::new(0);
+            let id_sum = AtomicUsize::new(0);
+            Team::scoped(n, |team| {
+                team.broadcast(&|tid| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    id_sum.fetch_add(tid, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), n);
+            assert_eq!(id_sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_workers() {
+        let total = AtomicU64::new(0);
+        Team::scoped(3, |team| {
+            for round in 0..50u64 {
+                team.broadcast(&|_tid| {
+                    total.fetch_add(round, Ordering::Relaxed);
+                });
+            }
+        });
+        // Each round adds `round` per worker: 3 · Σ rounds.
+        assert_eq!(total.load(Ordering::SeqCst), 3 * (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn broadcast_sees_borrowed_stack_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        Team::scoped(4, |team| {
+            team.broadcast(&|tid| {
+                let chunk = data.len() / 4;
+                let lo = tid * chunk;
+                let hi = if tid == 3 { data.len() } else { lo + chunk };
+                let s: u64 = data[lo..hi].iter().sum();
+                sum.fetch_add(s, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn zero_threads_promoted_to_one() {
+        let hits = AtomicUsize::new(0);
+        Team::scoped(0, |team| {
+            assert_eq!(team.n_threads(), 1);
+            team.broadcast(&|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scoped_returns_closure_value() {
+        let out = Team::scoped(2, |team| {
+            let acc = AtomicUsize::new(10);
+            team.broadcast(&|t| {
+                acc.fetch_add(t + 1, Ordering::SeqCst);
+            });
+            acc.load(Ordering::SeqCst)
+        });
+        assert_eq!(out, 13);
+    }
+
+    #[test]
+    fn mutation_through_mutex_is_visible_after_broadcast() {
+        let shared = parking_lot::Mutex::new(vec![0u32; 8]);
+        Team::scoped(8, |team| {
+            team.broadcast(&|tid| {
+                shared.lock()[tid] += 1;
+            });
+        });
+        assert_eq!(shared.into_inner(), vec![1; 8]);
+    }
+}

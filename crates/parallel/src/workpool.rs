@@ -1,0 +1,230 @@
+//! The dynamic work pool (paper §IV-B).
+//!
+//! A shared LIFO stack of tasks plus an in-flight counter. Workers
+//! repeatedly *pop* a task, process its next group of work (e.g. `gs` CI
+//! tests of an edge), and either *complete* it or *push it back* with
+//! updated progress. The pool is drained when the stack is empty **and** no
+//! task is held by a worker — tracking in-flight tasks is what lets an edge
+//! be popped, partially processed, and returned without another thread
+//! prematurely concluding the depth is finished.
+//!
+//! The paper implements the pool as a stack; LIFO order keeps recently
+//! touched edges (and their data columns) warm in cache.
+
+use crate::team::Team;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A dynamic pool of tasks of type `T`.
+pub struct WorkPool<T> {
+    stack: Mutex<Vec<T>>,
+    in_flight: AtomicUsize,
+}
+
+impl<T> WorkPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self { stack: Mutex::new(Vec::new()), in_flight: AtomicUsize::new(0) }
+    }
+
+    /// A pool pre-loaded with tasks (the per-depth initialization: "all the
+    /// edges in the current graph are pushed into the work pool").
+    pub fn from_tasks(tasks: Vec<T>) -> Self {
+        Self { stack: Mutex::new(tasks), in_flight: AtomicUsize::new(0) }
+    }
+
+    /// Pop a task, marking it in-flight. `None` means the stack is
+    /// currently empty (the pool may still not be [`WorkPool::is_drained`]).
+    pub fn pop(&self) -> Option<T> {
+        // Optimistically mark in-flight *before* popping so a concurrent
+        // `is_drained` between our pop and our processing cannot observe
+        // "empty and idle".
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let task = self.stack.lock().pop();
+        if task.is_none() {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        task
+    }
+
+    /// Return a partially processed task to the pool (keeps it in-flight
+    /// accounting-wise until the push completes, so no drain window opens).
+    pub fn push_back(&self, task: T) {
+        self.stack.lock().push(task);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Mark a popped task as finished.
+    pub fn complete_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Add a brand-new task (not previously popped).
+    pub fn push_new(&self, task: T) {
+        self.stack.lock().push(task);
+    }
+
+    /// Current stack length (tasks not held by any worker).
+    pub fn queued(&self) -> usize {
+        self.stack.lock().len()
+    }
+
+    /// True when the stack is empty and no task is in flight.
+    pub fn is_drained(&self) -> bool {
+        // Order matters: read in_flight first; a task between pop and
+        // push_back keeps in_flight > 0.
+        self.in_flight.load(Ordering::Acquire) == 0 && self.stack.lock().is_empty()
+    }
+}
+
+impl<T> Default for WorkPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a processing step decided about its task.
+pub enum StepResult<T> {
+    /// The task has more work; return it to the pool.
+    Continue(T),
+    /// The task is finished.
+    Done,
+}
+
+/// Drive a pool to completion on `team`: every worker loops
+/// pop → `step` → push-back/complete until the pool drains.
+///
+/// `step(tid, task)` processes one group of work and decides the task's
+/// fate. This is exactly the paper's CI-level scheduling loop, generic over
+/// the task type so it can be property-tested in isolation.
+pub fn run_pool<T, F>(team: &Team<'_>, pool: &WorkPool<T>, step: F)
+where
+    T: Send,
+    F: Fn(usize, T) -> StepResult<T> + Sync,
+{
+    team.broadcast(&|tid| loop {
+        match pool.pop() {
+            Some(task) => match step(tid, task) {
+                StepResult::Continue(t) => pool.push_back(t),
+                StepResult::Done => pool.complete_one(),
+            },
+            None => {
+                if pool.is_drained() {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_basics() {
+        let pool = WorkPool::from_tasks(vec![1, 2, 3]);
+        assert_eq!(pool.queued(), 3);
+        assert!(!pool.is_drained());
+        let t = pool.pop().unwrap();
+        assert_eq!(t, 3, "LIFO order");
+        assert!(!pool.is_drained(), "in-flight task blocks drain");
+        pool.push_back(t);
+        assert_eq!(pool.queued(), 3);
+        for _ in 0..3 {
+            pool.pop().unwrap();
+            pool.complete_one();
+        }
+        assert!(pool.pop().is_none());
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn every_unit_of_work_is_processed_exactly_once() {
+        // Tasks carry (id, remaining_steps); each step decrements. Total
+        // step executions must equal the sum of initial steps, and each
+        // task must complete exactly once.
+        let n_tasks = 64;
+        let tasks: Vec<(usize, u32)> =
+            (0..n_tasks).map(|i| (i, 1 + (i as u32 * 7) % 13)).collect();
+        let expected_steps: u64 = tasks.iter().map(|&(_, s)| s as u64).sum();
+        let pool = WorkPool::from_tasks(tasks);
+        let steps = AtomicU64::new(0);
+        let completions = AtomicU64::new(0);
+        Team::scoped(4, |team| {
+            run_pool(team, &pool, |_tid, (id, remaining)| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                if remaining == 1 {
+                    completions.fetch_add(1, Ordering::Relaxed);
+                    StepResult::Done
+                } else {
+                    StepResult::Continue((id, remaining - 1))
+                }
+            });
+        });
+        assert_eq!(steps.load(Ordering::SeqCst), expected_steps);
+        assert_eq!(completions.load(Ordering::SeqCst), n_tasks as u64);
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn uneven_tasks_are_load_balanced() {
+        // One huge task and many tiny ones with 2 threads: the huge task
+        // must not serialize the tiny ones (they complete while it cycles).
+        // We only assert total correctness here; timing properties are
+        // exercised by the benches.
+        let mut tasks = vec![(0usize, 200u32)];
+        tasks.extend((1..40).map(|i| (i, 1u32)));
+        let total: u64 = tasks.iter().map(|&(_, s)| s as u64).sum();
+        let pool = WorkPool::from_tasks(tasks);
+        let steps = AtomicU64::new(0);
+        Team::scoped(2, |team| {
+            run_pool(team, &pool, |_t, (id, rem)| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                if rem == 1 {
+                    StepResult::Done
+                } else {
+                    StepResult::Continue((id, rem - 1))
+                }
+            });
+        });
+        assert_eq!(steps.load(Ordering::SeqCst), total);
+    }
+
+    #[test]
+    fn empty_pool_drains_immediately() {
+        let pool: WorkPool<u32> = WorkPool::new();
+        Team::scoped(3, |team| {
+            run_pool(team, &pool, |_t, _task| StepResult::Done);
+        });
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn push_new_grows_the_pool() {
+        let pool = WorkPool::new();
+        pool.push_new(1u32);
+        pool.push_new(2);
+        assert_eq!(pool.queued(), 2);
+        assert!(!pool.is_drained());
+    }
+
+    #[test]
+    fn single_thread_run_pool_works() {
+        let pool = WorkPool::from_tasks(vec![(0usize, 5u32)]);
+        let steps = AtomicU64::new(0);
+        Team::scoped(1, |team| {
+            run_pool(team, &pool, |_t, (id, rem)| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                if rem == 1 {
+                    StepResult::Done
+                } else {
+                    StepResult::Continue((id, rem - 1))
+                }
+            });
+        });
+        assert_eq!(steps.load(Ordering::SeqCst), 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! The χ² distribution: CDF, survival function and critical values.
+//!
+//! The G² statistic of a conditional-independence test follows an asymptotic
+//! χ² distribution with `(|Vi|−1)(|Vj|−1)·∏|Zk|` degrees of freedom
+//! (paper §III-B). The test's p-value is the survival function evaluated at
+//! the observed statistic.
+
+use crate::special::{regularized_gamma_p, regularized_gamma_q};
+
+// NaN-catching guards, as in `special`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+/// χ² cumulative distribution function `F(x; df) = P(df/2, x/2)`.
+///
+/// `df` may be any positive real (fractional df arise from adjusted
+/// degrees-of-freedom rules). Returns NAN for invalid inputs.
+pub fn chi2_cdf(x: f64, df: f64) -> f64 {
+    if !(df > 0.0) || x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 {
+        return 0.0;
+    }
+    regularized_gamma_p(df / 2.0, x / 2.0)
+}
+
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+/// χ² survival function `1 − F(x; df) = Q(df/2, x/2)` — the p-value of a
+/// χ²-distributed statistic `x` under `df` degrees of freedom.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    if !(df > 0.0) || x.is_nan() {
+        return f64::NAN;
+    }
+    if x <= 0.0 {
+        return 1.0;
+    }
+    regularized_gamma_q(df / 2.0, x / 2.0)
+}
+
+/// Critical value `x*` such that `chi2_sf(x*, df) = alpha`, computed by
+/// bisection (monotone survival function). Used by tests and by callers who
+/// want to compare the raw statistic instead of the p-value.
+///
+/// # Panics
+/// Panics if `alpha` is not in `(0, 1)` or `df <= 0`.
+pub fn chi2_critical_value(alpha: f64, df: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(df > 0.0, "df must be positive");
+    // Bracket: sf is 1 at 0 and decreases; expand hi until sf(hi) < alpha.
+    let mut lo = 0.0f64;
+    let mut hi = df.max(1.0);
+    while chi2_sf(hi, df) > alpha {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_sf(mid, df) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn classic_critical_values_at_5_percent() {
+        // Textbook χ² critical values for α = 0.05.
+        assert_close(chi2_sf(3.841458820694124, 1.0), 0.05, 1e-9);
+        assert_close(chi2_sf(5.991464547107979, 2.0), 0.05, 1e-9);
+        assert_close(chi2_sf(7.814727903251179, 3.0), 0.05, 1e-9);
+        assert_close(chi2_sf(18.307038053275146, 10.0), 0.05, 1e-9);
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        for &df in &[1.0, 2.0, 5.0, 17.0, 100.0] {
+            for &x in &[0.1, 1.0, 5.0, 25.0, 150.0] {
+                assert_close(chi2_cdf(x, df) + chi2_sf(x, df), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn known_cdf_points() {
+        // χ²_2 is Exp(1/2): F(x) = 1 − e^{−x/2}.
+        for &x in &[0.5, 1.0, 2.0, 4.0] {
+            assert_close(chi2_cdf(x, 2.0), 1.0 - (-x / 2.0).exp(), 1e-12);
+        }
+        // Median of χ²_1 ≈ 0.454936423119573.
+        assert_close(chi2_cdf(0.454936423119573, 1.0), 0.5, 1e-9);
+    }
+
+    #[test]
+    fn boundaries_and_invalid() {
+        assert_eq!(chi2_sf(0.0, 3.0), 1.0);
+        assert_eq!(chi2_cdf(0.0, 3.0), 0.0);
+        assert_eq!(chi2_sf(-1.0, 3.0), 1.0);
+        assert!(chi2_sf(1.0, 0.0).is_nan());
+        assert!(chi2_cdf(1.0, -2.0).is_nan());
+    }
+
+    #[test]
+    fn critical_value_inverts_sf() {
+        for &df in &[1.0, 3.0, 10.0, 42.0] {
+            for &alpha in &[0.01, 0.05, 0.5, 0.9] {
+                let x = chi2_critical_value(alpha, df);
+                assert_close(chi2_sf(x, df), alpha, 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn critical_value_rejects_bad_alpha() {
+        chi2_critical_value(0.0, 1.0);
+    }
+
+    #[test]
+    fn sf_decreasing_in_x() {
+        let df = 4.0;
+        let mut prev = 1.0;
+        for i in 1..200 {
+            let x = i as f64 * 0.25;
+            let p = chi2_sf(x, df);
+            assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Uniform conditional-independence-test front end.
+//!
+//! The learner is parameterized by a [`CiTestKind`]; every kind consumes a
+//! filled [`ContingencyTable`] and produces a [`CiOutcome`]. This is the
+//! narrow waist between the statistics substrate and the structure-learning
+//! algorithms: the parallel schedulers never look inside a test, they only
+//! observe `independent: bool` — which is why CI tests are embarrassingly
+//! parallel at the granularity the paper exploits.
+
+use crate::contingency::ContingencyTable;
+use crate::gsq::g2_test;
+use crate::mi::mi_test;
+use crate::pearson::x2_test;
+
+/// Which statistic to use for conditional-independence testing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CiTestKind {
+    /// Likelihood-ratio G² test (the paper's default).
+    #[default]
+    GSquared,
+    /// Pearson X² test.
+    PearsonX2,
+    /// Mutual-information test (decision-equivalent to G²).
+    MutualInfo,
+}
+
+impl CiTestKind {
+    /// Human-readable name, used by bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CiTestKind::GSquared => "g2",
+            CiTestKind::PearsonX2 => "x2",
+            CiTestKind::MutualInfo => "mi",
+        }
+    }
+}
+
+/// Degrees-of-freedom rule for χ²-family tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DfRule {
+    /// `(rx−1)(ry−1)·∏|Z|` — the textbook rule used by the paper and pcalg.
+    #[default]
+    Classic,
+    /// Per-slice nonzero-marginal correction (bnlearn-style), more
+    /// conservative on sparse tables.
+    Adjusted,
+}
+
+/// Result of one conditional-independence test.
+#[derive(Clone, Copy, Debug)]
+pub struct CiOutcome {
+    /// The raw statistic (G², X², or MI depending on the test kind).
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub df: f64,
+    /// The p-value; independence is accepted iff `p_value > α`.
+    pub p_value: f64,
+    /// The decision at the significance level the test was run with.
+    pub independent: bool,
+}
+
+/// Run the chosen test on a filled table at significance level `alpha`.
+pub fn run_ci_test(
+    table: &ContingencyTable,
+    kind: CiTestKind,
+    alpha: f64,
+    rule: DfRule,
+) -> CiOutcome {
+    match kind {
+        CiTestKind::GSquared => g2_test(table, alpha, rule),
+        CiTestKind::PearsonX2 => x2_test(table, alpha, rule),
+        CiTestKind::MutualInfo => mi_test(table, alpha, rule),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dependent_table() -> ContingencyTable {
+        let mut t = ContingencyTable::new(2, 2, 1);
+        for _ in 0..200 {
+            t.add(0, 0, 0);
+            t.add(1, 1, 0);
+        }
+        for _ in 0..20 {
+            t.add(0, 1, 0);
+            t.add(1, 0, 0);
+        }
+        t
+    }
+
+    #[test]
+    fn all_kinds_agree_on_strong_dependence() {
+        let t = dependent_table();
+        for kind in [CiTestKind::GSquared, CiTestKind::PearsonX2, CiTestKind::MutualInfo] {
+            let out = run_ci_test(&t, kind, 0.05, DfRule::Classic);
+            assert!(!out.independent, "{kind:?} failed to reject");
+            assert!(out.p_value < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(CiTestKind::GSquared.name(), "g2");
+        assert_eq!(CiTestKind::PearsonX2.name(), "x2");
+        assert_eq!(CiTestKind::MutualInfo.name(), "mi");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(CiTestKind::default(), CiTestKind::GSquared);
+        assert_eq!(DfRule::default(), DfRule::Classic);
+    }
+}

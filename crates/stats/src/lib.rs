@@ -1,0 +1,36 @@
+//! # fastbn-stats — statistical substrate for Bayesian-network structure learning
+//!
+//! This crate implements, from scratch, every piece of statistical machinery
+//! required by the PC-stable algorithm and its Fast-BNS acceleration
+//! (Jiang, Wen & Mian, IPDPS 2022):
+//!
+//! * [`special`] — log-gamma and the regularized incomplete gamma functions
+//!   (the numerical kernels behind every χ²-family p-value),
+//! * [`chi2`] — the χ² distribution (CDF, survival function, critical values),
+//! * [`contingency`] — dense contingency tables over `(X, Y | Z-configuration)`
+//!   with marginal accumulation, laid out so the per-`Z`-slice is contiguous,
+//! * [`gsq`] — the G² likelihood-ratio test statistic used by the paper,
+//! * [`pearson`] — the classical Pearson X² statistic (alternative CI test),
+//! * [`mi`] — the (conditional) mutual-information view of G² (`G² = 2·N·MI`),
+//! * [`citest`] — a uniform conditional-independence-test front end used by
+//!   the learner ([`CiTestKind`], [`CiOutcome`], degrees-of-freedom rules).
+//!
+//! Everything here is pure computation (no I/O, no global state), so the
+//! learner crates can call these kernels from any thread without
+//! synchronization: a CI test is a pure function of a contingency table.
+
+pub mod chi2;
+pub mod citest;
+pub mod contingency;
+pub mod gsq;
+pub mod mi;
+pub mod pearson;
+pub mod special;
+
+pub use chi2::{chi2_cdf, chi2_critical_value, chi2_sf};
+pub use citest::{CiOutcome, CiTestKind, DfRule};
+pub use contingency::ContingencyTable;
+pub use gsq::{g2_statistic, g2_test};
+pub use mi::{conditional_mutual_information, mi_test};
+pub use pearson::{x2_statistic, x2_test};
+pub use special::{ln_gamma, regularized_gamma_p, regularized_gamma_q};

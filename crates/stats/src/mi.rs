@@ -1,0 +1,92 @@
+//! Mutual-information view of the G² test.
+//!
+//! The (conditional) mutual information estimated from a contingency table
+//! relates to G² by `G² = 2·N·MI(X; Y | Z)` (in nats). The "mutual
+//! information test" listed in the paper's related work is therefore the G²
+//! test reparameterized; exposing it separately documents the equivalence
+//! and gives callers an information-theoretic effect size alongside the
+//! p-value.
+
+use crate::citest::{CiOutcome, DfRule};
+use crate::contingency::ContingencyTable;
+use crate::gsq::{g2_statistic, g2_test};
+
+/// Empirical conditional mutual information `MI(X; Y | Z)` in nats.
+///
+/// Returns 0 for an empty table.
+pub fn conditional_mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.total();
+    if n == 0 {
+        return 0.0;
+    }
+    g2_statistic(table) / (2.0 * n as f64)
+}
+
+/// Mutual-information independence test: decision identical to
+/// [`g2_test`]; the reported `statistic` is the MI estimate (nats).
+pub fn mi_test(table: &ContingencyTable, alpha: f64, rule: DfRule) -> CiOutcome {
+    let g2 = g2_test(table, alpha, rule);
+    let n = table.total();
+    let mi = if n == 0 { 0.0 } else { g2.statistic / (2.0 * n as f64) };
+    CiOutcome { statistic: mi, ..g2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_of_identical_binary_variables_is_ln2() {
+        // X = Y uniform binary: MI = H(X) = ln 2.
+        let mut t = ContingencyTable::new(2, 2, 1);
+        for _ in 0..500 {
+            t.add(0, 0, 0);
+            t.add(1, 1, 0);
+        }
+        let mi = conditional_mutual_information(&t);
+        assert!((mi - std::f64::consts::LN_2).abs() < 1e-12, "mi = {mi}");
+    }
+
+    #[test]
+    fn mi_of_independent_variables_is_zero() {
+        let mut t = ContingencyTable::new(2, 2, 1);
+        for (x, y, w) in [(0, 0, 40), (0, 1, 60), (1, 0, 20), (1, 1, 30)] {
+            for _ in 0..w {
+                t.add(x, y, 0);
+            }
+        }
+        assert!(conditional_mutual_information(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_nonnegative() {
+        let mut t = ContingencyTable::new(3, 2, 2);
+        let obs = [(0, 0, 0), (1, 1, 0), (2, 0, 1), (0, 1, 1), (1, 0, 0), (2, 1, 1)];
+        for &(x, y, z) in &obs {
+            t.add(x, y, z);
+        }
+        assert!(conditional_mutual_information(&t) >= 0.0);
+    }
+
+    #[test]
+    fn decision_matches_g2() {
+        let mut t = ContingencyTable::new(2, 2, 1);
+        for _ in 0..100 {
+            t.add(0, 0, 0);
+            t.add(1, 1, 0);
+            t.add(0, 1, 0);
+        }
+        let mi = mi_test(&t, 0.05, DfRule::Classic);
+        let g2 = crate::gsq::g2_test(&t, 0.05, DfRule::Classic);
+        assert_eq!(mi.independent, g2.independent);
+        assert_eq!(mi.p_value, g2.p_value);
+        assert!((mi.statistic * 2.0 * t.total() as f64 - g2.statistic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_mi_zero() {
+        let t = ContingencyTable::new(2, 2, 1);
+        assert_eq!(conditional_mutual_information(&t), 0.0);
+        assert!(mi_test(&t, 0.05, DfRule::Classic).independent);
+    }
+}

@@ -1,0 +1,41 @@
+//! Learn all the small Table II benchmark replicas and report accuracy and
+//! timing — the workload the paper's introduction motivates (medical
+//! decision-support networks learned from observational records).
+//!
+//! ```sh
+//! cargo run --release --example benchmark_networks
+//! ```
+
+use fastbn::prelude::*;
+use fastbn_graph::dag_to_cpdag;
+use std::time::Instant;
+
+fn main() {
+    let nets = ["alarm", "insurance", "hepar2", "munin1"];
+    let m = 2000;
+    println!(
+        "{:<10} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>6}",
+        "network", "nodes", "edges", "time", "CI tests", "prec", "recall", "SHD"
+    );
+    for name in nets {
+        let net = fastbn::network::zoo::by_name(name, 11).expect("zoo network");
+        let data = net.sample_dataset(m, 13);
+        let started = Instant::now();
+        let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+        let elapsed = started.elapsed();
+        let truth = net.dag().skeleton();
+        let metrics = skeleton_metrics(&truth, result.skeleton());
+        let shd = shd_cpdag(&dag_to_cpdag(net.dag()), result.cpdag());
+        println!(
+            "{:<10} {:>6} {:>6} {:>8.2?} {:>9} {:>7.3} {:>7.3} {:>6}",
+            name,
+            net.n(),
+            net.dag().edge_count(),
+            elapsed,
+            result.stats().total_ci_tests(),
+            metrics.precision,
+            metrics.recall,
+            shd
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The §IV-D analytic performance model, reproducing the paper's worked
+//! example and sweeping its parameters.
+//!
+//! ```sh
+//! cargo run --release --example perf_model
+//! ```
+
+use fastbn::core::perf_model::{overall_speedup, s_cache, s_ci, s_grouping, ModelParams};
+
+fn main() {
+    // The paper's worked example: t=4, d=2, |Ed|=1200, ρ=0.6, mean degree
+    // 10, B=64 bytes, T_DRAM/T_cache = 8.
+    let p = ModelParams::paper_example();
+    println!("paper worked example (§IV-D4):");
+    println!("  S_CI       = {:.2}   (paper: 3.87)", s_ci(&p));
+    println!("  S_grouping = {:.2}   (paper: 1.43)", s_grouping(p.deletion_ratio));
+    println!(
+        "  S_cache    = {:.2}   (paper: 5.57)",
+        s_cache(p.depth, p.line_bytes, p.dram_cache_ratio)
+    );
+    println!("  S          = {:.1}   (paper: 30.8)", overall_speedup(&p));
+
+    println!("\nthread sweep (other parameters fixed):");
+    println!("  {:>3} {:>8} {:>8}", "t", "S_CI", "S");
+    for t in [1usize, 2, 4, 8, 16, 32] {
+        let p = ModelParams { threads: t, ..ModelParams::paper_example() };
+        println!("  {:>3} {:>8.2} {:>8.1}", t, s_ci(&p), overall_speedup(&p));
+    }
+
+    println!("\ndeletion-ratio sweep (grouping benefit):");
+    println!("  {:>5} {:>10}", "ρd", "S_grouping");
+    for rho in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        println!("  {:>5.1} {:>10.2}", rho, s_grouping(rho));
+    }
+
+    println!("\ndepth sweep of the cache factor (B=64, ratio 8):");
+    println!("  {:>3} {:>8}", "d", "S_cache");
+    for d in 0..=6 {
+        println!("  {:>3} {:>8.2}", d, s_cache(d, 64, 8.0));
+    }
+}

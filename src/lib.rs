@@ -1,0 +1,50 @@
+//! # fastbn — Fast Parallel Bayesian Network Structure Learning
+//!
+//! Umbrella crate re-exporting the whole FastBN-rs workspace: a from-scratch
+//! Rust reproduction of *"Fast Parallel Bayesian Network Structure Learning"*
+//! (Jiang, Wen & Mian, IPDPS 2022) — the Fast-BNS accelerated PC-stable
+//! algorithm — together with every substrate it depends on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fastbn::prelude::*;
+//!
+//! // A small benchmark-network replica and data sampled from it.
+//! let net = fastbn::network::zoo::by_name("alarm", 7).unwrap();
+//! let data = net.sample_dataset(2000, 42);
+//!
+//! // Learn the structure back with Fast-BNS (CI-level parallelism).
+//! let config = PcConfig::fast_bns().with_threads(2);
+//! let result = PcStable::new(config).learn(&data);
+//!
+//! // Compare the learned skeleton to the ground truth.
+//! let truth = net.dag().skeleton();
+//! let m = skeleton_metrics(&truth, result.skeleton());
+//! assert!(m.f1 > 0.5);
+//! ```
+//!
+//! See the crate-level docs of each member for details:
+//! [`graph`], [`stats`], [`data`], [`network`], [`parallel`], [`cachesim`],
+//! [`core`].
+
+pub use fastbn_cachesim as cachesim;
+pub use fastbn_core as core;
+pub use fastbn_data as data;
+pub use fastbn_graph as graph;
+pub use fastbn_network as network;
+pub use fastbn_parallel as parallel;
+pub use fastbn_stats as stats;
+
+/// Commonly used items, importable with `use fastbn::prelude::*`.
+pub mod prelude {
+    pub use fastbn_core::{
+        baselines::{NaivePcStable, NaiveStyle},
+        LearnResult, ParallelMode, PcConfig, PcStable,
+    };
+    pub use fastbn_data::Dataset;
+    pub use fastbn_graph::metrics::{shd_cpdag, skeleton_metrics};
+    pub use fastbn_graph::{Pdag, UGraph};
+    pub use fastbn_network::{BayesNet, NetworkSpec};
+    pub use fastbn_stats::{CiTestKind, DfRule};
+}

@@ -1,0 +1,140 @@
+//! The paper's central correctness claim: "The accuracy of Fast-BNS is
+//! exactly the same as the other PC-stable algorithm implementations"
+//! (§V-A). Every scheduler, group size, layout, conditioning-set strategy
+//! and baseline must produce identical skeletons, separating sets and
+//! CPDAGs on identical inputs.
+
+use fastbn::prelude::*;
+use fastbn::core::{CondSetGen, SampleFill};
+use fastbn_data::Dataset;
+use fastbn_network::generate_network;
+
+fn workload(seed: u64) -> Dataset {
+    let spec = NetworkSpec {
+        name: "agreement".into(),
+        n_nodes: 12,
+        n_edges: 15,
+        min_arity: 2,
+        max_arity: 3,
+        max_in_degree: 3,
+        skew: 0.8,
+        max_samples: 10000,
+    };
+    generate_network(&spec, seed).sample_dataset(1500, seed + 1)
+}
+
+fn assert_identical(data: &Dataset, cfg: PcConfig, reference: &LearnResult, label: &str) {
+    let got = PcStable::new(cfg).learn(data);
+    assert_eq!(got.skeleton(), reference.skeleton(), "{label}: skeleton differs");
+    assert_eq!(got.cpdag(), reference.cpdag(), "{label}: CPDAG differs");
+    for v in 1..data.n_vars() {
+        for u in 0..v {
+            assert_eq!(
+                got.sepsets().get(u, v),
+                reference.sepsets().get(u, v),
+                "{label}: sepset({u},{v}) differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_schedulers_and_thread_counts_agree() {
+    for seed in [1u64, 2, 3] {
+        let data = workload(seed);
+        let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+        for mode in [
+            ParallelMode::EdgeLevel,
+            ParallelMode::SampleLevel,
+            ParallelMode::CiLevel,
+        ] {
+            for threads in [1usize, 2, 3, 5] {
+                let cfg = PcConfig::fast_bns().with_mode(mode).with_threads(threads);
+                assert_identical(&data, cfg, &reference, &format!("seed {seed} {mode:?} t={threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn group_sizes_agree() {
+    let data = workload(11);
+    let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    for gs in [1usize, 2, 3, 6, 8, 16, 64] {
+        let cfg = PcConfig::fast_bns().with_threads(2).with_group_size(gs);
+        assert_identical(&data, cfg, &reference, &format!("gs={gs}"));
+    }
+}
+
+#[test]
+fn layouts_and_cond_set_strategies_agree() {
+    let data = workload(21);
+    let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    for layout in [fastbn_data::Layout::ColumnMajor, fastbn_data::Layout::RowMajor] {
+        for cond in [CondSetGen::OnTheFly, CondSetGen::Precomputed] {
+            for grouping in [true, false] {
+                let cfg = PcConfig::fast_bns_seq()
+                    .with_layout(layout)
+                    .with_cond_sets(cond)
+                    .with_group_endpoints(grouping);
+                assert_identical(
+                    &data,
+                    cfg,
+                    &reference,
+                    &format!("{layout:?}/{cond:?}/grouping={grouping}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_fill_variants_agree() {
+    let data = workload(31);
+    let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    for fill in [SampleFill::Atomic, SampleFill::LocalTables] {
+        let mut cfg = PcConfig::fast_bns()
+            .with_mode(ParallelMode::SampleLevel)
+            .with_threads(3);
+        cfg.sample_fill = fill;
+        assert_identical(&data, cfg, &reference, &format!("{fill:?}"));
+    }
+}
+
+#[test]
+fn naive_baselines_agree_with_fast_bns() {
+    for seed in [41u64, 42] {
+        let data = workload(seed);
+        let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+        for style in [NaiveStyle::PcalgLike, NaiveStyle::BnlearnLike] {
+            for threads in [1usize, 3] {
+                let (skeleton, sepsets, _) = NaivePcStable::new(style)
+                    .with_threads(threads)
+                    .learn_skeleton(&data);
+                assert_eq!(&skeleton, reference.skeleton(), "{style:?} t={threads}");
+                for v in 1..data.n_vars() {
+                    for u in 0..v {
+                        assert_eq!(
+                            sepsets.get(u, v),
+                            reference.sepsets().get(u, v),
+                            "{style:?} t={threads} sepset({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ci_test_kinds_are_internally_consistent() {
+    // Different statistics may disagree with each other near the
+    // threshold, but each must be deterministic and mode-independent.
+    let data = workload(51);
+    for test in [CiTestKind::GSquared, CiTestKind::PearsonX2, CiTestKind::MutualInfo] {
+        let seq = PcStable::new(PcConfig::fast_bns_seq().with_test(test)).learn(&data);
+        let par = PcStable::new(PcConfig::fast_bns().with_test(test).with_threads(2)).learn(&data);
+        assert_eq!(seq.skeleton(), par.skeleton(), "{test:?}");
+        assert_eq!(seq.cpdag(), par.cpdag(), "{test:?}");
+    }
+}

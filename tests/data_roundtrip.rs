@@ -1,0 +1,84 @@
+//! Persistence round-trips through the public API: CSV datasets and
+//! `.bnet` networks, including learning equivalence after a round-trip.
+
+use fastbn::data::{dataset_from_csv, dataset_to_csv};
+use fastbn::network::{bnet_from_str, bnet_to_string, generate_network};
+use fastbn::prelude::*;
+
+#[test]
+fn csv_roundtrip_preserves_learning_result() {
+    let net = generate_network(
+        &NetworkSpec {
+            name: "rt".into(),
+            n_nodes: 10,
+            n_edges: 12,
+            min_arity: 2,
+            max_arity: 4,
+            max_in_degree: 3,
+            skew: 0.8,
+            max_samples: 5000,
+        },
+        17,
+    );
+    let data = net.sample_dataset(1200, 18);
+    let text = dataset_to_csv(&data);
+    let back = dataset_from_csv(&text).expect("roundtrip parse");
+    assert_eq!(back.n_samples(), data.n_samples());
+    assert_eq!(back.arities(), data.arities());
+
+    let learner = PcStable::new(PcConfig::fast_bns_seq());
+    let a = learner.learn(&data);
+    let b = learner.learn(&back);
+    assert_eq!(a.skeleton(), b.skeleton(), "CSV round-trip changed the result");
+    assert_eq!(a.cpdag(), b.cpdag());
+}
+
+#[test]
+fn bnet_roundtrip_preserves_sampling_distribution() {
+    let net = generate_network(
+        &NetworkSpec {
+            name: "persist".into(),
+            n_nodes: 9,
+            n_edges: 10,
+            min_arity: 2,
+            max_arity: 3,
+            max_in_degree: 3,
+            skew: 0.75,
+            max_samples: 5000,
+        },
+        23,
+    );
+    let text = bnet_to_string(&net);
+    let reloaded = bnet_from_str(&text).expect("roundtrip parse");
+    // Same structure and (up to float text round-off) same CPTs ⇒ same
+    // samples for the same seed.
+    let a = net.sample_dataset(500, 99);
+    let b = reloaded.sample_dataset(500, 99);
+    assert_eq!(a, b, "reloaded network must sample identically");
+}
+
+#[test]
+fn csv_with_categorical_levels_learns() {
+    // Hand-written categorical data with a strong x→y dependence.
+    let mut csv = String::from("weather,grass\n");
+    for i in 0..400 {
+        let rain = i % 3 == 0;
+        let wet = if rain { i % 17 != 0 } else { i % 19 == 0 };
+        csv.push_str(if rain { "rain," } else { "sun," });
+        csv.push_str(if wet { "wet\n" } else { "dry\n" });
+    }
+    let data = dataset_from_csv(&csv).unwrap();
+    assert_eq!(data.n_vars(), 2);
+    let result = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    assert_eq!(result.skeleton().edge_count(), 1, "dependence must be found");
+}
+
+#[test]
+fn zoo_network_bnet_roundtrip() {
+    let net = fastbn::network::zoo::by_name("alarm", 3).unwrap();
+    let text = bnet_to_string(&net);
+    let back = bnet_from_str(&text).unwrap();
+    assert_eq!(back.n(), 37);
+    assert_eq!(back.dag().edges(), net.dag().edges());
+    assert_eq!(back.node_names(), net.node_names());
+}

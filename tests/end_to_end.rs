@@ -1,0 +1,103 @@
+//! End-to-end pipeline tests through the public `fastbn` API: network
+//! generation → sampling → learning → scoring.
+
+use fastbn::prelude::*;
+use fastbn_graph::dag_to_cpdag;
+use fastbn_network::generate_network;
+
+fn spec(name: &str, nodes: usize, edges: usize) -> NetworkSpec {
+    NetworkSpec {
+        name: name.to_string(),
+        n_nodes: nodes,
+        n_edges: edges,
+        min_arity: 2,
+        max_arity: 3,
+        max_in_degree: 3,
+        skew: 0.85,
+        max_samples: 20000,
+    }
+}
+
+#[test]
+fn recovers_structure_from_samples() {
+    let net = generate_network(&spec("e2e", 15, 18), 101);
+    let data = net.sample_dataset(6000, 202);
+    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    let m = skeleton_metrics(&net.dag().skeleton(), result.skeleton());
+    assert!(m.f1 > 0.75, "F1 = {:.3} too low for 6000 samples", m.f1);
+    // CPDAG distance bounded well below the trivial distance.
+    let shd = shd_cpdag(&dag_to_cpdag(net.dag()), result.cpdag());
+    assert!(shd < net.dag().edge_count(), "SHD {shd} vs {} edges", net.dag().edge_count());
+}
+
+#[test]
+fn more_samples_do_not_hurt_recall_much() {
+    let net = generate_network(&spec("e2e2", 12, 14), 7);
+    let small = net.sample_dataset(500, 1);
+    let large = net.sample_dataset(8000, 1);
+    let learner = PcStable::new(PcConfig::fast_bns_seq());
+    let f1_small = {
+        let r = learner.learn(&small);
+        skeleton_metrics(&net.dag().skeleton(), r.skeleton()).f1
+    };
+    let f1_large = {
+        let r = learner.learn(&large);
+        skeleton_metrics(&net.dag().skeleton(), r.skeleton()).f1
+    };
+    assert!(
+        f1_large >= f1_small - 0.05,
+        "more data should not substantially hurt: {f1_small:.3} -> {f1_large:.3}"
+    );
+    assert!(f1_large > 0.7, "large-sample F1 = {f1_large}");
+}
+
+#[test]
+fn alpha_controls_sparsity() {
+    // Lower α = harder to reject independence = sparser skeleton.
+    let net = generate_network(&spec("e2e3", 14, 18), 31);
+    let data = net.sample_dataset(2000, 32);
+    let strict = PcStable::new(PcConfig::fast_bns_seq().with_alpha(0.001)).learn(&data);
+    let loose = PcStable::new(PcConfig::fast_bns_seq().with_alpha(0.2)).learn(&data);
+    assert!(
+        strict.skeleton().edge_count() <= loose.skeleton().edge_count(),
+        "strict {} > loose {}",
+        strict.skeleton().edge_count(),
+        loose.skeleton().edge_count()
+    );
+}
+
+#[test]
+fn independent_variables_yield_empty_graph() {
+    // Data from a DAG with no edges: the learner should find ~nothing.
+    let net = generate_network(
+        &NetworkSpec { n_edges: 0, ..spec("empty", 8, 0) },
+        5,
+    );
+    let data = net.sample_dataset(3000, 6);
+    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    // Allow a few false positives at α=0.05 over C(8,2)=28 pairs.
+    assert!(
+        result.skeleton().edge_count() <= 3,
+        "{} edges from independent data",
+        result.skeleton().edge_count()
+    );
+}
+
+#[test]
+fn learned_cpdag_has_no_directed_cycle_and_matches_skeleton() {
+    let net = generate_network(&spec("e2e4", 16, 20), 77);
+    let data = net.sample_dataset(2500, 78);
+    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    assert!(!result.cpdag().has_directed_cycle());
+    assert_eq!(&result.cpdag().skeleton(), result.skeleton());
+}
+
+#[test]
+fn zoo_quickstart_path_works() {
+    let net = fastbn::network::zoo::by_name("insurance", 9).unwrap();
+    let data = net.sample_dataset(1500, 10);
+    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    let m = skeleton_metrics(&net.dag().skeleton(), result.skeleton());
+    assert!(m.f1 > 0.5, "zoo pipeline F1 = {:.3}", m.f1);
+    assert!(result.stats().total_ci_tests() > 300);
+}

@@ -1,0 +1,83 @@
+//! Orientation-phase tests through the full pipeline: with enough data
+//! from a strongly parameterized network, PC-stable's steps 2–3 must
+//! recover compelled edge directions that agree with the true CPDAG.
+
+use fastbn::prelude::*;
+use fastbn_graph::{dag_to_cpdag, Dag};
+use fastbn_network::{BayesNet, Cpt};
+
+/// A network whose CPDAG has fully compelled directions:
+/// 0 → 2 ← 1 (collider), 2 → 3 (compelled by Meek R1).
+fn collider_chain() -> BayesNet {
+    let dag = Dag::from_edges(4, &[(0, 2), (1, 2), (2, 3)]);
+    let coin = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
+    let collider = Cpt::new(
+        2,
+        vec![0, 1],
+        vec![2, 2],
+        vec![0.97, 0.03, 0.15, 0.85, 0.15, 0.85, 0.03, 0.97],
+    )
+    .unwrap();
+    let copy = Cpt::new(2, vec![2], vec![2], vec![0.93, 0.07, 0.07, 0.93]).unwrap();
+    BayesNet::new(
+        "collider-chain",
+        dag,
+        vec![coin.clone(), coin, collider, copy],
+        (0..4).map(|i| format!("V{i}")).collect(),
+    )
+}
+
+#[test]
+fn compelled_directions_recovered() {
+    let net = collider_chain();
+    let data = net.sample_dataset(8000, 5);
+    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    let cpdag = result.cpdag();
+    assert!(cpdag.has_directed(0, 2), "0→2 compelled");
+    assert!(cpdag.has_directed(1, 2), "1→2 compelled");
+    assert!(cpdag.has_directed(2, 3), "2→3 compelled by Meek R1");
+    assert!(!cpdag.is_adjacent(0, 1), "0 and 1 are nonadjacent");
+}
+
+#[test]
+fn learned_cpdag_equals_true_cpdag_with_ample_data() {
+    let net = collider_chain();
+    let data = net.sample_dataset(12000, 6);
+    let result = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    let truth = dag_to_cpdag(net.dag());
+    assert_eq!(
+        shd_cpdag(&truth, result.cpdag()),
+        0,
+        "with 12k samples the exact equivalence class should be found"
+    );
+}
+
+#[test]
+fn reversible_chain_stays_undirected() {
+    // 0 → 1 → 2 has no v-structure; its CPDAG is fully undirected.
+    let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
+    let coin = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
+    let copy = |p: u32| Cpt::new(2, vec![p], vec![2], vec![0.9, 0.1, 0.1, 0.9]).unwrap();
+    let net = BayesNet::new(
+        "chain",
+        dag,
+        vec![coin, copy(0), copy(1)],
+        vec!["a".into(), "b".into(), "c".into()],
+    );
+    let data = net.sample_dataset(8000, 9);
+    let result = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    assert!(result.cpdag().has_undirected(0, 1));
+    assert!(result.cpdag().has_undirected(1, 2));
+    assert!(result.cpdag().directed_edges().is_empty());
+    assert_eq!(result.stats().vstructure_edges, 0);
+}
+
+#[test]
+fn orientation_counts_reported_in_stats() {
+    let net = collider_chain();
+    let data = net.sample_dataset(8000, 15);
+    let result = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    let stats = result.stats();
+    assert_eq!(stats.vstructure_edges, 2);
+    assert_eq!(stats.meek_edges, 1);
+}

@@ -1,0 +1,111 @@
+//! Workload-scaling invariants behind the paper's sensitivity studies
+//! (Figures 3–5): CI-test counts, group-size redundancy, and the
+//! theoretical model's qualitative predictions.
+
+use fastbn::prelude::*;
+use fastbn::core::perf_model::{overall_speedup, s_ci, ModelParams};
+use fastbn_data::Dataset;
+use fastbn_network::generate_network;
+
+fn workload(nodes: usize, edges: usize, m: usize, seed: u64) -> Dataset {
+    let spec = NetworkSpec {
+        name: "scaling".into(),
+        n_nodes: nodes,
+        n_edges: edges,
+        min_arity: 2,
+        max_arity: 3,
+        max_in_degree: 3,
+        skew: 0.8,
+        max_samples: 20000,
+    };
+    generate_network(&spec, seed).sample_dataset(m, seed + 9)
+}
+
+fn ci_tests(data: &Dataset, cfg: &PcConfig) -> u64 {
+    let (_, _, stats) = PcStable::new(cfg.clone()).learn_skeleton(data);
+    stats.total_ci_tests()
+}
+
+#[test]
+fn group_size_monotonically_inflates_ci_tests() {
+    // Figure 4's line series: gs > 1 performs at least as many tests
+    // (whole groups run before deciding), and the count never shrinks as
+    // gs grows to the per-edge maximum.
+    let data = workload(14, 18, 1200, 3);
+    let counts: Vec<u64> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&gs| ci_tests(&data, &PcConfig::fast_bns_seq().with_group_size(gs)))
+        .collect();
+    for w in counts.windows(2) {
+        assert!(w[1] >= w[0], "CI tests must not shrink with gs: {counts:?}");
+    }
+    // And the inflation is bounded by the trivial upper bound: every group
+    // fully wasted.
+    assert!(counts[4] <= counts[0] * 16, "inflation beyond group bound: {counts:?}");
+}
+
+#[test]
+fn endpoint_grouping_reduces_ci_tests() {
+    // §IV-C1: fusing (i,j)/(j,i) cancels the second direction's sweep
+    // whenever the first finds a separator.
+    let data = workload(14, 18, 1200, 5);
+    let grouped = ci_tests(&data, &PcConfig::fast_bns_seq());
+    let ungrouped =
+        ci_tests(&data, &PcConfig::fast_bns_seq().with_group_endpoints(false));
+    assert!(
+        grouped <= ungrouped,
+        "grouping must not add tests: grouped {grouped} vs ungrouped {ungrouped}"
+    );
+}
+
+#[test]
+fn ci_test_count_grows_with_network_size() {
+    // Bigger complete graphs start with quadratically more marginal tests.
+    let small = workload(8, 10, 800, 7);
+    let large = workload(20, 26, 800, 7);
+    let cfg = PcConfig::fast_bns_seq();
+    assert!(ci_tests(&large, &cfg) > ci_tests(&small, &cfg));
+}
+
+#[test]
+fn sample_count_does_not_change_test_count_much() {
+    // CI-test count depends on structure decisions, not directly on m;
+    // with strong CPTs the skeleton stabilizes, so counts stay in a narrow
+    // band across sample sizes.
+    let big = workload(12, 15, 6000, 11);
+    let cfg = PcConfig::fast_bns_seq();
+    let at = |m: usize| ci_tests(&big.truncated(m), &cfg);
+    let (a, b) = (at(3000), at(6000));
+    let ratio = a.max(b) as f64 / a.min(b).max(1) as f64;
+    assert!(ratio < 2.0, "test counts diverged: {a} vs {b}");
+}
+
+#[test]
+fn model_predicts_more_speedup_for_larger_depths_and_threads() {
+    // Qualitative §IV-D predictions used to interpret Figures 2/5.
+    let base = ModelParams::paper_example();
+    // More threads ⇒ more CI-level speedup.
+    let s4 = s_ci(&ModelParams { threads: 4, ..base });
+    let s16 = s_ci(&ModelParams { threads: 16, ..base });
+    assert!(s16 > s4);
+    // Overall speedup strictly positive and composite.
+    assert!(overall_speedup(&base) > s_ci(&base));
+}
+
+#[test]
+fn deeper_search_is_reflected_in_stats() {
+    let data = workload(14, 20, 2500, 13);
+    let learner = PcStable::new(PcConfig::fast_bns_seq());
+    let (_, _, stats) = learner.learn_skeleton(&data);
+    assert!(stats.depths.len() >= 2, "expected at least depth 0 and 1");
+    // Depth-0 test count is exactly n(n−1)/2 on the complete graph.
+    assert_eq!(stats.depths[0].ci_tests, (14 * 13 / 2) as u64);
+    // Edge counts are consistent between consecutive depths.
+    for w in stats.depths.windows(2) {
+        assert_eq!(
+            w[1].edges_at_start,
+            w[0].edges_at_start - w[0].edges_removed,
+            "edge bookkeeping broken"
+        );
+    }
+}
