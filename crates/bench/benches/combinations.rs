@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_unrank(c: &mut Criterion) {
     let mut group = c.benchmark_group("cond_set_generation");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (p, k) in [(10usize, 2usize), (20, 3), (30, 4)] {
         let total = binomial(p, k);
         // On-the-fly: unrank every set, one at a time, reusing one buffer.

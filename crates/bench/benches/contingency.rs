@@ -28,7 +28,9 @@ fn synthetic(n_vars: usize, m: usize) -> Dataset {
 
 fn bench_fill(c: &mut Criterion) {
     let mut group = c.benchmark_group("contingency_fill");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n_vars in [64usize, 512] {
         let m = 20_000;
         let data = synthetic(n_vars, m);

@@ -10,7 +10,9 @@ fn filled_table(rx: usize, ry: usize, nz: usize) -> ContingencyTable {
     let mut t = ContingencyTable::new(rx, ry, nz);
     let mut state = 0x1234_5678u64;
     for _ in 0..10_000 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let x = (state >> 33) as usize % rx;
         let y = (state >> 43) as usize % ry;
         let z = (state >> 53) as usize % nz;
@@ -21,7 +23,9 @@ fn filled_table(rx: usize, ry: usize, nz: usize) -> ContingencyTable {
 
 fn bench_g2(c: &mut Criterion) {
     let mut group = c.benchmark_group("g2");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (rx, ry, nz) in [(2, 2, 1), (4, 4, 4), (3, 3, 27), (4, 4, 64)] {
         let table = filled_table(rx, ry, nz);
         group.bench_with_input(
@@ -40,7 +44,9 @@ fn bench_g2(c: &mut Criterion) {
 
 fn bench_chi2(c: &mut Criterion) {
     let mut group = c.benchmark_group("chi2_sf");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for df in [1.0, 9.0, 81.0] {
         group.bench_with_input(BenchmarkId::from_parameter(df), &df, |b, &df| {
             b.iter(|| black_box(chi2_sf(black_box(df * 1.3), df)))

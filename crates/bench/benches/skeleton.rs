@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_skeleton(c: &mut Criterion) {
     let mut group = c.benchmark_group("skeleton");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let w = load_workload("alarm", 1000, 3);
 
     for (label, cfg) in [
@@ -19,7 +21,9 @@ fn bench_skeleton(c: &mut Criterion) {
         ("fastbns_ci_t2", PcConfig::fast_bns().with_threads(2)),
         (
             "edge_level_t2",
-            PcConfig::fast_bns().with_mode(ParallelMode::EdgeLevel).with_threads(2),
+            PcConfig::fast_bns()
+                .with_mode(ParallelMode::EdgeLevel)
+                .with_threads(2),
         ),
     ] {
         group.bench_with_input(BenchmarkId::new(label, "alarm_1k"), &w.data, |b, data| {

@@ -29,49 +29,59 @@ fn task_sizes(n: usize) -> Vec<u32> {
 
 fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let sizes = task_sizes(256);
     let threads = 2;
 
-    group.bench_with_input(BenchmarkId::new("work_pool", "skewed256"), &sizes, |b, sizes| {
-        b.iter(|| {
-            let acc = AtomicU64::new(0);
-            let tasks: Vec<(usize, u32)> = sizes.iter().copied().enumerate().collect();
-            let pool = WorkPool::from_tasks(tasks);
-            Team::scoped(threads, |team| {
-                // Group size 8: process 8 units then requeue, like gs=8.
-                run_pool(team, &pool, |_tid, (id, remaining)| {
-                    let burst = remaining.min(8);
-                    for i in 0..burst {
-                        acc.fetch_add(unit_work(id as u64 + i as u64), Ordering::Relaxed);
-                    }
-                    if remaining <= burst {
-                        StepResult::Done
-                    } else {
-                        StepResult::Continue((id, remaining - burst))
-                    }
-                });
-            });
-            black_box(acc.into_inner())
-        })
-    });
-
-    group.bench_with_input(BenchmarkId::new("static_chunks", "skewed256"), &sizes, |b, sizes| {
-        b.iter(|| {
-            let acc = AtomicU64::new(0);
-            let ranges = chunk_ranges(sizes.len(), threads);
-            Team::scoped(threads, |team| {
-                team.broadcast(&|tid| {
-                    for i in ranges[tid].clone() {
-                        for j in 0..sizes[i] {
-                            acc.fetch_add(unit_work(i as u64 + j as u64), Ordering::Relaxed);
+    group.bench_with_input(
+        BenchmarkId::new("work_pool", "skewed256"),
+        &sizes,
+        |b, sizes| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                let tasks: Vec<(usize, u32)> = sizes.iter().copied().enumerate().collect();
+                let pool = WorkPool::from_tasks(tasks);
+                Team::scoped(threads, |team| {
+                    // Group size 8: process 8 units then requeue, like gs=8.
+                    run_pool(team, &pool, |_tid, (id, remaining)| {
+                        let burst = remaining.min(8);
+                        for i in 0..burst {
+                            acc.fetch_add(unit_work(id as u64 + i as u64), Ordering::Relaxed);
                         }
-                    }
+                        if remaining <= burst {
+                            StepResult::Done
+                        } else {
+                            StepResult::Continue((id, remaining - burst))
+                        }
+                    });
                 });
-            });
-            black_box(acc.into_inner())
-        })
-    });
+                black_box(acc.into_inner())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("static_chunks", "skewed256"),
+        &sizes,
+        |b, sizes| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                let ranges = chunk_ranges(sizes.len(), threads);
+                Team::scoped(threads, |team| {
+                    team.broadcast(&|tid| {
+                        for i in ranges[tid].clone() {
+                            for j in 0..sizes[i] {
+                                acc.fetch_add(unit_work(i as u64 + j as u64), Ordering::Relaxed);
+                            }
+                        }
+                    });
+                });
+                black_box(acc.into_inner())
+            })
+        },
+    );
     group.finish();
 }
 

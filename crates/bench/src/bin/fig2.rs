@@ -19,8 +19,11 @@ fn main() {
         &["alarm", "insurance", "hepar2", "munin1", "diabetes", "link"],
     );
     let m = args.sample_count(2000, 5000);
-    let threads =
-        if args.full && args.threads == vec![1, 2, 4] { vec![1, 2, 4, 8, 16, 32] } else { args.threads.clone() };
+    let threads = if args.full && args.threads == vec![1, 2, 4] {
+        vec![1, 2, 4, 8, 16, 32]
+    } else {
+        args.threads.clone()
+    };
 
     println!("Figure 2: execution time vs. threads for three parallelism granularities");
     println!("({m} samples; times as printed by fmt: s, m=ms, u=us)\n");
@@ -28,8 +31,7 @@ fn main() {
     for name in &nets {
         let w = load_workload(name, m, args.seed);
         eprintln!("[fig2] {name} ({} nodes)…", w.net.n());
-        let mut table =
-            TextTable::new(vec!["threads", "CI-level", "Edge-level", "Sample-level"]);
+        let mut table = TextTable::new(vec!["threads", "CI-level", "Edge-level", "Sample-level"]);
         let mut reference = None;
         for &t in &threads {
             let mut cells = vec![t.to_string()];

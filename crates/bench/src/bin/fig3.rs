@@ -48,8 +48,7 @@ fn main() {
             let mut cells = vec![t.to_string()];
             for (i, &m) in sample_sizes.iter().enumerate() {
                 let data = w.data.truncated(m);
-                let run =
-                    time_learn(&data, &PcConfig::fast_bns().with_threads(t), args.reps);
+                let run = time_learn(&data, &PcConfig::fast_bns().with_threads(t), args.reps);
                 let speedup = seq_times[i].as_secs_f64() / run.duration.as_secs_f64().max(1e-12);
                 cells.push(format!("{speedup:.2}x"));
             }

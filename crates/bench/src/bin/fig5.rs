@@ -21,8 +21,9 @@ fn main() {
     let m = args.sample_count(2000, 5000);
 
     println!("Figure 5: Fast-BNS-par speedup over Fast-BNS-seq per network ({m} samples)\n");
-    let mut table =
-        TextTable::new(vec!["network", "nodes", "seq time", "par time", "speedup", "t*"]);
+    let mut table = TextTable::new(vec![
+        "network", "nodes", "seq time", "par time", "speedup", "t*",
+    ]);
 
     for name in &nets {
         let w = load_workload(name, m, args.seed);

@@ -26,8 +26,7 @@ fn main() {
     for name in &nets {
         let w = load_workload(name, m, args.seed);
         eprintln!("[sweep] {name}…");
-        let mut table =
-            TextTable::new(vec!["layout", "grouping", "cond-sets", "time", "CI tests"]);
+        let mut table = TextTable::new(vec!["layout", "grouping", "cond-sets", "time", "CI tests"]);
         let mut reference = None;
         let mut fastest: Option<(String, std::time::Duration)> = None;
         for layout in [Layout::ColumnMajor, Layout::RowMajor] {

@@ -13,7 +13,14 @@ fn main() {
     let to_generate = args.networks(
         &["alarm", "insurance", "hepar2", "munin1"],
         &[
-            "alarm", "insurance", "hepar2", "munin1", "diabetes", "link", "munin2", "munin3",
+            "alarm",
+            "insurance",
+            "hepar2",
+            "munin1",
+            "diabetes",
+            "link",
+            "munin2",
+            "munin3",
         ],
     );
 

@@ -21,13 +21,18 @@ fn main() {
     let nets = args.networks(
         &["alarm", "insurance", "hepar2", "munin1", "diabetes"],
         &[
-            "alarm", "insurance", "hepar2", "munin1", "diabetes", "link", "munin2", "munin3",
+            "alarm",
+            "insurance",
+            "hepar2",
+            "munin1",
+            "diabetes",
+            "link",
+            "munin2",
+            "munin3",
         ],
     );
     let m = args.sample_count(2000, 5000);
-    println!(
-        "Table III: execution time (seconds unless suffixed: m=ms, u=us), {m} samples\n"
-    );
+    println!("Table III: execution time (seconds unless suffixed: m=ms, u=us), {m} samples\n");
 
     let mut table = TextTable::new(vec![
         "Data set",
@@ -44,14 +49,30 @@ fn main() {
 
     for name in &nets {
         let w = load_workload(name, m, args.seed);
-        eprintln!("[table3] {name}: learning ({} nodes, {m} samples)…", w.net.n());
+        eprintln!(
+            "[table3] {name}: learning ({} nodes, {m} samples)…",
+            w.net.n()
+        );
 
-        let pcalg = time_naive(&w.data, &NaivePcStable::new(NaiveStyle::PcalgLike), args.reps);
-        let bnlearn =
-            time_naive(&w.data, &NaivePcStable::new(NaiveStyle::BnlearnLike), args.reps);
+        let pcalg = time_naive(
+            &w.data,
+            &NaivePcStable::new(NaiveStyle::PcalgLike),
+            args.reps,
+        );
+        let bnlearn = time_naive(
+            &w.data,
+            &NaivePcStable::new(NaiveStyle::BnlearnLike),
+            args.reps,
+        );
         let fast_seq = time_learn(&w.data, &PcConfig::fast_bns_seq(), args.reps);
-        assert_eq!(pcalg.skeleton, fast_seq.skeleton, "{name}: pcalg-like disagrees");
-        assert_eq!(bnlearn.skeleton, fast_seq.skeleton, "{name}: bnlearn-like disagrees");
+        assert_eq!(
+            pcalg.skeleton, fast_seq.skeleton,
+            "{name}: pcalg-like disagrees"
+        );
+        assert_eq!(
+            bnlearn.skeleton, fast_seq.skeleton,
+            "{name}: bnlearn-like disagrees"
+        );
 
         // Parallel: best thread count for each implementation.
         let mut best_bnlearn_par = None;

@@ -22,9 +22,11 @@ fn main() {
     for name in &nets {
         let w = load_workload(name, m, args.seed);
         eprintln!("[table4] {name}: recording CI-test trace…");
-        let (records, _skeleton, _sepsets) =
-            record_ci_trace(&w.data, &PcConfig::fast_bns_seq());
-        eprintln!("[table4] {name}: {} CI tests; replaying streams…", records.len());
+        let (records, _skeleton, _sepsets) = record_ci_trace(&w.data, &PcConfig::fast_bns_seq());
+        eprintln!(
+            "[table4] {name}: {} CI tests; replaying streams…",
+            records.len()
+        );
 
         let mut table = TextTable::new(vec![
             name.as_str(),

@@ -56,8 +56,11 @@ impl BenchArgs {
                 }
                 "--nets" => {
                     let v = it.next().expect("--nets needs a list like alarm,hepar2");
-                    out.nets =
-                        Some(v.split(',').map(|s| s.trim().to_ascii_lowercase()).collect());
+                    out.nets = Some(
+                        v.split(',')
+                            .map(|s| s.trim().to_ascii_lowercase())
+                            .collect(),
+                    );
                 }
                 "--seed" => {
                     let v = it.next().expect("--seed needs a value");
@@ -65,7 +68,10 @@ impl BenchArgs {
                 }
                 "--reps" => {
                     let v = it.next().expect("--reps needs a value");
-                    out.reps = v.parse::<usize>().expect("--reps must be an integer").max(1);
+                    out.reps = v
+                        .parse::<usize>()
+                        .expect("--reps must be an integer")
+                        .max(1);
                 }
                 "--help" | "-h" => {
                     eprintln!(
@@ -98,7 +104,8 @@ impl BenchArgs {
     /// The sample count: explicit `--samples`, else `full_m` under
     /// `--full`, else `default_m`.
     pub fn sample_count(&self, default_m: usize, full_m: usize) -> usize {
-        self.samples.unwrap_or(if self.full { full_m } else { default_m })
+        self.samples
+            .unwrap_or(if self.full { full_m } else { default_m })
     }
 }
 
@@ -149,7 +156,10 @@ mod tests {
         let a = parse(&[]);
         assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["alarm"]);
         let a = parse(&["--full"]);
-        assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["alarm", "link"]);
+        assert_eq!(
+            a.networks(&["alarm"], &["alarm", "link"]),
+            vec!["alarm", "link"]
+        );
         let a = parse(&["--nets", "munin1"]);
         assert_eq!(a.networks(&["alarm"], &["alarm", "link"]), vec!["munin1"]);
     }

@@ -27,7 +27,11 @@ pub fn time_learn(data: &Dataset, cfg: &PcConfig, reps: usize) -> TimedRun {
         let started = Instant::now();
         let (skeleton, _sepsets, stats) = learner.learn_skeleton(data);
         let duration = started.elapsed();
-        let run = TimedRun { duration, ci_tests: stats.total_ci_tests(), skeleton };
+        let run = TimedRun {
+            duration,
+            ci_tests: stats.total_ci_tests(),
+            skeleton,
+        };
         best = match best {
             Some(b) if b.duration <= run.duration => Some(b),
             _ => Some(run),
@@ -43,7 +47,11 @@ pub fn time_naive(data: &Dataset, baseline: &NaivePcStable, reps: usize) -> Time
         let started = Instant::now();
         let (skeleton, _sepsets, ci_tests) = baseline.learn_skeleton(data);
         let duration = started.elapsed();
-        let run = TimedRun { duration, ci_tests, skeleton };
+        let run = TimedRun {
+            duration,
+            ci_tests,
+            skeleton,
+        };
         best = match best {
             Some(b) if b.duration <= run.duration => Some(b),
             _ => Some(run),
@@ -79,10 +87,8 @@ mod tests {
     use fastbn_core::baselines::NaiveStyle;
 
     fn tiny_data() -> Dataset {
-        let net = fastbn_network::generate_network(
-            &fastbn_network::NetworkSpec::small("t", 8, 10),
-            1,
-        );
+        let net =
+            fastbn_network::generate_network(&fastbn_network::NetworkSpec::small("t", 8, 10), 1);
         net.sample_dataset(400, 2)
     }
 
@@ -90,8 +96,7 @@ mod tests {
     fn timed_runs_agree_on_skeleton() {
         let data = tiny_data();
         let fast = time_learn(&data, &PcConfig::fast_bns_seq(), 1);
-        let naive =
-            time_naive(&data, &NaivePcStable::new(NaiveStyle::BnlearnLike), 1);
+        let naive = time_naive(&data, &NaivePcStable::new(NaiveStyle::BnlearnLike), 1);
         assert_eq!(fast.skeleton, naive.skeleton);
         assert!(fast.ci_tests > 0);
         assert!(naive.duration.as_nanos() > 0);

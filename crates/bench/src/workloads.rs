@@ -21,7 +21,11 @@ pub fn load_workload(name: &str, m: usize, seed: u64) -> Workload {
     let net = zoo::by_name(name, seed)
         .unwrap_or_else(|| panic!("unknown network {name:?}; see `table2` for the list"));
     let data = net.sample_dataset(m, seed.wrapping_add(0xDA7A));
-    Workload { net, data, name: name.to_string() }
+    Workload {
+        net,
+        data,
+        name: name.to_string(),
+    }
 }
 
 #[cfg(test)]

@@ -20,12 +20,20 @@ impl CacheConfig {
     /// A 32 KiB, 8-way, 64 B-line L1D (Skylake-class, matching the paper's
     /// Xeon Platinum 8167M).
     pub fn l1d() -> Self {
-        Self { size_bytes: 32 * 1024, line_bytes: 64, associativity: 8 }
+        Self {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        }
     }
 
     /// An 8 MiB, 16-way, 64 B-line last-level cache slice.
     pub fn llc() -> Self {
-        Self { size_bytes: 8 * 1024 * 1024, line_bytes: 64, associativity: 16 }
+        Self {
+            size_bytes: 8 * 1024 * 1024,
+            line_bytes: 64,
+            associativity: 16,
+        }
     }
 }
 
@@ -57,7 +65,9 @@ impl Cache {
         assert!(config.line_bytes.is_power_of_two() && config.line_bytes >= 4);
         assert!(config.associativity >= 1);
         assert!(
-            config.size_bytes.is_multiple_of(config.line_bytes * config.associativity)
+            config
+                .size_bytes
+                .is_multiple_of(config.line_bytes * config.associativity)
                 && config.n_sets() >= 1,
             "capacity must be a whole number of sets"
         );
@@ -143,7 +153,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, associativity: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            associativity: 2,
+        })
     }
 
     #[test]
@@ -196,8 +210,8 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_stays_resident() {
-        let mut c = Cache::new(CacheConfig::l1d()); // 32 KiB
-        // Touch 16 KiB twice: second pass must be all hits.
+        // Touch 16 KiB twice in a 32 KiB cache: second pass must be all hits.
+        let mut c = Cache::new(CacheConfig::l1d());
         for addr in (0..16 * 1024u64).step_by(64) {
             c.access(addr);
         }
@@ -230,6 +244,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole number of sets")]
     fn degenerate_geometry_rejected() {
-        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 64, associativity: 2 });
+        Cache::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            associativity: 2,
+        });
     }
 }

@@ -59,7 +59,12 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Build a cold hierarchy.
     pub fn new(config: HierarchyConfig) -> Self {
-        Self { l1: Cache::new(config.l1), ll: Cache::new(config.ll), config, cycles: 0.0 }
+        Self {
+            l1: Cache::new(config.l1),
+            ll: Cache::new(config.ll),
+            config,
+            cycles: 0.0,
+        }
     }
 
     /// The default (paper-matched) hierarchy.

@@ -41,8 +41,14 @@ impl CacheReport {
     pub fn snapshot(label: impl Into<String>, h: &MemoryHierarchy) -> Self {
         Self {
             label: label.into(),
-            l1: LevelStats { accesses: h.l1().accesses(), misses: h.l1().misses() },
-            ll: LevelStats { accesses: h.ll().accesses(), misses: h.ll().misses() },
+            l1: LevelStats {
+                accesses: h.l1().accesses(),
+                misses: h.l1().misses(),
+            },
+            ll: LevelStats {
+                accesses: h.ll().accesses(),
+                misses: h.ll().misses(),
+            },
             cycles: h.cycles(),
         }
     }
@@ -86,9 +92,15 @@ mod tests {
 
     #[test]
     fn miss_rate_handles_zero() {
-        let s = LevelStats { accesses: 0, misses: 0 };
+        let s = LevelStats {
+            accesses: 0,
+            misses: 0,
+        };
         assert_eq!(s.miss_rate(), 0.0);
-        let s = LevelStats { accesses: 4, misses: 1 };
+        let s = LevelStats {
+            accesses: 4,
+            misses: 1,
+        };
         assert!((s.miss_rate() - 0.25).abs() < 1e-12);
     }
 
@@ -96,11 +108,20 @@ mod tests {
     fn display_contains_key_fields() {
         let r = CacheReport {
             label: "Fast-BNS".into(),
-            l1: LevelStats { accesses: 100, misses: 10 },
-            ll: LevelStats { accesses: 10, misses: 5 },
+            l1: LevelStats {
+                accesses: 100,
+                misses: 10,
+            },
+            ll: LevelStats {
+                accesses: 10,
+                misses: 5,
+            },
             cycles: 123.0,
         };
         let s = r.to_string();
-        assert!(s.contains("Fast-BNS") && s.contains("100") && s.contains("10.00%"), "{s}");
+        assert!(
+            s.contains("Fast-BNS") && s.contains("100") && s.contains("10.00%"),
+            "{s}"
+        );
     }
 }

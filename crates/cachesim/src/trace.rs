@@ -43,7 +43,13 @@ pub struct TraceSpec {
 impl TraceSpec {
     /// A spec with the paper's element size at address 0.
     pub fn new(n_vars: usize, n_samples: usize, layout: TraceLayout) -> Self {
-        Self { n_vars, n_samples, elem_bytes: 4, layout, base_addr: 0 }
+        Self {
+            n_vars,
+            n_samples,
+            elem_bytes: 4,
+            layout,
+            base_addr: 0,
+        }
     }
 
     /// Byte address of `(sample, var)` under this layout.

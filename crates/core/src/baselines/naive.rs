@@ -49,7 +49,13 @@ pub struct NaivePcStable {
 impl NaivePcStable {
     /// A sequential baseline with the paper's test settings (G², α=0.05).
     pub fn new(style: NaiveStyle) -> Self {
-        Self { alpha: 0.05, test: CiTestKind::GSquared, style, threads: 1, max_depth: None }
+        Self {
+            alpha: 0.05,
+            test: CiTestKind::GSquared,
+            style,
+            threads: 1,
+            max_depth: None,
+        }
     }
 
     /// Use `t` threads with static edge partitioning (bnlearn-par
@@ -87,8 +93,7 @@ impl NaivePcStable {
                 }
             }
             // PC-stable: snapshot all adjacency lists before the depth.
-            let snapshots: Vec<Vec<usize>> =
-                (0..n).map(|v| graph.neighbor_list(v)).collect();
+            let snapshots: Vec<Vec<usize>> = (0..n).map(|v| graph.neighbor_list(v)).collect();
             // Work items: ordered or unordered sweeps over current edges.
             let items = self.build_items(&graph, &snapshots, d);
             if items.is_empty() {
@@ -107,12 +112,7 @@ impl NaivePcStable {
 
     /// One work item: a direction (or edge) with its *materialized* list
     /// of conditioning sets — the naive memory layout.
-    fn build_items(
-        &self,
-        graph: &UGraph,
-        snapshots: &[Vec<usize>],
-        d: usize,
-    ) -> Vec<NaiveItem> {
+    fn build_items(&self, graph: &UGraph, snapshots: &[Vec<usize>], d: usize) -> Vec<NaiveItem> {
         let mut items = Vec::new();
         for (u, v) in graph.edges() {
             let pool = |a: usize, b: usize| -> Vec<usize> {
@@ -276,13 +276,23 @@ mod tests {
         let mut cols: Vec<Vec<u8>> = vec![Vec::new(); 4];
         let mut state = 0x5EEDu64;
         for _ in 0..2500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((state >> 33) & 1) as u8;
             let y = ((state >> 34) & 1) as u8;
             cols[0].push(x);
             cols[1].push(y);
-            cols[2].push(if (state >> 35).is_multiple_of(20) { 1 - x } else { x });
-            cols[3].push(if (state >> 41).is_multiple_of(20) { 1 - y } else { y });
+            cols[2].push(if (state >> 35).is_multiple_of(20) {
+                1 - x
+            } else {
+                x
+            });
+            cols[3].push(if (state >> 41).is_multiple_of(20) {
+                1 - y
+            } else {
+                y
+            });
         }
         Dataset::from_columns(vec![], vec![2; 4], cols).unwrap()
     }
@@ -306,8 +316,7 @@ mod tests {
     #[test]
     fn parallel_baseline_matches_sequential_baseline() {
         let data = dataset();
-        let (seq_g, seq_sep, _) =
-            NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
+        let (seq_g, seq_sep, _) = NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
         let (par_g, par_sep, _) = NaivePcStable::new(NaiveStyle::BnlearnLike)
             .with_threads(3)
             .learn_skeleton(&data);
@@ -320,11 +329,13 @@ mod tests {
         // The ordered-pair sweep repeats the empty set at depth 0, so it
         // must run at least as many tests.
         let data = dataset();
-        let (_, _, pcalg_tests) =
-            NaivePcStable::new(NaiveStyle::PcalgLike).learn_skeleton(&data);
+        let (_, _, pcalg_tests) = NaivePcStable::new(NaiveStyle::PcalgLike).learn_skeleton(&data);
         let (_, _, bnlearn_tests) =
             NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
-        assert!(pcalg_tests >= bnlearn_tests, "{pcalg_tests} < {bnlearn_tests}");
+        assert!(
+            pcalg_tests >= bnlearn_tests,
+            "{pcalg_tests} < {bnlearn_tests}"
+        );
     }
 
     #[test]
@@ -348,8 +359,7 @@ mod tests {
             .with_max_depth(0)
             .learn_skeleton(&data);
         // Depth 0 only: some conditional structure may survive.
-        let (gfull, _, _) =
-            NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
+        let (gfull, _, _) = NaivePcStable::new(NaiveStyle::BnlearnLike).learn_skeleton(&data);
         assert!(g0.edge_count() >= gfull.edge_count());
     }
 

@@ -35,7 +35,10 @@ pub fn binomial(n: usize, k: usize) -> u64 {
 /// Panics if `rank >= C(p, k)`.
 pub fn unrank_combination(p: usize, k: usize, rank: u64, out: &mut Vec<usize>) {
     out.clear();
-    debug_assert!(rank < binomial(p, k), "rank {rank} out of range for C({p},{k})");
+    debug_assert!(
+        rank < binomial(p, k),
+        "rank {rank} out of range for C({p},{k})"
+    );
     let mut r = rank;
     let mut x = 0usize;
     for i in 0..k {

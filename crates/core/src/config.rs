@@ -125,7 +125,11 @@ impl PcConfig {
     /// The sequential Fast-BNS configuration (Fast-BNS-seq in Table III):
     /// all general optimizations on, no parallelism.
     pub fn fast_bns_seq() -> Self {
-        Self { mode: ParallelMode::Sequential, threads: 1, ..Self::fast_bns() }
+        Self {
+            mode: ParallelMode::Sequential,
+            threads: 1,
+            ..Self::fast_bns()
+        }
     }
 
     /// Set the thread count (builder style).

@@ -77,7 +77,10 @@ impl PcStable {
     /// # Panics
     /// Panics if `data` has fewer than 2 variables.
     pub fn learn(&self, data: &Dataset) -> LearnResult {
-        assert!(data.n_vars() >= 2, "structure learning needs at least 2 variables");
+        assert!(
+            data.n_vars() >= 2,
+            "structure learning needs at least 2 variables"
+        );
         let t0 = Instant::now();
         let (skeleton, sepsets, depths) = learn_skeleton(data, &self.config);
         let skeleton_duration = t0.elapsed();

@@ -94,7 +94,10 @@ mod tests {
             let dag = random_dag(10, 25, seed);
             let (skeleton, _, queries) = oracle_skeleton(&dag);
             assert_eq!(skeleton, dag.skeleton(), "seed {seed}");
-            assert!(queries >= (10 * 9 / 2) as u64, "at least all marginal queries");
+            assert!(
+                queries >= (10 * 9 / 2) as u64,
+                "at least all marginal queries"
+            );
         }
     }
 

@@ -22,7 +22,11 @@ pub fn orient(skeleton: &UGraph, sepsets: &SepSets) -> OrientOutcome {
     let mut pdag = Pdag::from_skeleton(skeleton);
     let vstructure_edges = orient_v_structures(&mut pdag, sepsets);
     let meek_edges = apply_meek_rules(&mut pdag);
-    OrientOutcome { pdag, vstructure_edges, meek_edges }
+    OrientOutcome {
+        pdag,
+        vstructure_edges,
+        meek_edges,
+    }
 }
 
 #[cfg(test)]

@@ -68,8 +68,7 @@ pub fn s_ci(p: &ModelParams) -> f64 {
     let per_edge = tests_per_edge(p);
     let heavy_edges = p.edges as f64 / p.threads as f64;
     let t1 = heavy_edges * per_edge;
-    let t2 = (heavy_edges * per_edge + (p.threads as f64 - 1.0) * heavy_edges)
-        / p.threads as f64;
+    let t2 = (heavy_edges * per_edge + (p.threads as f64 - 1.0) * heavy_edges) / p.threads as f64;
     t1 / t2
 }
 
@@ -133,20 +132,29 @@ mod tests {
     fn s_ci_grows_with_threads() {
         let mut prev = 1.0;
         for t in [1, 2, 4, 8, 16] {
-            let p = ModelParams { threads: t, ..ModelParams::paper_example() };
+            let p = ModelParams {
+                threads: t,
+                ..ModelParams::paper_example()
+            };
             let s = s_ci(&p);
             assert!(s >= prev - 1e-12, "t={t}");
             prev = s;
         }
         // And is bounded by t.
-        let p = ModelParams { threads: 8, ..ModelParams::paper_example() };
+        let p = ModelParams {
+            threads: 8,
+            ..ModelParams::paper_example()
+        };
         assert!(s_ci(&p) <= 8.0);
     }
 
     #[test]
     fn s_grouping_bounds() {
         assert!(close(s_grouping(0.0), 1.0, 1e-12), "no deletions ⇒ no gain");
-        assert!(close(s_grouping(1.0), 2.0, 1e-12), "all deleted ⇒ half the sets");
+        assert!(
+            close(s_grouping(1.0), 2.0, 1e-12),
+            "all deleted ⇒ half the sets"
+        );
     }
 
     #[test]
@@ -166,7 +174,10 @@ mod tests {
 
     #[test]
     fn single_thread_ci_speedup_is_one() {
-        let p = ModelParams { threads: 1, ..ModelParams::paper_example() };
+        let p = ModelParams {
+            threads: 1,
+            ..ModelParams::paper_example()
+        };
         assert!(close(s_ci(&p), 1.0, 1e-12));
     }
 }

@@ -32,8 +32,9 @@ pub fn run_depth(
     let pool = WorkPool::from_tasks(tasks);
     // Per-thread state: a private CI engine and a removal buffer, each
     // behind an uncontended mutex (only thread `tid` touches slot `tid`).
-    let engines: Vec<Mutex<CiEngine<'_>>> =
-        (0..t).map(|_| Mutex::new(CiEngine::new(data, cfg))).collect();
+    let engines: Vec<Mutex<CiEngine<'_>>> = (0..t)
+        .map(|_| Mutex::new(CiEngine::new(data, cfg)))
+        .collect();
     let removals: Vec<Mutex<Vec<Removal>>> = (0..t).map(|_| Mutex::new(Vec::new())).collect();
 
     run_pool(team, &pool, |tid, task| {

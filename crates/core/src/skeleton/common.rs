@@ -355,11 +355,29 @@ pub fn build_tasks(graph: &UGraph, d: usize, cfg: &PcConfig) -> Vec<EdgeTask> {
             // Original PC-stable: two ordered directions, each its own task.
             let n1 = binomial(c1.len(), d);
             if n1 > 0 {
-                tasks.push(make_task(u as u32, v as u32, c1, Box::new([]), n1, 0, d, cfg));
+                tasks.push(make_task(
+                    u as u32,
+                    v as u32,
+                    c1,
+                    Box::new([]),
+                    n1,
+                    0,
+                    d,
+                    cfg,
+                ));
             }
             let n2 = binomial(c2.len(), d);
             if n2 > 0 {
-                tasks.push(make_task(v as u32, u as u32, c2, Box::new([]), n2, 0, d, cfg));
+                tasks.push(make_task(
+                    v as u32,
+                    u as u32,
+                    c2,
+                    Box::new([]),
+                    n2,
+                    0,
+                    d,
+                    cfg,
+                ));
             }
         }
     }
@@ -392,7 +410,16 @@ fn make_task(
             Some(flat.into_boxed_slice())
         }
     };
-    EdgeTask { u, v, cand1, cand2, n1, n2, progress: 0, precomputed }
+    EdgeTask {
+        u,
+        v,
+        cand1,
+        cand2,
+        n1,
+        n2,
+        progress: 0,
+        precomputed,
+    }
 }
 
 /// Apply a depth's removals to the graph and sepset store. Duplicate
@@ -492,8 +519,7 @@ mod tests {
     fn build_tasks_grouped_vs_ungrouped() {
         let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]);
         let grouped = build_tasks(&g, 1, &PcConfig::fast_bns_seq());
-        let ungrouped =
-            build_tasks(&g, 1, &PcConfig::fast_bns_seq().with_group_endpoints(false));
+        let ungrouped = build_tasks(&g, 1, &PcConfig::fast_bns_seq().with_group_endpoints(false));
         // Grouped: one task per edge that has any candidate.
         assert_eq!(grouped.len(), 4);
         // Ungrouped: one per direction with a nonempty pool.
@@ -587,8 +613,18 @@ mod tests {
         let mut g = UGraph::from_edges(3, &[(0, 1)]);
         let mut sep = SepSets::new(3);
         let removals = vec![
-            Removal { u: 1, v: 0, sepset: vec![2], from_first_direction: true },
-            Removal { u: 0, v: 1, sepset: vec![9], from_first_direction: true },
+            Removal {
+                u: 1,
+                v: 0,
+                sepset: vec![2],
+                from_first_direction: true,
+            },
+            Removal {
+                u: 0,
+                v: 1,
+                sepset: vec![9],
+                from_first_direction: true,
+            },
         ];
         // Sorted application: (0,1) direction-first wins.
         let removed = apply_removals(&mut g, &mut sep, removals);

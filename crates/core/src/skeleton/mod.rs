@@ -53,36 +53,42 @@ pub fn learn_skeleton_observed<O: CiObserver>(
     match cfg.mode {
         ParallelMode::Sequential => {
             let mut engine = CiEngine::with_observer(data, cfg, observer);
-            run_depth_loop(cfg, &mut graph, &mut sepsets, &mut depth_stats, |graph,
-                sepsets,
-                tasks,
-                d| {
-                seq::run_depth(graph, sepsets, data, cfg, tasks, d, &mut engine)
-            });
+            run_depth_loop(
+                cfg,
+                &mut graph,
+                &mut sepsets,
+                &mut depth_stats,
+                |graph, sepsets, tasks, d| {
+                    seq::run_depth(graph, sepsets, data, cfg, tasks, d, &mut engine)
+                },
+            );
         }
         mode => {
             Team::scoped(cfg.effective_threads(), |team| {
-                run_depth_loop(cfg, &mut graph, &mut sepsets, &mut depth_stats, |graph,
-                    sepsets,
-                    tasks,
-                    d| {
-                    let (removals, performed, _skipped) = match mode {
-                        // Depth 0: tests known up front ⇒ plain edge split.
-                        ParallelMode::CiLevel if d == 0 => {
-                            edge_par::run_depth(team, data, cfg, tasks, d)
-                        }
-                        ParallelMode::CiLevel => ci_par::run_depth(team, data, cfg, tasks, d),
-                        ParallelMode::EdgeLevel => {
-                            edge_par::run_depth(team, data, cfg, tasks, d)
-                        }
-                        ParallelMode::SampleLevel => {
-                            sample_par::run_depth(team, data, cfg, tasks, d)
-                        }
-                        ParallelMode::Sequential => unreachable!("handled above"),
-                    };
-                    let removed = apply_removals(graph, sepsets, removals);
-                    (performed, removed)
-                });
+                run_depth_loop(
+                    cfg,
+                    &mut graph,
+                    &mut sepsets,
+                    &mut depth_stats,
+                    |graph, sepsets, tasks, d| {
+                        let (removals, performed, _skipped) = match mode {
+                            // Depth 0: tests known up front ⇒ plain edge split.
+                            ParallelMode::CiLevel if d == 0 => {
+                                edge_par::run_depth(team, data, cfg, tasks, d)
+                            }
+                            ParallelMode::CiLevel => ci_par::run_depth(team, data, cfg, tasks, d),
+                            ParallelMode::EdgeLevel => {
+                                edge_par::run_depth(team, data, cfg, tasks, d)
+                            }
+                            ParallelMode::SampleLevel => {
+                                sample_par::run_depth(team, data, cfg, tasks, d)
+                            }
+                            ParallelMode::Sequential => unreachable!("handled above"),
+                        };
+                        let removed = apply_removals(graph, sepsets, removals);
+                        (performed, removed)
+                    },
+                );
             });
         }
     }
@@ -98,12 +104,7 @@ fn run_depth_loop(
     graph: &mut UGraph,
     sepsets: &mut SepSets,
     depth_stats: &mut Vec<DepthStats>,
-    mut run_depth: impl FnMut(
-        &mut UGraph,
-        &mut SepSets,
-        Vec<common::EdgeTask>,
-        usize,
-    ) -> (u64, usize),
+    mut run_depth: impl FnMut(&mut UGraph, &mut SepSets, Vec<common::EdgeTask>, usize) -> (u64, usize),
 ) {
     let mut d = 0usize;
     loop {
@@ -140,7 +141,9 @@ mod tests {
         let mut cols: Vec<Vec<u8>> = vec![Vec::new(); 4];
         let mut state = 0xABCDEFu64;
         let mut bit = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as u32
         };
         for _ in 0..3000 {
@@ -213,10 +216,8 @@ mod tests {
     fn ungrouped_matches_grouped_skeleton() {
         let data = dataset();
         let grouped = learn_skeleton(&data, &PcConfig::fast_bns_seq());
-        let ungrouped = learn_skeleton(
-            &data,
-            &PcConfig::fast_bns_seq().with_group_endpoints(false),
-        );
+        let ungrouped =
+            learn_skeleton(&data, &PcConfig::fast_bns_seq().with_group_endpoints(false));
         assert_eq!(grouped.0, ungrouped.0);
     }
 

@@ -49,9 +49,10 @@ pub fn run_depth(
     let mut zmul: Vec<usize> = Vec::new();
 
     for task in tasks {
-        if removed_this_depth.iter().any(|&(a, b)| {
-            (a, b) == (task.u, task.v) || (a, b) == (task.v, task.u)
-        }) {
+        if removed_this_depth
+            .iter()
+            .any(|&(a, b)| (a, b) == (task.u, task.v) || (a, b) == (task.v, task.u))
+        {
             continue;
         }
         let total = task.total_tests();
@@ -78,8 +79,7 @@ pub fn run_depth(
 
                 let rx = data.arity(task.u as usize);
                 let ry = data.arity(task.v as usize);
-                let nz = match z_strides(data, &cond, rx, ry, cfg.max_table_cells, &mut zmul)
-                {
+                let nz = match z_strides(data, &cond, rx, ry, cfg.max_table_cells, &mut zmul) {
                     Some(nz) => nz.max(1),
                     None => {
                         skipped += 1;

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn deletion_ratio() {
-        let d = DepthStats { edges_at_start: 1200, edges_removed: 720, ..Default::default() };
+        let d = DepthStats {
+            edges_at_start: 1200,
+            edges_removed: 720,
+            ..Default::default()
+        };
         assert!((d.deletion_ratio() - 0.6).abs() < 1e-12);
         let empty = DepthStats::default();
         assert_eq!(empty.deletion_ratio(), 0.0);
@@ -86,8 +90,18 @@ mod tests {
     fn aggregates() {
         let stats = RunStats {
             depths: vec![
-                DepthStats { depth: 0, ci_tests: 100, edges_removed: 40, ..Default::default() },
-                DepthStats { depth: 1, ci_tests: 55, edges_removed: 5, ..Default::default() },
+                DepthStats {
+                    depth: 0,
+                    ci_tests: 100,
+                    edges_removed: 40,
+                    ..Default::default()
+                },
+                DepthStats {
+                    depth: 1,
+                    ci_tests: 55,
+                    edges_removed: 5,
+                    ..Default::default()
+                },
             ],
             skeleton_duration: Duration::from_millis(30),
             orientation_duration: Duration::from_millis(3),

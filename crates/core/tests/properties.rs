@@ -1,8 +1,6 @@
 //! Property-based tests for the learner core.
 
-use fastbn_core::combinations::{
-    all_combinations, binomial, rank_combination, unrank_combination,
-};
+use fastbn_core::combinations::{all_combinations, binomial, rank_combination, unrank_combination};
 use fastbn_core::oracle::{oracle_cpdag, oracle_skeleton};
 use fastbn_core::{ParallelMode, PcConfig, PcStable};
 use fastbn_data::Dataset;

@@ -21,7 +21,11 @@ pub enum CsvError {
     /// The input had a header but no data rows.
     NoRows,
     /// A row's field count differs from the header's.
-    RaggedRow { line: usize, expected: usize, got: usize },
+    RaggedRow {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A column has more than 255 distinct levels.
     TooManyLevels { var: String, levels: usize },
     /// An empty cell (missing value) was found — datasets must be complete.
@@ -33,7 +37,11 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::MissingHeader => write!(f, "missing header line"),
             CsvError::NoRows => write!(f, "no data rows"),
-            CsvError::RaggedRow { line, expected, got } => {
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::TooManyLevels { var, levels } => {
@@ -77,7 +85,10 @@ fn itoa_u8(v: u8) -> String {
 /// non-integer cell switches the whole column to categorical mode (levels
 /// sorted lexicographically, coded `0..k`).
 pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let n_vars = names.len();
@@ -96,7 +107,10 @@ pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
         for (v, f) in fields.iter().enumerate() {
             let t = f.trim();
             if t.is_empty() {
-                return Err(CsvError::MissingValue { line: line_no + 1, column: v + 1 });
+                return Err(CsvError::MissingValue {
+                    line: line_no + 1,
+                    column: v + 1,
+                });
             }
             cells[v].push(t.to_string());
         }
@@ -109,8 +123,7 @@ pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
     let mut columns: Vec<Vec<u8>> = Vec::with_capacity(n_vars);
     let mut arities: Vec<u8> = Vec::with_capacity(n_vars);
     for (v, col) in cells.iter().enumerate() {
-        let all_int: Option<Vec<u8>> =
-            col.iter().map(|c| c.parse::<u8>().ok()).collect();
+        let all_int: Option<Vec<u8>> = col.iter().map(|c| c.parse::<u8>().ok()).collect();
         match all_int {
             Some(codes) => {
                 let max = codes.iter().copied().max().unwrap_or(0);
@@ -138,8 +151,9 @@ pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
         }
     }
 
-    Dataset::from_columns(names, arities, columns)
-        .map_err(|_| CsvError::NoRows /* unreachable: inputs validated above */)
+    Dataset::from_columns(names, arities, columns).map_err(
+        |_| CsvError::NoRows, /* unreachable: inputs validated above */
+    )
 }
 
 #[cfg(test)]
@@ -191,7 +205,14 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let err = dataset_from_csv("a,b\n0,1\n0\n").unwrap_err();
-        assert!(matches!(err, CsvError::RaggedRow { got: 1, expected: 2, .. }));
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                got: 1,
+                expected: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -16,9 +16,18 @@ pub enum Layout {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DataError {
     /// A column's length differs from the sample count.
-    RaggedColumns { var: usize, expected: usize, got: usize },
+    RaggedColumns {
+        var: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A stored value is outside `0..arity` for its variable.
-    ValueOutOfRange { var: usize, sample: usize, value: u8, arity: u8 },
+    ValueOutOfRange {
+        var: usize,
+        sample: usize,
+        value: u8,
+        arity: u8,
+    },
     /// An arity below 1 was declared.
     BadArity { var: usize, arity: u8 },
     /// Name list length differs from the number of variables.
@@ -33,7 +42,12 @@ impl fmt::Display for DataError {
             DataError::RaggedColumns { var, expected, got } => {
                 write!(f, "column {var} has {got} samples, expected {expected}")
             }
-            DataError::ValueOutOfRange { var, sample, value, arity } => write!(
+            DataError::ValueOutOfRange {
+                var,
+                sample,
+                value,
+                arity,
+            } => write!(
                 f,
                 "value {value} at (sample {sample}, var {var}) exceeds arity {arity}"
             ),
@@ -80,10 +94,16 @@ impl Dataset {
             return Err(DataError::NoVariables);
         }
         if !names.is_empty() && names.len() != n_vars {
-            return Err(DataError::NameCountMismatch { names: names.len(), vars: n_vars });
+            return Err(DataError::NameCountMismatch {
+                names: names.len(),
+                vars: n_vars,
+            });
         }
         if arities.len() != n_vars {
-            return Err(DataError::NameCountMismatch { names: arities.len(), vars: n_vars });
+            return Err(DataError::NameCountMismatch {
+                names: arities.len(),
+                vars: n_vars,
+            });
         }
         let n_samples = columns[0].len();
         for (v, col) in columns.iter().enumerate() {
@@ -127,7 +147,14 @@ impl Dataset {
                 row_major[s * n_vars + v] = val;
             }
         }
-        Ok(Self { n_vars, n_samples, arities, names, col_major, row_major })
+        Ok(Self {
+            n_vars,
+            n_samples,
+            arities,
+            names,
+            col_major,
+            row_major,
+        })
     }
 
     /// Build from per-sample rows (each of length `n_vars`).
@@ -210,9 +237,14 @@ impl Dataset {
     /// # Panics
     /// Panics if `k > n_samples`.
     pub fn truncated(&self, k: usize) -> Dataset {
-        assert!(k <= self.n_samples, "cannot truncate {k} > {}", self.n_samples);
-        let columns: Vec<Vec<u8>> =
-            (0..self.n_vars).map(|v| self.column(v)[..k].to_vec()).collect();
+        assert!(
+            k <= self.n_samples,
+            "cannot truncate {k} > {}",
+            self.n_samples
+        );
+        let columns: Vec<Vec<u8>> = (0..self.n_vars)
+            .map(|v| self.column(v)[..k].to_vec())
+            .collect();
         Dataset::from_columns(self.names.clone(), self.arities.clone(), columns)
             .expect("truncation of a valid dataset is valid")
     }
@@ -247,12 +279,7 @@ mod tests {
     #[test]
     fn from_rows_matches_from_columns() {
         let rows = vec![vec![0, 2], vec![1, 0], vec![0, 1], vec![1, 2]];
-        let d2 = Dataset::from_rows(
-            vec!["a".into(), "b".into()],
-            vec![2, 3],
-            &rows,
-        )
-        .unwrap();
+        let d2 = Dataset::from_rows(vec!["a".into(), "b".into()], vec![2, 3], &rows).unwrap();
         assert_eq!(small(), d2);
     }
 
@@ -270,8 +297,7 @@ mod tests {
 
     #[test]
     fn ragged_columns_rejected() {
-        let err =
-            Dataset::from_columns(vec![], vec![2, 2], vec![vec![0, 1], vec![0]]).unwrap_err();
+        let err = Dataset::from_columns(vec![], vec![2, 2], vec![vec![0, 1], vec![0]]).unwrap_err();
         assert!(matches!(err, DataError::RaggedColumns { .. }));
     }
 

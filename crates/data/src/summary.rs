@@ -53,10 +53,8 @@ impl DatasetSummary {
     /// Summarize a dataset.
     pub fn of(d: &Dataset) -> Self {
         let arities: Vec<usize> = (0..d.n_vars()).map(|v| d.arity(v)).collect();
-        let mean_entropy = (0..d.n_vars())
-            .map(|v| column_entropy(d, v))
-            .sum::<f64>()
-            / d.n_vars() as f64;
+        let mean_entropy =
+            (0..d.n_vars()).map(|v| column_entropy(d, v)).sum::<f64>() / d.n_vars() as f64;
         Self {
             n_vars: d.n_vars(),
             n_samples: d.n_samples(),
@@ -73,12 +71,7 @@ mod tests {
     use super::*;
 
     fn make() -> Dataset {
-        Dataset::from_columns(
-            vec![],
-            vec![2, 4],
-            vec![vec![0, 0, 1, 1], vec![0, 1, 2, 3]],
-        )
-        .unwrap()
+        Dataset::from_columns(vec![], vec![2, 4], vec![vec![0, 0, 1, 1], vec![0, 1, 2, 3]]).unwrap()
     }
 
     #[test]

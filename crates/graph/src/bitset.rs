@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// Create an empty set with room for values `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Capacity (exclusive upper bound on storable values).
@@ -79,7 +82,11 @@ impl BitSet {
         for (i, w) in self.words.iter_mut().enumerate() {
             let base = i * 64;
             let remaining = self.capacity.saturating_sub(base);
-            *w = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+            *w = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
         }
     }
 
@@ -101,17 +108,14 @@ impl BitSet {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &word)| {
             let base = i * 64;
-            std::iter::successors(
-                if word == 0 { None } else { Some(word) },
-                |w| {
-                    let w = w & (w - 1); // clear lowest set bit
-                    if w == 0 {
-                        None
-                    } else {
-                        Some(w)
-                    }
-                },
-            )
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let w = w & (w - 1); // clear lowest set bit
+                if w == 0 {
+                    None
+                } else {
+                    Some(w)
+                }
+            })
             .map(move |w| base + w.trailing_zeros() as usize)
         })
     }

@@ -35,10 +35,7 @@ impl Dag {
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let mut g = Self::empty(n);
         for &(u, v) in edges {
-            assert!(
-                g.try_add_edge(u, v),
-                "edge ({u},{v}) would create a cycle"
-            );
+            assert!(g.try_add_edge(u, v), "edge ({u},{v}) would create a cycle");
         }
         g
     }
@@ -131,8 +128,7 @@ impl Dag {
     /// because the structure maintains acyclicity.
     pub fn topological_order(&self) -> Vec<usize> {
         let mut indeg: Vec<usize> = (0..self.n).map(|v| self.in_degree(v)).collect();
-        let mut queue: Vec<usize> =
-            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(self.n);
         let mut head = 0;
         while head < queue.len() {

@@ -26,7 +26,11 @@ pub fn dag_to_dot(dag: &Dag, names: Option<&[String]>) -> String {
         out.push_str(&format!("  {};\n", node_name(names, v)));
     }
     for (u, v) in dag.edges() {
-        out.push_str(&format!("  {} -> {};\n", node_name(names, u), node_name(names, v)));
+        out.push_str(&format!(
+            "  {} -> {};\n",
+            node_name(names, u),
+            node_name(names, v)
+        ));
     }
     out.push_str("}\n");
     out
@@ -39,7 +43,11 @@ pub fn ugraph_to_dot(g: &UGraph, names: Option<&[String]>) -> String {
         out.push_str(&format!("  {};\n", node_name(names, v)));
     }
     for (u, v) in g.edges() {
-        out.push_str(&format!("  {} -- {};\n", node_name(names, u), node_name(names, v)));
+        out.push_str(&format!(
+            "  {} -- {};\n",
+            node_name(names, u),
+            node_name(names, v)
+        ));
     }
     out.push_str("}\n");
     out
@@ -53,7 +61,11 @@ pub fn pdag_to_dot(p: &Pdag, names: Option<&[String]>) -> String {
         out.push_str(&format!("  {};\n", node_name(names, v)));
     }
     for (u, v) in p.directed_edges() {
-        out.push_str(&format!("  {} -> {};\n", node_name(names, u), node_name(names, v)));
+        out.push_str(&format!(
+            "  {} -> {};\n",
+            node_name(names, u),
+            node_name(names, v)
+        ));
     }
     for (u, v) in p.undirected_edges() {
         out.push_str(&format!(

@@ -22,7 +22,10 @@ use crate::dag::Dag;
 /// Panics if `x == y` or either endpoint is in `z`.
 pub fn d_separated(dag: &Dag, x: usize, y: usize, z: &BitSet) -> bool {
     assert!(x != y, "d-separation of a node from itself is undefined");
-    assert!(!z.contains(x) && !z.contains(y), "endpoints cannot be conditioned on");
+    assert!(
+        !z.contains(x) && !z.contains(y),
+        "endpoints cannot be conditioned on"
+    );
     let n = dag.n();
 
     // Phase 1: Z and its ancestors (collider activation set).
@@ -112,7 +115,10 @@ mod tests {
         // x ← m → y
         let g = Dag::from_edges(3, &[(1, 0), (1, 2)]);
         assert!(!d_separated_by(&g, 0, 2, &[]));
-        assert!(d_separated_by(&g, 0, 2, &[1]), "blocked by the common cause");
+        assert!(
+            d_separated_by(&g, 0, 2, &[1]),
+            "blocked by the common cause"
+        );
     }
 
     #[test]
@@ -120,7 +126,10 @@ mod tests {
         // x → c ← y
         let g = Dag::from_edges(3, &[(0, 1), (2, 1)]);
         assert!(d_separated_by(&g, 0, 2, &[]), "collider blocks by default");
-        assert!(!d_separated_by(&g, 0, 2, &[1]), "conditioning opens the collider");
+        assert!(
+            !d_separated_by(&g, 0, 2, &[1]),
+            "conditioning opens the collider"
+        );
     }
 
     #[test]
@@ -152,9 +161,18 @@ mod tests {
         // active trail x ← a → m ← b → y.
         let g = Dag::from_edges(5, &[(1, 0), (1, 2), (3, 2), (3, 4)]);
         assert!(d_separated_by(&g, 0, 4, &[]));
-        assert!(!d_separated_by(&g, 0, 4, &[2]), "conditioning on the collider opens");
-        assert!(d_separated_by(&g, 0, 4, &[2, 1]), "also blocking a re-separates");
-        assert!(d_separated_by(&g, 0, 4, &[2, 3]), "blocking b re-separates too");
+        assert!(
+            !d_separated_by(&g, 0, 4, &[2]),
+            "conditioning on the collider opens"
+        );
+        assert!(
+            d_separated_by(&g, 0, 4, &[2, 1]),
+            "also blocking a re-separates"
+        );
+        assert!(
+            d_separated_by(&g, 0, 4, &[2, 3]),
+            "blocking b re-separates too"
+        );
     }
 
     #[test]

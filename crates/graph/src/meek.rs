@@ -90,9 +90,10 @@ fn apply_rule3(pdag: &mut Pdag) -> usize {
                 .copied()
                 .filter(|&x| x != b && pdag.has_directed(x, b))
                 .collect();
-            let fires = pointing.iter().enumerate().any(|(i, &c)| {
-                pointing[i + 1..].iter().any(|&d| !pdag.is_adjacent(c, d))
-            });
+            let fires = pointing
+                .iter()
+                .enumerate()
+                .any(|(i, &c)| pointing[i + 1..].iter().any(|&d| !pdag.is_adjacent(c, d)));
             if fires && pdag.orient(a, b) {
                 oriented += 1;
             }

@@ -44,8 +44,16 @@ pub fn skeleton_metrics(truth: &UGraph, learned: &UGraph) -> SkeletonMetrics {
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fnn == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fnn) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -105,7 +113,10 @@ mod tests {
     fn perfect_recovery() {
         let g = UGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let m = skeleton_metrics(&g, &g.clone());
-        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (3, 0, 0));
+        assert_eq!(
+            (m.true_positives, m.false_positives, m.false_negatives),
+            (3, 0, 0)
+        );
         assert_eq!((m.precision, m.recall, m.f1), (1.0, 1.0, 1.0));
         assert_eq!(skeleton_hamming(&g, &g.clone()), 0);
     }
@@ -115,7 +126,10 @@ mod tests {
         let truth = UGraph::from_edges(4, &[(0, 1), (1, 2)]);
         let learned = UGraph::from_edges(4, &[(0, 1), (2, 3)]);
         let m = skeleton_metrics(&truth, &learned);
-        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (1, 1, 1));
+        assert_eq!(
+            (m.true_positives, m.false_positives, m.false_negatives),
+            (1, 1, 1)
+        );
         assert!((m.precision - 0.5).abs() < 1e-12);
         assert!((m.recall - 0.5).abs() < 1e-12);
         assert!((m.f1 - 0.5).abs() < 1e-12);
@@ -148,9 +162,9 @@ mod tests {
         b.add_undirected(1, 2); // same
         assert_eq!(shd_cpdag(&a, &b), 1);
 
+        // Same 0→1 as `a`, but edge (1,2) missing entirely.
         let mut c = Pdag::empty(3);
-        c.add_directed(0, 1); // same as a
-        // edge (1,2) missing entirely
+        c.add_directed(0, 1);
         assert_eq!(shd_cpdag(&a, &c), 1);
 
         assert_eq!(shd_cpdag(&a, &a.clone()), 0);

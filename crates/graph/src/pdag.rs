@@ -100,7 +100,11 @@ impl Pdag {
     /// Panics if the pair already carries an edge or `u == v`.
     pub fn add_undirected(&mut self, u: usize, v: usize) {
         assert!(u != v, "self-loop");
-        assert_eq!(self.mark(u, v), EdgeMark::Absent, "pair already has an edge");
+        assert_eq!(
+            self.mark(u, v),
+            EdgeMark::Absent,
+            "pair already has an edge"
+        );
         self.und[u].insert(v);
         self.und[v].insert(u);
     }
@@ -111,7 +115,11 @@ impl Pdag {
     /// Panics if the pair already carries an edge or `u == v`.
     pub fn add_directed(&mut self, u: usize, v: usize) {
         assert!(u != v, "self-loop");
-        assert_eq!(self.mark(u, v), EdgeMark::Absent, "pair already has an edge");
+        assert_eq!(
+            self.mark(u, v),
+            EdgeMark::Absent,
+            "pair already has an edge"
+        );
         self.dir_out[u].insert(v);
         self.dir_in[v].insert(u);
     }
@@ -203,8 +211,7 @@ impl Pdag {
             if colour[start] != WHITE {
                 continue;
             }
-            let mut stack: Vec<(usize, Vec<usize>)> =
-                vec![(start, self.dir_out[start].to_vec())];
+            let mut stack: Vec<(usize, Vec<usize>)> = vec![(start, self.dir_out[start].to_vec())];
             colour[start] = GREY;
             while let Some((v, rest)) = stack.last_mut() {
                 if let Some(w) = rest.pop() {

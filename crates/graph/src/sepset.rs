@@ -16,7 +16,10 @@ pub struct SepSets {
 impl SepSets {
     /// Empty store for `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, sets: vec![None; n * (n.saturating_sub(1)) / 2] }
+        Self {
+            n,
+            sets: vec![None; n * (n.saturating_sub(1)) / 2],
+        }
     }
 
     /// Number of nodes this store covers.

@@ -18,7 +18,11 @@ pub struct UGraph {
 impl UGraph {
     /// Empty graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Self { n, adj: vec![BitSet::new(n); n], edge_count: 0 }
+        Self {
+            n,
+            adj: vec![BitSet::new(n); n],
+            edge_count: 0,
+        }
     }
 
     /// Complete graph on `n` nodes (the PC-stable starting point).

@@ -25,8 +25,9 @@ pub fn orient_v_structures(pdag: &mut Pdag, sepsets: &SepSets) -> usize {
     // Deterministic sweep over ordered triples (i < j, any k).
     for k in 0..n {
         // Snapshot: neighbours of k in the skeleton (any mark).
-        let nbrs: Vec<usize> =
-            (0..n).filter(|&x| x != k && pdag.is_adjacent(x, k)).collect();
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&x| x != k && pdag.is_adjacent(x, k))
+            .collect();
         for (a_idx, &i) in nbrs.iter().enumerate() {
             for &j in &nbrs[a_idx + 1..] {
                 if pdag.is_adjacent(i, j) {

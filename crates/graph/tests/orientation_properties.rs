@@ -1,0 +1,297 @@
+//! Property tests for the orientation machinery: v-structure detection,
+//! Meek rules R1–R4, and the Verma–Pearl characterization of the CPDAG.
+//!
+//! The headline test checks `dag_to_cpdag` against a brute-force oracle:
+//! two DAGs are Markov equivalent iff they share skeleton and unshielded
+//! colliders, so enumerating every acyclic same-collider orientation of the
+//! skeleton and intersecting their edge directions yields the compelled
+//! set from first principles — independently of the Meek-rule closure the
+//! implementation uses.
+
+use fastbn_graph::pdag::EdgeMark;
+use fastbn_graph::{
+    apply_meek_rules, d_separated_by, dag_to_cpdag, orient_v_structures, Dag, Pdag, SepSets,
+};
+use proptest::prelude::*;
+
+/// Deterministic random DAG on `n` nodes (xorshift edge picks).
+fn make_dag(n: usize, seed: u64, p: f64) -> Dag {
+    let mut s = seed | 1;
+    let mut rand01 = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut dag = Dag::empty(n);
+    for v in 1..n {
+        for u in 0..v {
+            if rand01() < p {
+                dag.try_add_edge(u, v);
+            }
+        }
+    }
+    dag
+}
+
+fn dag_strategy(max_n: usize) -> impl Strategy<Value = Dag> {
+    (2usize..=max_n, any::<u64>(), 0.1f64..0.6).prop_map(|(n, seed, p)| make_dag(n, seed, p))
+}
+
+/// A random permutation of `0..n` (Fisher–Yates over a seeded stream).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Canonical separating sets of a DAG: a nonadjacent pair `(i, j)` is
+/// d-separated by the parents of whichever node is topologically later
+/// (the local Markov property — the later node is independent of its
+/// non-descendants given its parents).
+fn canonical_sepsets(dag: &Dag) -> SepSets {
+    let n = dag.n();
+    let mut pos = vec![0usize; n];
+    for (idx, &v) in dag.topological_order().iter().enumerate() {
+        pos[v] = idx;
+    }
+    let mut sepsets = SepSets::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if dag.has_edge(i, j) || dag.has_edge(j, i) {
+                continue;
+            }
+            let later = if pos[i] < pos[j] { j } else { i };
+            let parents = dag.parents(later).to_vec();
+            sepsets.set(i, j, &parents);
+        }
+    }
+    sepsets
+}
+
+/// The unshielded colliders of a DAG as directed edges `{(i,k),(j,k)}`.
+fn collider_edges(dag: &Dag) -> std::collections::BTreeSet<(usize, usize)> {
+    let mut edges = std::collections::BTreeSet::new();
+    for k in 0..dag.n() {
+        let parents = dag.parents(k).to_vec();
+        for (ai, &i) in parents.iter().enumerate() {
+            for &j in &parents[ai + 1..] {
+                if !dag.has_edge(i, j) && !dag.has_edge(j, i) {
+                    edges.insert((i, k));
+                    edges.insert((j, k));
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Sorted unshielded-collider triples `(min(i,j), max(i,j), k)` of a DAG —
+/// the Verma–Pearl equivalence invariant.
+fn collider_triples(dag: &Dag) -> std::collections::BTreeSet<(usize, usize, usize)> {
+    let mut triples = std::collections::BTreeSet::new();
+    for k in 0..dag.n() {
+        let parents = dag.parents(k).to_vec();
+        for (ai, &i) in parents.iter().enumerate() {
+            for &j in &parents[ai + 1..] {
+                if !dag.has_edge(i, j) && !dag.has_edge(j, i) {
+                    triples.insert((i.min(j), i.max(j), k));
+                }
+            }
+        }
+    }
+    triples
+}
+
+/// Every acyclic orientation of `dag`'s skeleton with identical unshielded
+/// colliders — the Markov equivalence class, by brute force. Skeleton edge
+/// count must stay small (2^E candidates).
+fn equivalence_class(dag: &Dag) -> Vec<Dag> {
+    let n = dag.n();
+    let skeleton_edges: Vec<(usize, usize)> = dag.skeleton().edges();
+    let e = skeleton_edges.len();
+    assert!(e <= 12, "equivalence_class is exponential in edges");
+    let reference = collider_triples(dag);
+    let mut class = Vec::new();
+    'mask: for mask in 0u32..(1 << e) {
+        let mut candidate = Dag::empty(n);
+        for (b, &(u, v)) in skeleton_edges.iter().enumerate() {
+            let (from, to) = if mask & (1 << b) != 0 { (u, v) } else { (v, u) };
+            if !candidate.try_add_edge(from, to) {
+                continue 'mask; // orientation creates a cycle
+            }
+        }
+        if collider_triples(&candidate) == reference {
+            class.push(candidate);
+        }
+    }
+    class
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The canonical sepsets really d-separate their pairs (links the
+    /// sepset construction to the d-separation oracle).
+    #[test]
+    fn canonical_sepsets_dseparate(dag in dag_strategy(8)) {
+        let sepsets = canonical_sepsets(&dag);
+        for i in 0..dag.n() {
+            for j in i + 1..dag.n() {
+                if let Some(s) = sepsets.get(i, j) {
+                    let z: Vec<usize> = s.iter().map(|&v| v as usize).collect();
+                    prop_assert!(
+                        d_separated_by(&dag, i, j, &z),
+                        "sepset {z:?} fails to d-separate {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// V-structure detection from canonical sepsets recovers exactly the
+    /// DAG's unshielded colliders — no extra and no missing orientations.
+    #[test]
+    fn vstructure_detection_is_exact(dag in dag_strategy(9)) {
+        let mut pdag = Pdag::from_skeleton(&dag.skeleton());
+        orient_v_structures(&mut pdag, &canonical_sepsets(&dag));
+        let got: std::collections::BTreeSet<(usize, usize)> =
+            pdag.directed_edges().into_iter().collect();
+        prop_assert_eq!(got, collider_edges(&dag));
+    }
+
+    /// The full orientation phase (v-structures from sepsets + Meek
+    /// closure) reproduces `dag_to_cpdag`, which orients from the DAG's
+    /// parent sets directly — two different routes to the same CPDAG.
+    #[test]
+    fn orientation_phase_recovers_cpdag(dag in dag_strategy(9)) {
+        let mut pdag = Pdag::from_skeleton(&dag.skeleton());
+        orient_v_structures(&mut pdag, &canonical_sepsets(&dag));
+        apply_meek_rules(&mut pdag);
+        prop_assert_eq!(pdag, dag_to_cpdag(&dag));
+    }
+
+    /// Verma–Pearl oracle: a CPDAG edge is directed iff every member of
+    /// the brute-force equivalence class orients it the same way, and
+    /// undirected iff the class contains both orientations.
+    #[test]
+    fn cpdag_matches_brute_force_equivalence_class(
+        n in 3usize..6,
+        seed in any::<u64>(),
+        p in 0.15f64..0.55,
+    ) {
+        let dag = make_dag(n, seed, p);
+        prop_assume!(dag.skeleton().edge_count() <= 8);
+        let class = equivalence_class(&dag);
+        prop_assert!(!class.is_empty(), "class must contain the DAG itself");
+        let cpdag = dag_to_cpdag(&dag);
+        for (u, v) in dag.skeleton().edges() {
+            let forward = class.iter().filter(|d| d.has_edge(u, v)).count();
+            let backward = class.len() - forward;
+            match cpdag.mark(u, v) {
+                EdgeMark::Out => prop_assert_eq!(
+                    backward, 0,
+                    "{u}→{v} compelled but {backward} members reverse it"
+                ),
+                EdgeMark::In => prop_assert_eq!(
+                    forward, 0,
+                    "{v}→{u} compelled but {forward} members reverse it"
+                ),
+                EdgeMark::Undirected => prop_assert!(
+                    forward > 0 && backward > 0,
+                    "{u}—{v} reversible but class is one-sided \
+                     ({forward} forward / {backward} backward)"
+                ),
+                EdgeMark::Absent => prop_assert!(false, "skeleton edge missing from CPDAG"),
+            }
+        }
+        // Every member of the class maps to the same CPDAG.
+        for member in &class {
+            prop_assert_eq!(&dag_to_cpdag(member), &cpdag);
+        }
+    }
+
+    /// R1 under arbitrary node relabeling: `a → b`, `b − c`, `a`, `c`
+    /// nonadjacent compels `b → c`.
+    #[test]
+    fn meek_r1_fires_under_relabeling(n in 3usize..12, seed in any::<u64>()) {
+        let perm = permutation(n, seed);
+        let (a, b, c) = (perm[0], perm[1], perm[2]);
+        let mut p = Pdag::empty(n);
+        p.add_directed(a, b);
+        p.add_undirected(b, c);
+        apply_meek_rules(&mut p);
+        prop_assert!(p.has_directed(b, c));
+        prop_assert!(!p.has_directed_cycle());
+    }
+
+    /// R2 under relabeling: `a → b → c`, `a − c` compels `a → c`.
+    #[test]
+    fn meek_r2_fires_under_relabeling(n in 3usize..12, seed in any::<u64>()) {
+        let perm = permutation(n, seed);
+        let (a, b, c) = (perm[0], perm[1], perm[2]);
+        let mut p = Pdag::empty(n);
+        p.add_directed(a, b);
+        p.add_directed(b, c);
+        p.add_undirected(a, c);
+        apply_meek_rules(&mut p);
+        prop_assert!(p.has_directed(a, c));
+        prop_assert!(!p.has_directed_cycle());
+    }
+
+    /// R3 under relabeling: `a − b`, `a − c`, `a − d`, `c → b`, `d → b`,
+    /// `c`, `d` nonadjacent compels `a → b`.
+    #[test]
+    fn meek_r3_fires_under_relabeling(n in 4usize..12, seed in any::<u64>()) {
+        let perm = permutation(n, seed);
+        let (a, b, c, d) = (perm[0], perm[1], perm[2], perm[3]);
+        let mut p = Pdag::empty(n);
+        p.add_undirected(a, b);
+        p.add_undirected(a, c);
+        p.add_undirected(a, d);
+        p.add_directed(c, b);
+        p.add_directed(d, b);
+        apply_meek_rules(&mut p);
+        prop_assert!(p.has_directed(a, b));
+        prop_assert!(!p.has_directed_cycle());
+    }
+
+    /// R4 under relabeling: `a − b`, `a − c`, `a − d`, `c → d`, `d → b`,
+    /// `c`, `b` nonadjacent compels `a → b`.
+    #[test]
+    fn meek_r4_fires_under_relabeling(n in 4usize..12, seed in any::<u64>()) {
+        let perm = permutation(n, seed);
+        let (a, b, c, d) = (perm[0], perm[1], perm[2], perm[3]);
+        let mut p = Pdag::empty(n);
+        p.add_undirected(a, b);
+        p.add_undirected(a, c);
+        p.add_undirected(a, d);
+        p.add_directed(c, d);
+        p.add_directed(d, b);
+        apply_meek_rules(&mut p);
+        prop_assert!(p.has_directed(a, b));
+        prop_assert!(!p.has_directed_cycle());
+    }
+
+    /// Meek closure is sound: it never orients an edge against the
+    /// generating DAG (all compelled directions agree with the truth).
+    #[test]
+    fn meek_closure_is_sound(dag in dag_strategy(10)) {
+        let mut pdag = Pdag::from_skeleton(&dag.skeleton());
+        orient_v_structures(&mut pdag, &canonical_sepsets(&dag));
+        apply_meek_rules(&mut pdag);
+        for (u, v) in pdag.directed_edges() {
+            prop_assert!(dag.has_edge(u, v), "oriented {u}→{v} against the DAG");
+        }
+    }
+}

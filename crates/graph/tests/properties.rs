@@ -27,15 +27,13 @@ fn make_dag(n: usize, seed: u64, p: f64) -> Dag {
 
 /// Random DAG: permute nodes, pick forward edges with probability p.
 fn dag_strategy(max_n: usize) -> impl Strategy<Value = Dag> {
-    (2usize..=max_n, any::<u64>(), 0.05f64..0.5)
-        .prop_map(|(n, seed, p)| make_dag(n, seed, p))
+    (2usize..=max_n, any::<u64>(), 0.05f64..0.5).prop_map(|(n, seed, p)| make_dag(n, seed, p))
 }
 
 /// Two random DAGs over the same node count.
 fn dag_pair_strategy(max_n: usize) -> impl Strategy<Value = (Dag, Dag)> {
-    (2usize..=max_n, any::<u64>(), any::<u64>(), 0.05f64..0.5).prop_map(
-        |(n, s1, s2, p)| (make_dag(n, s1, p), make_dag(n, s2, p)),
-    )
+    (2usize..=max_n, any::<u64>(), any::<u64>(), 0.05f64..0.5)
+        .prop_map(|(n, s1, s2, p)| (make_dag(n, s1, p), make_dag(n, s2, p)))
 }
 
 proptest! {

@@ -25,11 +25,13 @@ impl BayesNet {
         assert_eq!(dag.n(), node_names.len(), "one name per node required");
         for (v, cpt) in cpts.iter().enumerate() {
             let dag_parents = dag.parents(v).to_vec();
-            let cpt_parents: Vec<usize> =
-                cpt.parents().iter().map(|&p| p as usize).collect();
+            let cpt_parents: Vec<usize> = cpt.parents().iter().map(|&p| p as usize).collect();
             let mut sorted = cpt_parents.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, dag_parents, "CPT parents of node {v} disagree with DAG");
+            assert_eq!(
+                sorted, dag_parents,
+                "CPT parents of node {v} disagree with DAG"
+            );
             for (i, &p) in cpt.parents().iter().enumerate() {
                 assert_eq!(
                     cpt.parent_arities()[i] as usize,
@@ -38,7 +40,12 @@ impl BayesNet {
                 );
             }
         }
-        Self { name: name.into(), dag, cpts, node_names }
+        Self {
+            name: name.into(),
+            dag,
+            cpts,
+            node_names,
+        }
     }
 
     /// Network name (e.g. `"alarm-replica"`).
@@ -121,8 +128,7 @@ mod tests {
     pub(crate) fn two_node() -> BayesNet {
         let dag = Dag::from_edges(2, &[(0, 1)]);
         let cpt_a = Cpt::new(2, vec![], vec![], vec![0.3, 0.7]).unwrap();
-        let cpt_b =
-            Cpt::new(2, vec![0], vec![2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        let cpt_b = Cpt::new(2, vec![0], vec![2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
         BayesNet::new("ab", dag, vec![cpt_a, cpt_b], vec!["A".into(), "B".into()])
     }
 

@@ -16,7 +16,11 @@ pub enum CptError {
     /// A probability row does not sum to 1 (tolerance 1e-9).
     NotNormalized { config: usize, sum: f64 },
     /// A probability is negative or non-finite.
-    BadProbability { config: usize, state: usize, value: f64 },
+    BadProbability {
+        config: usize,
+        state: usize,
+        value: f64,
+    },
     /// Arity of the variable or a parent is zero.
     ZeroArity,
 }
@@ -30,8 +34,15 @@ impl fmt::Display for CptError {
             CptError::NotNormalized { config, sum } => {
                 write!(f, "CPT row for config {config} sums to {sum}, expected 1")
             }
-            CptError::BadProbability { config, state, value } => {
-                write!(f, "CPT entry ({config},{state}) = {value} is not a probability")
+            CptError::BadProbability {
+                config,
+                state,
+                value,
+            } => {
+                write!(
+                    f,
+                    "CPT entry ({config},{state}) = {value} is not a probability"
+                )
             }
             CptError::ZeroArity => write!(f, "zero arity"),
         }
@@ -61,18 +72,29 @@ impl Cpt {
         if arity == 0 || parent_arities.contains(&0) {
             return Err(CptError::ZeroArity);
         }
-        assert_eq!(parents.len(), parent_arities.len(), "parent metadata mismatch");
+        assert_eq!(
+            parents.len(),
+            parent_arities.len(),
+            "parent metadata mismatch"
+        );
         let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
         let expected = n_configs * arity as usize;
         if table.len() != expected {
-            return Err(CptError::WrongLength { expected, got: table.len() });
+            return Err(CptError::WrongLength {
+                expected,
+                got: table.len(),
+            });
         }
         for config in 0..n_configs {
             let row = &table[config * arity as usize..(config + 1) * arity as usize];
             let mut sum = 0.0;
             for (state, &p) in row.iter().enumerate() {
                 if !(p.is_finite() && p >= 0.0) {
-                    return Err(CptError::BadProbability { config, state, value: p });
+                    return Err(CptError::BadProbability {
+                        config,
+                        state,
+                        value: p,
+                    });
                 }
                 sum += p;
             }
@@ -80,7 +102,12 @@ impl Cpt {
                 return Err(CptError::NotNormalized { config, sum });
             }
         }
-        Ok(Self { arity, parents, parent_arities, table })
+        Ok(Self {
+            arity,
+            parents,
+            parent_arities,
+            table,
+        })
     }
 
     /// Number of states of this variable.
@@ -203,7 +230,13 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let err = Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5]).unwrap_err();
-        assert!(matches!(err, CptError::WrongLength { expected: 4, got: 2 }));
+        assert!(matches!(
+            err,
+            CptError::WrongLength {
+                expected: 4,
+                got: 2
+            }
+        ));
     }
 
     #[test]

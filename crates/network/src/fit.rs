@@ -30,16 +30,17 @@ pub fn fit_cpts(dag: &Dag, data: &Dataset, smoothing: f64, name: &str) -> BayesN
     let mut cpts = Vec::with_capacity(n);
     for v in 0..n {
         let parents: Vec<u32> = dag.parents(v).iter_ones().map(|p| p as u32).collect();
-        let parent_arities: Vec<u8> =
-            parents.iter().map(|&p| data.arity(p as usize) as u8).collect();
+        let parent_arities: Vec<u8> = parents
+            .iter()
+            .map(|&p| data.arity(p as usize) as u8)
+            .collect();
         let k = data.arity(v);
         let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
 
         // Count joint (config, state) frequencies.
         let mut counts = vec![0u64; n_configs * k];
         let vcol = data.column(v);
-        let pcols: Vec<&[u8]> =
-            parents.iter().map(|&p| data.column(p as usize)).collect();
+        let pcols: Vec<&[u8]> = parents.iter().map(|&p| data.column(p as usize)).collect();
         for s in 0..m {
             let mut config = 0usize;
             for (col, &a) in pcols.iter().zip(&parent_arities) {
@@ -59,15 +60,16 @@ pub fn fit_cpts(dag: &Dag, data: &Dataset, smoothing: f64, name: &str) -> BayesN
             } else {
                 // Exact renormalization guards the Cpt validator against
                 // floating-point drift.
-                let probs: Vec<f64> =
-                    row.iter().map(|&c| (c as f64 + smoothing) / denom).collect();
+                let probs: Vec<f64> = row
+                    .iter()
+                    .map(|&c| (c as f64 + smoothing) / denom)
+                    .collect();
                 let sum: f64 = probs.iter().sum();
                 table.extend(probs.into_iter().map(|p| p / sum));
             }
         }
         cpts.push(
-            Cpt::new(k as u8, parents, parent_arities, table)
-                .expect("fitted rows are normalized"),
+            Cpt::new(k as u8, parents, parent_arities, table).expect("fitted rows are normalized"),
         );
     }
     BayesNet::new(name, dag.clone(), cpts, data.names().to_vec())
@@ -98,12 +100,7 @@ mod tests {
 
     #[test]
     fn smoothing_pulls_towards_uniform() {
-        let data = Dataset::from_columns(
-            vec![],
-            vec![2],
-            vec![vec![0, 0, 0, 0]],
-        )
-        .unwrap();
+        let data = Dataset::from_columns(vec![], vec![2], vec![vec![0, 0, 0, 0]]).unwrap();
         let dag = Dag::empty(1);
         let mle = fit_cpts(&dag, &data, 0.0, "mle");
         let smooth = fit_cpts(&dag, &data, 1.0, "laplace");
@@ -116,17 +113,16 @@ mod tests {
     #[test]
     fn unseen_parent_configs_fall_back_to_uniform() {
         // Parent always 0, so config a=1 is never observed.
-        let data = Dataset::from_columns(
-            vec![],
-            vec![2, 3],
-            vec![vec![0, 0, 0], vec![0, 1, 2]],
-        )
-        .unwrap();
+        let data =
+            Dataset::from_columns(vec![], vec![2, 3], vec![vec![0, 0, 0], vec![0, 1, 2]]).unwrap();
         let dag = Dag::from_edges(2, &[(0, 1)]);
         let net = fit_cpts(&dag, &data, 0.0, "fit");
         let unseen = net.cpt(1).distribution(1);
         for &p in unseen {
-            assert!((p - 1.0 / 3.0).abs() < 1e-12, "unseen row must be uniform: {unseen:?}");
+            assert!(
+                (p - 1.0 / 3.0).abs() < 1e-12,
+                "unseen row must be uniform: {unseen:?}"
+            );
         }
     }
 
@@ -164,7 +160,10 @@ mod tests {
             }
         }
         assert!(checked > 0, "no well-observed configs to check");
-        assert!(max_err < 0.05, "max CPT error {max_err} too large at 30k samples");
+        assert!(
+            max_err < 0.05,
+            "max CPT error {max_err} too large at 30k samples"
+        );
     }
 
     #[test]

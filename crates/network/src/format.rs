@@ -170,8 +170,7 @@ pub fn bnet_from_str(text: &str) -> Result<BayesNet, FormatError> {
                     .and_then(|s| s.parse().ok())
                     .filter(|&v| v < count)
                     .ok_or_else(|| malformed(idx, "bad cpt index"))?;
-                let vals: Result<Vec<f64>, _> =
-                    parts.map(|s| s.parse::<f64>()).collect();
+                let vals: Result<Vec<f64>, _> = parts.map(|s| s.parse::<f64>()).collect();
                 let vals = vals.map_err(|_| malformed(idx, "bad probability"))?;
                 tables[v] = Some(vals);
             }
@@ -205,15 +204,17 @@ pub fn bnet_from_str(text: &str) -> Result<BayesNet, FormatError> {
 
     let mut cpts = Vec::with_capacity(count);
     for v in 0..count {
-        let parent_arities: Vec<u8> =
-            parents[v].iter().map(|&p| arities[p as usize]).collect();
+        let parent_arities: Vec<u8> = parents[v].iter().map(|&p| arities[p as usize]).collect();
         let cpt = Cpt::new(
             arities[v],
             parents[v].clone(),
             parent_arities,
             tables[v].take().unwrap(),
         )
-        .map_err(|e| FormatError::BadCpt { node: v, reason: e.to_string() })?;
+        .map_err(|e| FormatError::BadCpt {
+            node: v,
+            reason: e.to_string(),
+        })?;
         cpts.push(cpt);
     }
     let names: Vec<String> = node_names.into_iter().map(Option::unwrap).collect();
@@ -253,14 +254,20 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(bnet_from_str("bnet-v2\n").unwrap_err(), FormatError::BadMagic);
+        assert_eq!(
+            bnet_from_str("bnet-v2\n").unwrap_err(),
+            FormatError::BadMagic
+        );
         assert_eq!(bnet_from_str("").unwrap_err(), FormatError::BadMagic);
     }
 
     #[test]
     fn missing_cpt_rejected() {
         let text = "bnet-v1\nnodes 1\nnode 0 A 2\nend\n";
-        assert!(matches!(bnet_from_str(text).unwrap_err(), FormatError::Incomplete(_)));
+        assert!(matches!(
+            bnet_from_str(text).unwrap_err(),
+            FormatError::Incomplete(_)
+        ));
     }
 
     #[test]
@@ -272,7 +279,10 @@ mod tests {
     #[test]
     fn unnormalized_cpt_rejected() {
         let text = "bnet-v1\nnodes 1\nnode 0 A 2\ncpt 0 0.5 0.6\nend\n";
-        assert!(matches!(bnet_from_str(text).unwrap_err(), FormatError::BadCpt { .. }));
+        assert!(matches!(
+            bnet_from_str(text).unwrap_err(),
+            FormatError::BadCpt { .. }
+        ));
     }
 
     #[test]

@@ -77,8 +77,9 @@ pub fn generate_network(spec: &NetworkSpec, seed: u64) -> BayesNet {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_B05C);
 
     // Arities.
-    let arities: Vec<u8> =
-        (0..n).map(|_| rng.gen_range(spec.min_arity..=spec.max_arity)).collect();
+    let arities: Vec<u8> = (0..n)
+        .map(|_| rng.gen_range(spec.min_arity..=spec.max_arity))
+        .collect();
 
     // Edge selection: uniform proposals with rejection; falls back to a
     // deterministic sweep if rejection stalls (very dense specs).
@@ -95,7 +96,8 @@ pub fn generate_network(spec: &NetworkSpec, seed: u64) -> BayesNet {
             stall += 1;
             if stall > 50 * n {
                 // Deterministic completion sweep.
-                #[allow(clippy::needless_range_loop)] // u and v both index; iterator form is murkier
+                #[allow(clippy::needless_range_loop)]
+                // u and v both index; iterator form is murkier
                 'outer: for v in 1..n {
                     for u in 0..v {
                         if dag.edge_count() >= spec.n_edges {
@@ -116,8 +118,7 @@ pub fn generate_network(spec: &NetworkSpec, seed: u64) -> BayesNet {
     let mut cpts = Vec::with_capacity(n);
     for v in 0..n {
         let parents: Vec<u32> = dag.parents(v).iter_ones().map(|p| p as u32).collect();
-        let parent_arities: Vec<u8> =
-            parents.iter().map(|&p| arities[p as usize]).collect();
+        let parent_arities: Vec<u8> = parents.iter().map(|&p| arities[p as usize]).collect();
         let k = arities[v] as usize;
         let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
         let mut table = Vec::with_capacity(n_configs * k);

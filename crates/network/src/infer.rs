@@ -29,10 +29,17 @@ impl Factor {
     /// `values.len() != ∏ arities`.
     pub fn new(vars: Vec<u32>, arities: Vec<u8>, values: Vec<f64>) -> Self {
         assert_eq!(vars.len(), arities.len(), "vars/arities mismatch");
-        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly increasing");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "vars must be strictly increasing"
+        );
         let cells: usize = arities.iter().map(|&a| a as usize).product();
         assert_eq!(values.len(), cells, "value count mismatch");
-        Self { vars, arities, values }
+        Self {
+            vars,
+            arities,
+            values,
+        }
     }
 
     /// The factor of node `v`'s CPT: `φ(v, parents) = P(v | parents)`.
@@ -43,8 +50,10 @@ impl Factor {
         let mut order: Vec<usize> = (0..vars.len()).collect();
         order.sort_by_key(|&i| vars[i]);
         let sorted_vars: Vec<u32> = order.iter().map(|&i| vars[i]).collect();
-        let sorted_arities: Vec<u8> =
-            sorted_vars.iter().map(|&x| net.arity(x as usize) as u8).collect();
+        let sorted_arities: Vec<u8> = sorted_vars
+            .iter()
+            .map(|&x| net.arity(x as usize) as u8)
+            .collect();
 
         let mut out = Factor {
             vars: sorted_vars,
@@ -117,11 +126,10 @@ impl Factor {
         let mut arities = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
-            let take_left = j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            let take_left =
+                j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_left {
-                if j < other.vars.len() && i < self.vars.len() && self.vars[i] == other.vars[j]
-                {
+                if j < other.vars.len() && i < self.vars.len() && self.vars[i] == other.vars[j] {
                     j += 1;
                 }
                 vars.push(self.vars[i]);
@@ -164,7 +172,11 @@ impl Factor {
                 assignment[k] = 0;
             }
         }
-        Factor { vars, arities, values }
+        Factor {
+            vars,
+            arities,
+            values,
+        }
     }
 
     /// Sum out `var`, removing it from the scope.
@@ -174,8 +186,10 @@ impl Factor {
     pub fn marginalize(&self, var: u32) -> Factor {
         let pos = self.vars.binary_search(&var).expect("var must be in scope");
         let arity = self.arities[pos] as usize;
-        let right: usize =
-            self.arities[pos + 1..].iter().map(|&a| a as usize).product();
+        let right: usize = self.arities[pos + 1..]
+            .iter()
+            .map(|&a| a as usize)
+            .product();
         let left_cells = self.values.len() / (arity * right);
         let mut vars = self.vars.clone();
         let mut arities = self.arities.clone();
@@ -191,7 +205,11 @@ impl Factor {
                 }
             }
         }
-        Factor { vars, arities, values }
+        Factor {
+            vars,
+            arities,
+            values,
+        }
     }
 
     /// Condition on `var = value`, removing it from the scope.
@@ -202,8 +220,10 @@ impl Factor {
         let pos = self.vars.binary_search(&var).expect("var must be in scope");
         let arity = self.arities[pos] as usize;
         assert!((value as usize) < arity, "evidence value out of range");
-        let right: usize =
-            self.arities[pos + 1..].iter().map(|&a| a as usize).product();
+        let right: usize = self.arities[pos + 1..]
+            .iter()
+            .map(|&a| a as usize)
+            .product();
         let left_cells = self.values.len() / (arity * right);
         let mut vars = self.vars.clone();
         let mut arities = self.arities.clone();
@@ -214,7 +234,11 @@ impl Factor {
             let src = (l * arity + value as usize) * right;
             values.extend_from_slice(&self.values[src..src + right]);
         }
-        Factor { vars, arities, values }
+        Factor {
+            vars,
+            arities,
+            values,
+        }
     }
 
     /// Normalize to total mass 1 (no-op on an all-zero factor).
@@ -240,11 +264,7 @@ impl Factor {
 /// # Panics
 /// Panics if `query` appears in the evidence, or any index/value is out of
 /// range.
-pub fn variable_elimination(
-    net: &BayesNet,
-    query: usize,
-    evidence: &[(usize, u8)],
-) -> Vec<f64> {
+pub fn variable_elimination(net: &BayesNet, query: usize, evidence: &[(usize, u8)]) -> Vec<f64> {
     assert!(query < net.n(), "query variable out of range");
     assert!(
         evidence.iter().all(|&(v, _)| v != query),
@@ -322,11 +342,7 @@ pub fn variable_elimination(
 
 /// Brute-force posterior by full joint enumeration — the test oracle for
 /// [`variable_elimination`] (exponential; small nets only).
-pub fn brute_force_posterior(
-    net: &BayesNet,
-    query: usize,
-    evidence: &[(usize, u8)],
-) -> Vec<f64> {
+pub fn brute_force_posterior(net: &BayesNet, query: usize, evidence: &[(usize, u8)]) -> Vec<f64> {
     let n = net.n();
     let mut posterior = vec![0.0; net.arity(query)];
     let mut assignment = vec![0u8; n];
@@ -377,8 +393,7 @@ mod tests {
     fn sprinkler() -> BayesNet {
         let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let cloudy = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
-        let sprinkler =
-            Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap();
+        let sprinkler = Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap();
         let rain = Cpt::new(2, vec![0], vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap();
         let wet = Cpt::new(
             2,
@@ -391,7 +406,12 @@ mod tests {
             "sprinkler",
             dag,
             vec![cloudy, sprinkler, rain, wet],
-            vec!["cloudy".into(), "sprinkler".into(), "rain".into(), "wet".into()],
+            vec![
+                "cloudy".into(),
+                "sprinkler".into(),
+                "rain".into(),
+                "wet".into(),
+            ],
         )
     }
 
@@ -426,7 +446,11 @@ mod tests {
             "sprinkler evidence must lower rain belief: {explained:?} vs {posterior:?}"
         );
         // All match brute force.
-        assert_dist_close(&posterior, &brute_force_posterior(&net, 2, &[(3, 1)]), 1e-12);
+        assert_dist_close(
+            &posterior,
+            &brute_force_posterior(&net, 2, &[(3, 1)]),
+            1e-12,
+        );
         assert_dist_close(
             &explained,
             &brute_force_posterior(&net, 2, &[(3, 1), (1, 1)]),

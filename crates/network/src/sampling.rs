@@ -60,9 +60,7 @@ mod tests {
         // 0 → 1 → 2 with strong dependence.
         let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]);
         let root = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
-        let copy = |p: u32| {
-            Cpt::new(2, vec![p], vec![2], vec![0.95, 0.05, 0.05, 0.95]).unwrap()
-        };
+        let copy = |p: u32| Cpt::new(2, vec![p], vec![2], vec![0.95, 0.05, 0.05, 0.95]).unwrap();
         BayesNet::new(
             "chain3",
             dag,

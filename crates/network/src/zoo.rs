@@ -24,20 +24,19 @@ use crate::generator::{generate_network, NetworkSpec};
 
 /// The eight Table II workload specs in paper order.
 pub fn table2_specs() -> Vec<NetworkSpec> {
-    let mk = |name: &str,
-              n_nodes: usize,
-              n_edges: usize,
-              max_in_degree: usize,
-              max_samples: usize| NetworkSpec {
-        name: name.to_string(),
-        n_nodes,
-        n_edges,
-        min_arity: 2,
-        max_arity: 4,
-        max_in_degree,
-        skew: 0.8,
-        max_samples,
-    };
+    let mk =
+        |name: &str, n_nodes: usize, n_edges: usize, max_in_degree: usize, max_samples: usize| {
+            NetworkSpec {
+                name: name.to_string(),
+                n_nodes,
+                n_edges,
+                min_arity: 2,
+                max_arity: 4,
+                max_in_degree,
+                skew: 0.8,
+                max_samples,
+            }
+        };
     vec![
         mk("alarm", 37, 46, 4, 15000),
         mk("insurance", 27, 52, 3, 15000),

@@ -67,10 +67,9 @@ impl Team<'_> {
         // SAFETY: see module docs — we erase the lifetime but do not return
         // until all workers completed this generation.
         let ptr = JobPtr(unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(usize) + Sync),
-                *const (dyn Fn(usize) + Sync),
-            >(job as *const _)
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                job as *const _,
+            )
         });
         slot.job = Some(ptr);
         slot.generation += 1;
@@ -88,7 +87,12 @@ impl Team<'_> {
     pub fn scoped<R>(n_threads: usize, f: impl FnOnce(&Team<'_>) -> R) -> R {
         let n_threads = n_threads.max(1);
         let shared = Shared {
-            slot: Mutex::new(Slot { job: None, generation: 0, done: 0, shutdown: false }),
+            slot: Mutex::new(Slot {
+                job: None,
+                generation: 0,
+                done: 0,
+                shutdown: false,
+            }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
         };
@@ -97,7 +101,10 @@ impl Team<'_> {
                 let shared = &shared;
                 scope.spawn(move || worker_loop(shared, tid, n_threads));
             }
-            let team = Team { shared: &shared, n_threads };
+            let team = Team {
+                shared: &shared,
+                n_threads,
+            };
             let result = f(&team);
             // Shut down.
             {

@@ -24,13 +24,19 @@ pub struct WorkPool<T> {
 impl<T> WorkPool<T> {
     /// An empty pool.
     pub fn new() -> Self {
-        Self { stack: Mutex::new(Vec::new()), in_flight: AtomicUsize::new(0) }
+        Self {
+            stack: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+        }
     }
 
     /// A pool pre-loaded with tasks (the per-depth initialization: "all the
     /// edges in the current graph are pushed into the work pool").
     pub fn from_tasks(tasks: Vec<T>) -> Self {
-        Self { stack: Mutex::new(tasks), in_flight: AtomicUsize::new(0) }
+        Self {
+            stack: Mutex::new(tasks),
+            in_flight: AtomicUsize::new(0),
+        }
     }
 
     /// Pop a task, marking it in-flight. `None` means the stack is
@@ -147,8 +153,7 @@ mod tests {
         // step executions must equal the sum of initial steps, and each
         // task must complete exactly once.
         let n_tasks = 64;
-        let tasks: Vec<(usize, u32)> =
-            (0..n_tasks).map(|i| (i, 1 + (i as u32 * 7) % 13)).collect();
+        let tasks: Vec<(usize, u32)> = (0..n_tasks).map(|i| (i, 1 + (i as u32 * 7) % 13)).collect();
         let expected_steps: u64 = tasks.iter().map(|&(_, s)| s as u64).sum();
         let pool = WorkPool::from_tasks(tasks);
         let steps = AtomicU64::new(0);

@@ -93,7 +93,11 @@ mod tests {
     #[test]
     fn all_kinds_agree_on_strong_dependence() {
         let t = dependent_table();
-        for kind in [CiTestKind::GSquared, CiTestKind::PearsonX2, CiTestKind::MutualInfo] {
+        for kind in [
+            CiTestKind::GSquared,
+            CiTestKind::PearsonX2,
+            CiTestKind::MutualInfo,
+        ] {
             let out = run_ci_test(&t, kind, 0.05, DfRule::Classic);
             assert!(!out.independent, "{kind:?} failed to reject");
             assert!(out.p_value < 1e-6);

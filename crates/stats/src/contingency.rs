@@ -33,12 +33,20 @@ impl ContingencyTable {
     /// # Panics
     /// Panics if any dimension is zero or the total cell count overflows.
     pub fn new(rx: usize, ry: usize, nz: usize) -> Self {
-        assert!(rx > 0 && ry > 0 && nz > 0, "table dimensions must be nonzero");
+        assert!(
+            rx > 0 && ry > 0 && nz > 0,
+            "table dimensions must be nonzero"
+        );
         let cells = rx
             .checked_mul(ry)
             .and_then(|v| v.checked_mul(nz))
             .expect("contingency table size overflow");
-        Self { rx, ry, nz, counts: vec![0; cells] }
+        Self {
+            rx,
+            ry,
+            nz,
+            counts: vec![0; cells],
+        }
     }
 
     /// Number of X categories.
@@ -79,7 +87,10 @@ impl ContingencyTable {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn reshape(&mut self, rx: usize, ry: usize, nz: usize) {
-        assert!(rx > 0 && ry > 0 && nz > 0, "table dimensions must be nonzero");
+        assert!(
+            rx > 0 && ry > 0 && nz > 0,
+            "table dimensions must be nonzero"
+        );
         let cells = rx
             .checked_mul(ry)
             .and_then(|v| v.checked_mul(nz))
@@ -184,7 +195,10 @@ pub struct AtomicContingencyTable {
 impl AtomicContingencyTable {
     /// Create a zeroed atomic table.
     pub fn new(rx: usize, ry: usize, nz: usize) -> Self {
-        assert!(rx > 0 && ry > 0 && nz > 0, "table dimensions must be nonzero");
+        assert!(
+            rx > 0 && ry > 0 && nz > 0,
+            "table dimensions must be nonzero"
+        );
         let cells = rx * ry * nz;
         let mut counts = Vec::with_capacity(cells);
         counts.resize_with(cells, || AtomicU32::new(0));
@@ -268,7 +282,14 @@ mod tests {
     #[test]
     fn marginals_are_consistent() {
         let mut t = ContingencyTable::new(3, 2, 2);
-        let obs = [(0, 0, 0), (0, 1, 0), (1, 1, 0), (2, 0, 1), (2, 0, 1), (1, 1, 1)];
+        let obs = [
+            (0, 0, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (2, 0, 1),
+            (2, 0, 1),
+            (1, 1, 1),
+        ];
         for &(x, y, z) in &obs {
             t.add(x, y, z);
         }

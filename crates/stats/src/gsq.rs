@@ -57,9 +57,7 @@ pub fn g2_statistic(table: &ContingencyTable) -> f64 {
 ///   summed over slices with mass — bnlearn's small-sample correction.
 pub fn g2_degrees_of_freedom(table: &ContingencyTable, rule: DfRule) -> f64 {
     match rule {
-        DfRule::Classic => {
-            ((table.rx() - 1) * (table.ry() - 1)) as f64 * table.nz() as f64
-        }
+        DfRule::Classic => ((table.rx() - 1) * (table.ry() - 1)) as f64 * table.nz() as f64,
         DfRule::Adjusted => {
             let rx = table.rx();
             let ry = table.ry();
@@ -90,7 +88,12 @@ pub fn g2_test(table: &ContingencyTable, alpha: f64, rule: DfRule) -> CiOutcome 
     let stat = g2_statistic(table);
     let df = g2_degrees_of_freedom(table, rule);
     let p_value = if df <= 0.0 { 1.0 } else { chi2_sf(stat, df) };
-    CiOutcome { statistic: stat, df, p_value, independent: p_value > alpha }
+    CiOutcome {
+        statistic: stat,
+        df,
+        p_value,
+        independent: p_value > alpha,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +157,14 @@ mod tests {
     fn statistic_is_symmetric_in_x_and_y() {
         let mut a = ContingencyTable::new(2, 3, 2);
         let mut b = ContingencyTable::new(3, 2, 2);
-        let obs = [(0, 0, 0), (0, 2, 0), (1, 1, 0), (1, 2, 1), (0, 1, 1), (1, 0, 1)];
+        let obs = [
+            (0, 0, 0),
+            (0, 2, 0),
+            (1, 1, 0),
+            (1, 2, 1),
+            (0, 1, 1),
+            (1, 0, 1),
+        ];
         for &(x, y, z) in &obs {
             a.add(x, y, z);
             b.add(y, x, z);
@@ -216,7 +226,9 @@ mod tests {
         // should be ≈ α. Deterministic LCG so the test is reproducible.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let trials = 400;
@@ -233,6 +245,9 @@ mod tests {
             }
         }
         let rate = rejections as f64 / trials as f64;
-        assert!(rate < 0.12, "false positive rate {rate} too far above α=0.05");
+        assert!(
+            rate < 0.12,
+            "false positive rate {rate} too far above α=0.05"
+        );
     }
 }

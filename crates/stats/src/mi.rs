@@ -27,8 +27,15 @@ pub fn conditional_mutual_information(table: &ContingencyTable) -> f64 {
 pub fn mi_test(table: &ContingencyTable, alpha: f64, rule: DfRule) -> CiOutcome {
     let g2 = g2_test(table, alpha, rule);
     let n = table.total();
-    let mi = if n == 0 { 0.0 } else { g2.statistic / (2.0 * n as f64) };
-    CiOutcome { statistic: mi, ..g2 }
+    let mi = if n == 0 {
+        0.0
+    } else {
+        g2.statistic / (2.0 * n as f64)
+    };
+    CiOutcome {
+        statistic: mi,
+        ..g2
+    }
 }
 
 #[cfg(test)]
@@ -61,7 +68,14 @@ mod tests {
     #[test]
     fn mi_is_nonnegative() {
         let mut t = ContingencyTable::new(3, 2, 2);
-        let obs = [(0, 0, 0), (1, 1, 0), (2, 0, 1), (0, 1, 1), (1, 0, 0), (2, 1, 1)];
+        let obs = [
+            (0, 0, 0),
+            (1, 1, 0),
+            (2, 0, 1),
+            (0, 1, 1),
+            (1, 0, 0),
+            (2, 1, 1),
+        ];
         for &(x, y, z) in &obs {
             t.add(x, y, z);
         }

@@ -50,7 +50,12 @@ pub fn x2_test(table: &ContingencyTable, alpha: f64, rule: DfRule) -> CiOutcome 
     let stat = x2_statistic(table);
     let df = g2_degrees_of_freedom(table, rule);
     let p_value = if df <= 0.0 { 1.0 } else { chi2_sf(stat, df) };
-    CiOutcome { statistic: stat, df, p_value, independent: p_value > alpha }
+    CiOutcome {
+        statistic: stat,
+        df,
+        p_value,
+        independent: p_value > alpha,
+    }
 }
 
 #[cfg(test)]

@@ -1,23 +1,21 @@
 //! Property-based tests for the statistics substrate.
 
 use fastbn_stats::{
-    chi2_cdf, chi2_sf, conditional_mutual_information, g2_statistic, ln_gamma,
-    regularized_gamma_p, regularized_gamma_q, x2_statistic, ContingencyTable,
+    chi2_cdf, chi2_sf, conditional_mutual_information, g2_statistic, ln_gamma, regularized_gamma_p,
+    regularized_gamma_q, x2_statistic, ContingencyTable,
 };
 use proptest::prelude::*;
 
 /// Strategy: a random small contingency table with its observation list.
 fn table_strategy() -> impl Strategy<Value = (ContingencyTable, usize)> {
     (2usize..5, 2usize..5, 1usize..5).prop_flat_map(|(rx, ry, nz)| {
-        proptest::collection::vec((0..rx, 0..ry, 0..nz), 0..300).prop_map(
-            move |obs| {
-                let mut t = ContingencyTable::new(rx, ry, nz);
-                for &(x, y, z) in &obs {
-                    t.add(x, y, z);
-                }
-                (t, obs.len())
-            },
-        )
+        proptest::collection::vec((0..rx, 0..ry, 0..nz), 0..300).prop_map(move |obs| {
+            let mut t = ContingencyTable::new(rx, ry, nz);
+            for &(x, y, z) in &obs {
+                t.add(x, y, z);
+            }
+            (t, obs.len())
+        })
     })
 }
 

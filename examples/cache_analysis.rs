@@ -6,9 +6,7 @@
 //! cargo run --release --example cache_analysis
 //! ```
 
-use fastbn::cachesim::{
-    replay_ci_test, CacheReport, MemoryHierarchy, TraceLayout, TraceSpec,
-};
+use fastbn::cachesim::{replay_ci_test, CacheReport, MemoryHierarchy, TraceLayout, TraceSpec};
 use fastbn::core::{record_ci_trace, PcConfig};
 
 fn main() {

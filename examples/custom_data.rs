@@ -19,7 +19,11 @@ fn main() {
 
     // 1. Parse the CSV (integer or categorical cells both work).
     let data = dataset_from_csv(&csv_text).expect("valid CSV");
-    println!("parsed: {} samples x {} variables", data.n_samples(), data.n_vars());
+    println!(
+        "parsed: {} samples x {} variables",
+        data.n_samples(),
+        data.n_vars()
+    );
 
     // 2. Learn.
     let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
@@ -33,7 +37,11 @@ fn main() {
     let cpdag = result.cpdag();
     let directed = cpdag.directed_edges();
     let undirected = cpdag.undirected_edges();
-    println!("CPDAG: {} compelled, {} reversible edges", directed.len(), undirected.len());
+    println!(
+        "CPDAG: {} compelled, {} reversible edges",
+        directed.len(),
+        undirected.len()
+    );
     for &(u, v) in directed.iter().take(5) {
         println!("  {} -> {}", data.names()[u], data.names()[v]);
     }

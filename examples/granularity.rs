@@ -41,9 +41,14 @@ fn main() {
                 "all granularities must learn the same skeleton"
             );
             assert_eq!(result.cpdag(), seq.cpdag());
-            let speedup =
-                seq.stats().skeleton_duration.as_secs_f64() / elapsed.as_secs_f64();
-            println!("{:<14} {:>8} {:>12.2?} {:>9.2}x", mode.name(), threads, elapsed, speedup);
+            let speedup = seq.stats().skeleton_duration.as_secs_f64() / elapsed.as_secs_f64();
+            println!(
+                "{:<14} {:>8} {:>12.2?} {:>9.2}x",
+                mode.name(),
+                threads,
+                elapsed,
+                speedup
+            );
         }
     }
     println!("\nall modes produced identical skeletons and CPDAGs");

@@ -45,16 +45,21 @@ fn main() {
     println!(
         "\nP({}) prior            = {:?}",
         data.names()[query_var],
-        prior.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        prior
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
     for val in 0..model.arity(evidence_var).min(2) {
-        let posterior =
-            variable_elimination(&model, query_var, &[(evidence_var, val as u8)]);
+        let posterior = variable_elimination(&model, query_var, &[(evidence_var, val as u8)]);
         println!(
             "P({} | {}={val}) = {:?}",
             data.names()[query_var],
             data.names()[evidence_var],
-            posterior.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            posterior
+                .iter()
+                .map(|p| (p * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
         let total: f64 = posterior.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

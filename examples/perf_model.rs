@@ -13,7 +13,10 @@ fn main() {
     let p = ModelParams::paper_example();
     println!("paper worked example (§IV-D4):");
     println!("  S_CI       = {:.2}   (paper: 3.87)", s_ci(&p));
-    println!("  S_grouping = {:.2}   (paper: 1.43)", s_grouping(p.deletion_ratio));
+    println!(
+        "  S_grouping = {:.2}   (paper: 1.43)",
+        s_grouping(p.deletion_ratio)
+    );
     println!(
         "  S_cache    = {:.2}   (paper: 5.57)",
         s_cache(p.depth, p.line_bytes, p.dram_cache_ratio)
@@ -23,7 +26,10 @@ fn main() {
     println!("\nthread sweep (other parameters fixed):");
     println!("  {:>3} {:>8} {:>8}", "t", "S_CI", "S");
     for t in [1usize, 2, 4, 8, 16, 32] {
-        let p = ModelParams { threads: t, ..ModelParams::paper_example() };
+        let p = ModelParams {
+            threads: t,
+            ..ModelParams::paper_example()
+        };
         println!("  {:>3} {:>8.2} {:>8.1}", t, s_ci(&p), overall_speedup(&p));
     }
 

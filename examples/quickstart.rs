@@ -20,7 +20,11 @@ fn main() {
 
     // 2. Forward-sample a complete dataset (no missing values).
     let data = net.sample_dataset(5000, 42);
-    println!("data:    {} samples x {} variables", data.n_samples(), data.n_vars());
+    println!(
+        "data:    {} samples x {} variables",
+        data.n_samples(),
+        data.n_vars()
+    );
 
     // 3. Learn with Fast-BNS: CI-level parallelism, endpoint grouping,
     //    cache-friendly storage, on-the-fly conditioning sets.
@@ -51,6 +55,9 @@ fn main() {
     let shd = shd_cpdag(&dag_to_cpdag(net.dag()), result.cpdag());
     println!("CPDAG SHD vs truth: {shd}");
 
-    assert!(m.f1 > 0.6, "structure recovery should be decent at 5000 samples");
+    assert!(
+        m.f1 > 0.6,
+        "structure recovery should be decent at 5000 samples"
+    );
     println!("ok");
 }

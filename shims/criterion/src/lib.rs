@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate (see shims/README.md).
+//!
+//! Implements the slice of criterion's API the fastbn benches use —
+//! `benchmark_group`, `sample_size`, `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple median-of-samples timer. Output
+//! is one line per benchmark: `group/function/param  <median>  (<samples>)`.
+//! No statistics beyond the median, no HTML reports, no baselines; when the
+//! environment gains registry access this shim can be swapped for the real
+//! crate without touching the benches.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median over up to `samples` batches
+    /// while staying within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and pick a batch size targeting ~1ms per batch so cheap
+        // kernels are not swamped by clock resolution.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(t0.elapsed() / batch as u32);
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        per_iter.sort();
+        self.last = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl IntoBenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        let mut b = Bencher {
+            samples: self.samples,
+            budget: self.budget,
+            last: None,
+        };
+        routine(&mut b);
+        report(&self.name, &label, b.last, self.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            budget: self.budget,
+            last: None,
+        };
+        routine(&mut b, input);
+        report(&self.name, &id.label, b.last, self.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, label: &str, median: Option<Duration>, samples: usize) {
+    match median {
+        Some(m) => println!("{group}/{label:<40} {m:>12.2?}  ({samples} samples)"),
+        None => println!("{group}/{label:<40} (no measurement: iter never called)"),
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+            default_budget: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (samples, budget) = (self.default_samples, self.default_budget);
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            budget,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            budget: self.default_budget,
+            last: None,
+        };
+        routine(&mut b);
+        report("bench", name, b.last, self.default_samples);
+        self
+    }
+
+    /// Accepted for CLI-compatibility with the real crate; filtering is not
+    /// implemented — every registered benchmark runs.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Conversion helper so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`], as in real criterion.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (--bench, --test,
+            // filters); a bench binary invoked with `--test` must run nothing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut hits = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+            b.iter(|| {
+                hits += 1;
+                x * 2
+            })
+        });
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `crossbeam` crate (see shims/README.md).
+//!
+//! Only the piece fastbn uses is provided: `utils::CachePadded`, which pads
+//! and aligns a value to 128 bytes — two 64-byte lines, covering the spatial
+//! prefetcher pairing on x86 and the 128-byte lines on some aarch64 parts —
+//! so per-thread counters never share a cache line (false sharing).
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes.
+    #[derive(Clone, Copy, Default, Debug)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn alignment_is_128() {
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

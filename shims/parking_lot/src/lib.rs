@@ -1,0 +1,131 @@
+//! Offline stand-in for the `parking_lot` crate, backed by `std::sync`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! provides exactly the slice of parking_lot's API that fastbn uses —
+//! `Mutex::{new, lock, into_inner}` with panic-free `lock()` (poisoning is
+//! transparently cleared: a panicked holder aborts the test anyway) and a
+//! `Condvar` that waits on a `&mut MutexGuard` in place.
+
+/// Mutual exclusion primitive with parking_lot's panic-free API.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. Unlike
+    /// `std::sync::Mutex::lock`, never returns an error: poisoning is
+    /// transparently cleared.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Holds an `Option` so [`Condvar::wait`] can temporarily take the inner
+/// std guard (std's condvar consumes and returns guards by value).
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .as_deref()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .as_deref_mut()
+            .expect("guard taken during condvar wait")
+    }
+}
+
+/// Condition variable operating on [`MutexGuard`]s in place.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, atomically releasing and re-acquiring the lock
+    /// behind `guard` (parking_lot signature: the guard is updated in place).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard taken during condvar wait");
+        let reacquired = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        guard.guard = Some(reacquired);
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

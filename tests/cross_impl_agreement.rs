@@ -4,8 +4,8 @@
 //! and baseline must produce identical skeletons, separating sets and
 //! CPDAGs on identical inputs.
 
-use fastbn::prelude::*;
 use fastbn::core::{CondSetGen, SampleFill};
+use fastbn::prelude::*;
 use fastbn_data::Dataset;
 use fastbn_network::generate_network;
 
@@ -25,7 +25,11 @@ fn workload(seed: u64) -> Dataset {
 
 fn assert_identical(data: &Dataset, cfg: PcConfig, reference: &LearnResult, label: &str) {
     let got = PcStable::new(cfg).learn(data);
-    assert_eq!(got.skeleton(), reference.skeleton(), "{label}: skeleton differs");
+    assert_eq!(
+        got.skeleton(),
+        reference.skeleton(),
+        "{label}: skeleton differs"
+    );
     assert_eq!(got.cpdag(), reference.cpdag(), "{label}: CPDAG differs");
     for v in 1..data.n_vars() {
         for u in 0..v {
@@ -50,7 +54,12 @@ fn all_schedulers_and_thread_counts_agree() {
         ] {
             for threads in [1usize, 2, 3, 5] {
                 let cfg = PcConfig::fast_bns().with_mode(mode).with_threads(threads);
-                assert_identical(&data, cfg, &reference, &format!("seed {seed} {mode:?} t={threads}"));
+                assert_identical(
+                    &data,
+                    cfg,
+                    &reference,
+                    &format!("seed {seed} {mode:?} t={threads}"),
+                );
             }
         }
     }
@@ -70,7 +79,10 @@ fn group_sizes_agree() {
 fn layouts_and_cond_set_strategies_agree() {
     let data = workload(21);
     let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
-    for layout in [fastbn_data::Layout::ColumnMajor, fastbn_data::Layout::RowMajor] {
+    for layout in [
+        fastbn_data::Layout::ColumnMajor,
+        fastbn_data::Layout::RowMajor,
+    ] {
         for cond in [CondSetGen::OnTheFly, CondSetGen::Precomputed] {
             for grouping in [true, false] {
                 let cfg = PcConfig::fast_bns_seq()
@@ -131,7 +143,11 @@ fn ci_test_kinds_are_internally_consistent() {
     // Different statistics may disagree with each other near the
     // threshold, but each must be deterministic and mode-independent.
     let data = workload(51);
-    for test in [CiTestKind::GSquared, CiTestKind::PearsonX2, CiTestKind::MutualInfo] {
+    for test in [
+        CiTestKind::GSquared,
+        CiTestKind::PearsonX2,
+        CiTestKind::MutualInfo,
+    ] {
         let seq = PcStable::new(PcConfig::fast_bns_seq().with_test(test)).learn(&data);
         let par = PcStable::new(PcConfig::fast_bns().with_test(test).with_threads(2)).learn(&data);
         assert_eq!(seq.skeleton(), par.skeleton(), "{test:?}");

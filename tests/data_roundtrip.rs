@@ -29,7 +29,11 @@ fn csv_roundtrip_preserves_learning_result() {
     let learner = PcStable::new(PcConfig::fast_bns_seq());
     let a = learner.learn(&data);
     let b = learner.learn(&back);
-    assert_eq!(a.skeleton(), b.skeleton(), "CSV round-trip changed the result");
+    assert_eq!(
+        a.skeleton(),
+        b.skeleton(),
+        "CSV round-trip changed the result"
+    );
     assert_eq!(a.cpdag(), b.cpdag());
 }
 
@@ -70,7 +74,11 @@ fn csv_with_categorical_levels_learns() {
     let data = dataset_from_csv(&csv).unwrap();
     assert_eq!(data.n_vars(), 2);
     let result = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
-    assert_eq!(result.skeleton().edge_count(), 1, "dependence must be found");
+    assert_eq!(
+        result.skeleton().edge_count(),
+        1,
+        "dependence must be found"
+    );
 }
 
 #[test]

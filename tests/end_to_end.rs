@@ -27,7 +27,11 @@ fn recovers_structure_from_samples() {
     assert!(m.f1 > 0.75, "F1 = {:.3} too low for 6000 samples", m.f1);
     // CPDAG distance bounded well below the trivial distance.
     let shd = shd_cpdag(&dag_to_cpdag(net.dag()), result.cpdag());
-    assert!(shd < net.dag().edge_count(), "SHD {shd} vs {} edges", net.dag().edge_count());
+    assert!(
+        shd < net.dag().edge_count(),
+        "SHD {shd} vs {} edges",
+        net.dag().edge_count()
+    );
 }
 
 #[test]
@@ -70,7 +74,10 @@ fn alpha_controls_sparsity() {
 fn independent_variables_yield_empty_graph() {
     // Data from a DAG with no edges: the learner should find ~nothing.
     let net = generate_network(
-        &NetworkSpec { n_edges: 0, ..spec("empty", 8, 0) },
+        &NetworkSpec {
+            n_edges: 0,
+            ..spec("empty", 8, 0)
+        },
         5,
     );
     let data = net.sample_dataset(3000, 6);

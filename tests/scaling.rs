@@ -2,8 +2,8 @@
 //! (Figures 3–5): CI-test counts, group-size redundancy, and the
 //! theoretical model's qualitative predictions.
 
-use fastbn::prelude::*;
 use fastbn::core::perf_model::{overall_speedup, s_ci, ModelParams};
+use fastbn::prelude::*;
 use fastbn_data::Dataset;
 use fastbn_network::generate_network;
 
@@ -41,7 +41,10 @@ fn group_size_monotonically_inflates_ci_tests() {
     }
     // And the inflation is bounded by the trivial upper bound: every group
     // fully wasted.
-    assert!(counts[4] <= counts[0] * 16, "inflation beyond group bound: {counts:?}");
+    assert!(
+        counts[4] <= counts[0] * 16,
+        "inflation beyond group bound: {counts:?}"
+    );
 }
 
 #[test]
@@ -50,8 +53,7 @@ fn endpoint_grouping_reduces_ci_tests() {
     // whenever the first finds a separator.
     let data = workload(14, 18, 1200, 5);
     let grouped = ci_tests(&data, &PcConfig::fast_bns_seq());
-    let ungrouped =
-        ci_tests(&data, &PcConfig::fast_bns_seq().with_group_endpoints(false));
+    let ungrouped = ci_tests(&data, &PcConfig::fast_bns_seq().with_group_endpoints(false));
     assert!(
         grouped <= ungrouped,
         "grouping must not add tests: grouped {grouped} vs ungrouped {ungrouped}"
@@ -86,7 +88,10 @@ fn model_predicts_more_speedup_for_larger_depths_and_threads() {
     let base = ModelParams::paper_example();
     // More threads ⇒ more CI-level speedup.
     let s4 = s_ci(&ModelParams { threads: 4, ..base });
-    let s16 = s_ci(&ModelParams { threads: 16, ..base });
+    let s16 = s_ci(&ModelParams {
+        threads: 16,
+        ..base
+    });
     assert!(s16 > s4);
     // Overall speedup strictly positive and composite.
     assert!(overall_speedup(&base) > s_ci(&base));
