@@ -1,0 +1,141 @@
+//! Microbench: the work-stealing sharded pool vs. the single shared queue,
+//! and batched vs. single CI-test execution — the two kernels behind the
+//! `steal` skeleton strategy, each in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_core::skeleton::common::CiEngine;
+use fastbn_core::PcConfig;
+use fastbn_network::zoo;
+use fastbn_parallel::{
+    run_pool, run_steal_pool, shard_by_key, StealPool, StepResult, Team, WorkPool,
+};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Simulated CI-test work: a few hundred ns of arithmetic.
+#[inline]
+fn unit_work(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..200u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+/// Skewed task sizes mimicking per-edge CI-test counts (cf. workpool.rs).
+fn task_sizes(n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|i| if i % 16 == 0 { 400 } else { 4 + (i % 7) as u32 })
+        .collect()
+}
+
+fn bench_steal_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steal");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let sizes = task_sizes(256);
+    let threads = 2;
+
+    group.bench_with_input(
+        BenchmarkId::new("shared_queue", "skewed256"),
+        &sizes,
+        |b, sizes| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                let tasks: Vec<(usize, u32)> = sizes.iter().copied().enumerate().collect();
+                let pool = WorkPool::from_tasks(tasks);
+                Team::scoped(threads, |team| {
+                    run_pool(team, &pool, |_tid, (id, remaining)| {
+                        let burst = remaining.min(8);
+                        for i in 0..burst {
+                            acc.fetch_add(unit_work(id as u64 + i as u64), Ordering::Relaxed);
+                        }
+                        if remaining <= burst {
+                            StepResult::Done
+                        } else {
+                            StepResult::Continue((id, remaining - burst))
+                        }
+                    });
+                });
+                black_box(acc.into_inner())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("stealing_deques", "skewed256"),
+        &sizes,
+        |b, sizes| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                let tasks: Vec<(usize, u32)> = sizes.iter().copied().enumerate().collect();
+                let shards = shard_by_key(tasks, threads, |t| t.0 % 32, |t| t.1 as u64);
+                let pool = StealPool::from_shards(shards);
+                Team::scoped(threads, |team| {
+                    run_steal_pool(team, &pool, |_tid, (id, remaining)| {
+                        let burst = remaining.min(8);
+                        for i in 0..burst {
+                            acc.fetch_add(unit_work(id as u64 + i as u64), Ordering::Relaxed);
+                        }
+                        if remaining <= burst {
+                            StepResult::Done
+                        } else {
+                            StepResult::Continue((id, remaining - burst))
+                        }
+                    });
+                });
+                black_box(acc.into_inner())
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_batched_ci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_ci");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let net = zoo::by_name("alarm", 3).expect("zoo network");
+    let data = net.sample_dataset(4000, 17);
+    let cfg = PcConfig::fast_bns_seq();
+    // A depth-2 group of 8 tests for one edge: the shape the steal
+    // scheduler's gs-group batching targets.
+    let (u, v) = (1usize, 5usize);
+    let conds: Vec<[usize; 2]> = (0..8)
+        .map(|i| {
+            let a = 7 + (i % 4);
+            let b = 12 + (i % 5);
+            [a, b]
+        })
+        .collect();
+    let conds_flat: Vec<usize> = conds.iter().flatten().copied().collect();
+
+    group.bench_function(BenchmarkId::new("single", "g8d2"), |b| {
+        let mut engine = CiEngine::new(&data, &cfg);
+        b.iter(|| {
+            let mut accepted = 0u32;
+            for cond in &conds {
+                accepted += engine.run(u, v, cond) as u32;
+            }
+            black_box(accepted)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("batched", "g8d2"), |b| {
+        let mut engine = CiEngine::new(&data, &cfg);
+        let mut decisions = Vec::new();
+        b.iter(|| {
+            decisions.clear();
+            engine.run_batch(u, v, 2, conds.len(), &conds_flat, &mut decisions);
+            black_box(decisions.iter().filter(|&&x| x).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steal_scheduling, bench_batched_ci);
+criterion_main!(benches);

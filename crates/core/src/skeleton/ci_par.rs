@@ -12,11 +12,10 @@
 //! edges leave the pool immediately, cancelling their remaining CI tests —
 //! the "edge monitoring" early termination.
 
-use super::common::{process_group, CiEngine, EdgeTask, GroupOutcome, Removal};
+use super::common::{process_group, run_pooled_depth, EdgeTask, Removal};
 use crate::config::PcConfig;
 use fastbn_data::Dataset;
-use fastbn_parallel::{run_pool, StepResult, Team, WorkPool};
-use parking_lot::Mutex;
+use fastbn_parallel::{run_pool, Team, WorkPool};
 
 /// Run one depth through the dynamic work pool on `team`.
 /// Returns (removals, CI tests performed, tests skipped).
@@ -27,36 +26,8 @@ pub fn run_depth(
     tasks: Vec<EdgeTask>,
     d: usize,
 ) -> (Vec<Removal>, u64, u64) {
-    let t = team.n_threads();
-    let gs = cfg.group_size as u64;
     let pool = WorkPool::from_tasks(tasks);
-    // Per-thread state: a private CI engine and a removal buffer, each
-    // behind an uncontended mutex (only thread `tid` touches slot `tid`).
-    let engines: Vec<Mutex<CiEngine<'_>>> = (0..t)
-        .map(|_| Mutex::new(CiEngine::new(data, cfg)))
-        .collect();
-    let removals: Vec<Mutex<Vec<Removal>>> = (0..t).map(|_| Mutex::new(Vec::new())).collect();
-
-    run_pool(team, &pool, |tid, task| {
-        let mut engine = engines[tid].lock();
-        match process_group(&mut engine, task, gs, d) {
-            GroupOutcome::Removed(r) => {
-                removals[tid].lock().push(r);
-                StepResult::Done
-            }
-            GroupOutcome::Exhausted => StepResult::Done,
-            GroupOutcome::InProgress(next) => StepResult::Continue(next),
-        }
-    });
-
-    let mut all = Vec::new();
-    let mut performed = 0;
-    let mut skipped = 0;
-    for (engine, slot) in engines.into_iter().zip(removals) {
-        let engine = engine.into_inner();
-        performed += engine.performed;
-        skipped += engine.skipped;
-        all.extend(slot.into_inner());
-    }
-    (all, performed, skipped)
+    run_pooled_depth(team.n_threads(), data, cfg, d, process_group, |step| {
+        run_pool(team, &pool, step)
+    })
 }

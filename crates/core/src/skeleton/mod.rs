@@ -2,13 +2,14 @@
 //! interchangeable schedulers.
 //!
 //! The depth loop lives here; per-depth execution is delegated to
-//! [`seq`], [`edge_par`], [`sample_par`] or [`ci_par`] according to
-//! [`PcConfig::mode`]. Two paper-fidelity details:
+//! [`seq`], [`edge_par`], [`sample_par`], [`ci_par`] or [`steal_par`]
+//! according to [`PcConfig::mode`]. Two paper-fidelity details:
 //!
 //! * at depth 0 the conditioning set is always empty and the number of
 //!   tests is known up front (`n(n−1)/2`), so Fast-BNS uses plain
 //!   edge-level parallelism there (§IV-B, last paragraph) — `CiLevel`
-//!   falls back to `edge_par` for `d = 0`;
+//!   (and its work-stealing successor `WorkSteal`) falls back to
+//!   `edge_par` for `d = 0`;
 //! * parallel modes buffer removals and apply them at the end of the
 //!   depth; the sequential mode applies them immediately. PC-stable's
 //!   per-depth adjacency snapshots make both orders produce identical
@@ -19,6 +20,7 @@ pub mod common;
 pub mod edge_par;
 pub mod sample_par;
 pub mod seq;
+pub mod steal_par;
 
 use crate::config::{ParallelMode, PcConfig};
 use crate::stats_run::DepthStats;
@@ -73,10 +75,13 @@ pub fn learn_skeleton_observed<O: CiObserver>(
                     |graph, sepsets, tasks, d| {
                         let (removals, performed, _skipped) = match mode {
                             // Depth 0: tests known up front ⇒ plain edge split.
-                            ParallelMode::CiLevel if d == 0 => {
+                            ParallelMode::CiLevel | ParallelMode::WorkSteal if d == 0 => {
                                 edge_par::run_depth(team, data, cfg, tasks, d)
                             }
                             ParallelMode::CiLevel => ci_par::run_depth(team, data, cfg, tasks, d),
+                            ParallelMode::WorkSteal => {
+                                steal_par::run_depth(team, data, cfg, tasks, d)
+                            }
                             ParallelMode::EdgeLevel => {
                                 edge_par::run_depth(team, data, cfg, tasks, d)
                             }
@@ -182,6 +187,7 @@ mod tests {
             ParallelMode::EdgeLevel,
             ParallelMode::SampleLevel,
             ParallelMode::CiLevel,
+            ParallelMode::WorkSteal,
         ] {
             for threads in [1, 2, 4] {
                 let cfg = PcConfig::fast_bns().with_mode(mode).with_threads(threads);
@@ -204,11 +210,16 @@ mod tests {
     fn group_sizes_do_not_change_results() {
         let data = dataset();
         let reference = learn_skeleton(&data, &PcConfig::fast_bns_seq());
-        for gs in [2, 4, 8] {
-            let cfg = PcConfig::fast_bns().with_group_size(gs).with_threads(2);
-            let (g, sep, _) = learn_skeleton(&data, &cfg);
-            assert_eq!(g, reference.0, "gs={gs}");
-            assert_eq!(sep.get(0, 1), reference.1.get(0, 1));
+        for mode in [ParallelMode::CiLevel, ParallelMode::WorkSteal] {
+            for gs in [2, 4, 8] {
+                let cfg = PcConfig::fast_bns()
+                    .with_mode(mode)
+                    .with_group_size(gs)
+                    .with_threads(2);
+                let (g, sep, _) = learn_skeleton(&data, &cfg);
+                assert_eq!(g, reference.0, "{mode:?} gs={gs}");
+                assert_eq!(sep.get(0, 1), reference.1.get(0, 1));
+            }
         }
     }
 

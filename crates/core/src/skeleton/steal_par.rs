@@ -1,0 +1,53 @@
+//! Work-stealing sharded scheduler with batched CI-test execution — the
+//! scalability successor to [`super::ci_par`].
+//!
+//! `ci_par` routes every pop and requeue through one shared lock; on wide
+//! depths (the 1000-node Munin runs push tens of thousands of edge tasks
+//! per depth) that lock is the scheduler's serial section. This scheduler
+//! removes it:
+//!
+//! * **Adjacency sharding** — the depth's edge tasks are grouped by first
+//!   endpoint and spread over one deque per thread with
+//!   longest-processing-time placement on the known per-task CI-test count
+//!   ([`fastbn_parallel::shard_by_key`]). Edges incident to the same vertex
+//!   land on the same shard, so a worker keeps hitting the same data
+//!   columns while it drains its deque.
+//! * **Work stealing** — a worker whose deque runs dry steals the oldest
+//!   task from a victim's deque instead of idling, which corrects whatever
+//!   imbalance the up-front placement missed (the estimate cannot see early
+//!   terminations).
+//! * **Batched CI tests** — each pop processes its group of `gs` tests
+//!   through [`process_group_batched`]: one shared pass fills all `gs`
+//!   contingency tables (the `X`/`Y` columns are read once per sample, not
+//!   once per test) and one shared-scratch pass evaluates them.
+//!
+//! Results are byte-identical to every other scheduler: decisions per test
+//! are unchanged (same tables, same statistics) and removals are buffered
+//! and deterministically ordered by [`super::common::apply_removals`], so
+//! neither the sharding, the steal interleaving nor the thread count can
+//! change the learned skeleton. `tests/cross_impl_agreement.rs` and
+//! `tests/determinism.rs` pin this.
+
+use super::common::{process_group_batched, run_pooled_depth, EdgeTask, Removal};
+use crate::config::PcConfig;
+use fastbn_data::Dataset;
+use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, Team};
+
+/// Run one depth through the work-stealing sharded pool on `team`.
+/// Returns (removals, CI tests performed, tests skipped).
+pub fn run_depth(
+    team: &Team<'_>,
+    data: &Dataset,
+    cfg: &PcConfig,
+    tasks: Vec<EdgeTask>,
+    d: usize,
+) -> (Vec<Removal>, u64, u64) {
+    let t = team.n_threads();
+    // Shard by the first endpoint (adjacency sharding), weighted by the
+    // exact number of CI tests the task can perform this depth.
+    let shards = shard_by_key(tasks, t, |task| task.u as usize, EdgeTask::total_tests);
+    let pool = StealPool::from_shards(shards);
+    run_pooled_depth(t, data, cfg, d, process_group_batched, |step| {
+        run_steal_pool(team, &pool, step)
+    })
+}

@@ -1,0 +1,311 @@
+//! Work-stealing sharded task pool — the scalable successor to the single
+//! shared-stack [`crate::workpool::WorkPool`].
+//!
+//! The paper's dynamic work pool (§IV-B) is one mutex-protected stack. That
+//! is fine at 2–8 threads on mid-sized networks, but on the 1000-node Munin
+//! workloads every pop/requeue crosses the same lock, and the lock becomes
+//! the scheduler's serial section. This module shards the pool: each worker
+//! owns a deque, pushes and pops at its **back** (LIFO, so the most
+//! recently touched edge — whose data columns are still cache-warm — is
+//! processed next), and only when its own deque runs dry does it **steal**
+//! from the **front** of a victim's deque (FIFO, so the thief takes the
+//! oldest task, the one least likely to be warm in the victim's cache and
+//! statistically the one with the most remaining work).
+//!
+//! Invariants shared with `WorkPool`:
+//!
+//! * a task outside every deque is accounted in `in_flight`, so
+//!   [`StealPool::is_drained`] can never observe "empty and idle" while a
+//!   worker still holds (and may requeue) a task;
+//! * the pop → process-group → requeue/complete protocol is identical, so
+//!   [`run_steal_pool`] is a drop-in replacement for
+//!   [`crate::workpool::run_pool`] and produces the same set of completed
+//!   steps regardless of shard count, thread count or steal interleaving.
+
+use crate::team::Team;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sharded pool of tasks of type `T` with per-owner deques and stealing.
+pub struct StealPool<T> {
+    /// One deque per shard, cache-padded so two workers touching adjacent
+    /// shards never share a line.
+    shards: Box<[CachePadded<Mutex<VecDeque<T>>>]>,
+    /// Tasks currently held by workers (popped but neither requeued nor
+    /// completed).
+    in_flight: AtomicUsize,
+    /// Successful steals (diagnostic; relaxed).
+    steals: AtomicUsize,
+}
+
+impl<T> StealPool<T> {
+    /// An empty pool with `n_shards` deques (0 is promoted to 1).
+    pub fn new(n_shards: usize) -> Self {
+        Self::from_shards((0..n_shards.max(1)).map(|_| Vec::new()).collect())
+    }
+
+    /// A pool pre-loaded shard by shard — the per-depth initialization once
+    /// the partitioner ([`crate::partition::shard_by_key`]) has assigned
+    /// every edge task an owner.
+    pub fn from_shards(shards: Vec<Vec<T>>) -> Self {
+        let shards: Vec<CachePadded<Mutex<VecDeque<T>>>> = if shards.is_empty() {
+            vec![CachePadded::new(Mutex::new(VecDeque::new()))]
+        } else {
+            shards
+                .into_iter()
+                .map(|s| CachePadded::new(Mutex::new(VecDeque::from(s))))
+                .collect()
+        };
+        Self {
+            shards: shards.into_boxed_slice(),
+            in_flight: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards (≥ 1).
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total queued tasks across all shards (tasks not held by workers).
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Successful steals so far (monotonic, diagnostic only).
+    pub fn steal_count(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Pop a task for worker `tid`: first the back of its own deque, then —
+    /// if that is empty — the front of each victim in round-robin order
+    /// starting after `tid`. The returned task is marked in-flight. `None`
+    /// means every deque was observed empty (the pool may still not be
+    /// [`StealPool::is_drained`] if another worker holds a task).
+    pub fn pop(&self, tid: usize) -> Option<T> {
+        let n = self.shards.len();
+        let own = tid % n;
+        // Mark in-flight *before* touching any deque so a concurrent
+        // `is_drained` between our pop and our processing cannot observe
+        // "empty and idle".
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if let Some(task) = self.shards[own].lock().pop_back() {
+            return Some(task);
+        }
+        for k in 1..n {
+            let victim = (own + k) % n;
+            if let Some(task) = self.shards[victim].lock().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        None
+    }
+
+    /// Return a partially processed task to worker `tid`'s own deque. The
+    /// task stays in-flight accounting-wise until the push completes, so no
+    /// drain window opens; it lands at the back, where `tid` will pop it
+    /// next (cache-warm continuation) unless a thief gets there first.
+    pub fn requeue(&self, tid: usize, task: T) {
+        self.shards[tid % self.shards.len()].lock().push_back(task);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Mark a popped task as finished.
+    pub fn complete_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Add a brand-new task (never popped) to `shard`'s deque.
+    pub fn inject(&self, shard: usize, task: T) {
+        self.shards[shard % self.shards.len()]
+            .lock()
+            .push_back(task);
+    }
+
+    /// True when every deque is empty and no task is in flight.
+    pub fn is_drained(&self) -> bool {
+        // Read in_flight first: a task between pop and requeue keeps
+        // in_flight > 0, so the subsequent emptiness check cannot race into
+        // a false "drained".
+        self.in_flight.load(Ordering::Acquire) == 0
+            && self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+/// What a processing step decided about its task (shared with the facade
+/// pool; re-exported from [`crate::workpool`]).
+pub use crate::workpool::StepResult;
+
+/// Drive a sharded pool to completion on `team`: every worker loops
+/// pop-or-steal → `step` → requeue/complete until the pool drains.
+///
+/// Same contract as [`crate::workpool::run_pool`], with shard-aware popping:
+/// worker `tid` drains its own deque LIFO and steals FIFO when idle.
+pub fn run_steal_pool<T, F>(team: &Team<'_>, pool: &StealPool<T>, step: F)
+where
+    T: Send,
+    F: Fn(usize, T) -> StepResult<T> + Sync,
+{
+    team.broadcast(&|tid| loop {
+        match pool.pop(tid) {
+            Some(task) => match step(tid, task) {
+                StepResult::Continue(t) => pool.requeue(tid, t),
+                StepResult::Done => pool.complete_one(),
+            },
+            None => {
+                if pool.is_drained() {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn own_shard_is_lifo() {
+        let pool = StealPool::from_shards(vec![vec![1, 2, 3], vec![10]]);
+        assert_eq!(pool.n_shards(), 2);
+        assert_eq!(pool.queued(), 4);
+        assert_eq!(pool.pop(0), Some(3), "owner pops its own back");
+        assert_eq!(pool.pop(0), Some(2));
+        pool.complete_one();
+        pool.complete_one();
+    }
+
+    #[test]
+    fn empty_own_shard_steals_oldest_from_victim() {
+        let pool = StealPool::from_shards(vec![vec![1, 2, 3], vec![]]);
+        // Worker 1's deque is empty: it must steal shard 0's *front* (the
+        // oldest task), not the back the owner is working from.
+        assert_eq!(pool.pop(1), Some(1));
+        assert_eq!(pool.steal_count(), 1);
+        // The owner is unaffected at its end.
+        assert_eq!(pool.pop(0), Some(3));
+        assert_eq!(pool.steal_count(), 1, "owner pop is not a steal");
+        pool.complete_one();
+        pool.complete_one();
+    }
+
+    #[test]
+    fn empty_steal_returns_none_without_leaking_in_flight() {
+        let pool: StealPool<u32> = StealPool::new(4);
+        assert!(pool.is_drained());
+        for tid in 0..4 {
+            assert_eq!(pool.pop(tid), None, "tid {tid}");
+        }
+        // A failed pop/steal sweep must not leave phantom in-flight tasks.
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn self_steal_is_impossible() {
+        // A single-shard pool: the steal sweep has no victims, so a pop on
+        // the empty deque returns None instead of double-popping itself.
+        let pool = StealPool::from_shards(vec![vec![7u32]]);
+        assert_eq!(pool.pop(0), Some(7));
+        assert_eq!(pool.pop(0), None, "no victim to steal from");
+        assert!(!pool.is_drained(), "task 7 is still in flight");
+        pool.complete_one();
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn requeue_lands_on_own_shard() {
+        let pool = StealPool::from_shards(vec![vec![], vec![1u32]]);
+        let t = pool.pop(1).unwrap();
+        pool.requeue(0, t); // worker 0 stole it and requeues to *its* deque
+        assert_eq!(pool.pop(0), Some(1), "requeued task is local to worker 0");
+        pool.complete_one();
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn in_flight_blocks_drain_until_completion() {
+        let pool = StealPool::from_shards(vec![vec![1u32], vec![]]);
+        let t = pool.pop(0).unwrap();
+        assert_eq!(pool.queued(), 0);
+        assert!(!pool.is_drained(), "held task blocks drain");
+        pool.requeue(0, t);
+        assert!(!pool.is_drained(), "requeued task blocks drain");
+        let t = pool.pop(0).unwrap();
+        let _ = t;
+        pool.complete_one();
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn tid_out_of_range_wraps() {
+        let pool = StealPool::from_shards(vec![vec![1u32], vec![2]]);
+        // tid 5 on 2 shards owns shard 1.
+        assert_eq!(pool.pop(5), Some(2));
+        pool.complete_one();
+    }
+
+    #[test]
+    fn every_unit_of_work_is_processed_exactly_once_with_stealing() {
+        // Heavily skewed shards: shard 0 holds everything, three other
+        // workers must live off steals. Total step executions must equal the
+        // sum of task sizes and every task must complete exactly once.
+        let n_tasks = 64usize;
+        let tasks: Vec<(usize, u32)> = (0..n_tasks).map(|i| (i, 1 + (i as u32 * 7) % 13)).collect();
+        let expected_steps: u64 = tasks.iter().map(|&(_, s)| s as u64).sum();
+        let pool = StealPool::from_shards(vec![tasks, Vec::new(), Vec::new(), Vec::new()]);
+        let steps = AtomicU64::new(0);
+        let completions = AtomicU64::new(0);
+        Team::scoped(4, |team| {
+            run_steal_pool(team, &pool, |_tid, (id, remaining)| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                if remaining == 1 {
+                    completions.fetch_add(1, Ordering::Relaxed);
+                    StepResult::Done
+                } else {
+                    StepResult::Continue((id, remaining - 1))
+                }
+            });
+        });
+        assert_eq!(steps.load(Ordering::SeqCst), expected_steps);
+        assert_eq!(completions.load(Ordering::SeqCst), n_tasks as u64);
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn more_threads_than_shards_still_drains() {
+        let tasks: Vec<(usize, u32)> = (0..20).map(|i| (i, 3u32)).collect();
+        let pool = StealPool::from_shards(vec![tasks.clone(), tasks]);
+        let steps = AtomicU64::new(0);
+        Team::scoped(5, |team| {
+            run_steal_pool(team, &pool, |_tid, (id, rem)| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                if rem == 1 {
+                    StepResult::Done
+                } else {
+                    StepResult::Continue((id, rem - 1))
+                }
+            });
+        });
+        assert_eq!(steps.load(Ordering::SeqCst), 2 * 20 * 3);
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn inject_wraps_shard_index() {
+        let pool: StealPool<u32> = StealPool::new(2);
+        pool.inject(0, 1);
+        pool.inject(3, 2); // lands on shard 1
+        assert_eq!(pool.queued(), 2);
+        assert_eq!(pool.pop(1), Some(2));
+        pool.complete_one();
+    }
+}

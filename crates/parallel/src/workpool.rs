@@ -1,32 +1,49 @@
-//! The dynamic work pool (paper §IV-B).
+//! The dynamic work pool (paper §IV-B), now a single-shard facade over the
+//! work-stealing [`crate::stealpool::StealPool`].
 //!
 //! A shared LIFO stack of tasks plus an in-flight counter. Workers
 //! repeatedly *pop* a task, process its next group of work (e.g. `gs` CI
-//! tests of an edge), and either *complete* it or *push it back* with
+//! tests of an edge), and either *complete* it or *requeue* it with
 //! updated progress. The pool is drained when the stack is empty **and** no
 //! task is held by a worker — tracking in-flight tasks is what lets an edge
 //! be popped, partially processed, and returned without another thread
 //! prematurely concluding the depth is finished.
 //!
 //! The paper implements the pool as a stack; LIFO order keeps recently
-//! touched edges (and their data columns) warm in cache.
+//! touched edges (and their data columns) warm in cache. The sharded pool
+//! generalizes that to one stack per worker with FIFO stealing; this type
+//! pins the shard count to 1 so existing callers (and the paper-faithful
+//! `ci_par` scheduler) keep the exact single-queue semantics.
+//!
+//! # Naming
+//!
+//! Two distinct pushes used to share a confusable `push_*` prefix; they are
+//! now named for their accounting effect:
+//!
+//! * [`WorkPool::requeue`] — return a task that was previously **popped**
+//!   (it is in-flight; requeuing transfers it back to the queue and ends
+//!   its in-flight accounting),
+//! * [`WorkPool::inject`] — add a **brand-new** task that was never popped
+//!   (no in-flight accounting is touched).
+//!
+//! Calling the wrong one corrupts the drain protocol: `inject` of a popped
+//! task leaks an in-flight count (the pool never drains), `requeue` of a
+//! fresh task underflows it. The old `push_back`/`push_new` names did not
+//! say which side of that contract they were on.
 
+use crate::stealpool::{run_steal_pool, StealPool};
 use crate::team::Team;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A dynamic pool of tasks of type `T`.
+/// A dynamic pool of tasks of type `T` behind a single shared LIFO queue.
 pub struct WorkPool<T> {
-    stack: Mutex<Vec<T>>,
-    in_flight: AtomicUsize,
+    inner: StealPool<T>,
 }
 
 impl<T> WorkPool<T> {
     /// An empty pool.
     pub fn new() -> Self {
         Self {
-            stack: Mutex::new(Vec::new()),
-            in_flight: AtomicUsize::new(0),
+            inner: StealPool::new(1),
         }
     }
 
@@ -34,52 +51,41 @@ impl<T> WorkPool<T> {
     /// edges in the current graph are pushed into the work pool").
     pub fn from_tasks(tasks: Vec<T>) -> Self {
         Self {
-            stack: Mutex::new(tasks),
-            in_flight: AtomicUsize::new(0),
+            inner: StealPool::from_shards(vec![tasks]),
         }
     }
 
     /// Pop a task, marking it in-flight. `None` means the stack is
     /// currently empty (the pool may still not be [`WorkPool::is_drained`]).
     pub fn pop(&self) -> Option<T> {
-        // Optimistically mark in-flight *before* popping so a concurrent
-        // `is_drained` between our pop and our processing cannot observe
-        // "empty and idle".
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
-        let task = self.stack.lock().pop();
-        if task.is_none() {
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
-        }
-        task
+        self.inner.pop(0)
     }
 
-    /// Return a partially processed task to the pool (keeps it in-flight
-    /// accounting-wise until the push completes, so no drain window opens).
-    pub fn push_back(&self, task: T) {
-        self.stack.lock().push(task);
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    /// Return a previously popped, partially processed task to the pool.
+    /// The task stays in-flight accounting-wise until the push completes,
+    /// so no drain window opens.
+    pub fn requeue(&self, task: T) {
+        self.inner.requeue(0, task)
     }
 
     /// Mark a popped task as finished.
     pub fn complete_one(&self) {
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.inner.complete_one()
     }
 
-    /// Add a brand-new task (not previously popped).
-    pub fn push_new(&self, task: T) {
-        self.stack.lock().push(task);
+    /// Add a brand-new task that was never popped (no in-flight accounting).
+    pub fn inject(&self, task: T) {
+        self.inner.inject(0, task)
     }
 
-    /// Current stack length (tasks not held by any worker).
+    /// Current queue length (tasks not held by any worker).
     pub fn queued(&self) -> usize {
-        self.stack.lock().len()
+        self.inner.queued()
     }
 
-    /// True when the stack is empty and no task is in flight.
+    /// True when the queue is empty and no task is in flight.
     pub fn is_drained(&self) -> bool {
-        // Order matters: read in_flight first; a task between pop and
-        // push_back keeps in_flight > 0.
-        self.in_flight.load(Ordering::Acquire) == 0 && self.stack.lock().is_empty()
+        self.inner.is_drained()
     }
 }
 
@@ -98,7 +104,7 @@ pub enum StepResult<T> {
 }
 
 /// Drive a pool to completion on `team`: every worker loops
-/// pop → `step` → push-back/complete until the pool drains.
+/// pop → `step` → requeue/complete until the pool drains.
 ///
 /// `step(tid, task)` processes one group of work and decides the task's
 /// fate. This is exactly the paper's CI-level scheduling loop, generic over
@@ -108,26 +114,13 @@ where
     T: Send,
     F: Fn(usize, T) -> StepResult<T> + Sync,
 {
-    team.broadcast(&|tid| loop {
-        match pool.pop() {
-            Some(task) => match step(tid, task) {
-                StepResult::Continue(t) => pool.push_back(t),
-                StepResult::Done => pool.complete_one(),
-            },
-            None => {
-                if pool.is_drained() {
-                    return;
-                }
-                std::thread::yield_now();
-            }
-        }
-    });
+    run_steal_pool(team, &pool.inner, step)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn pool_basics() {
@@ -137,7 +130,7 @@ mod tests {
         let t = pool.pop().unwrap();
         assert_eq!(t, 3, "LIFO order");
         assert!(!pool.is_drained(), "in-flight task blocks drain");
-        pool.push_back(t);
+        pool.requeue(t);
         assert_eq!(pool.queued(), 3);
         for _ in 0..3 {
             pool.pop().unwrap();
@@ -208,12 +201,45 @@ mod tests {
     }
 
     #[test]
-    fn push_new_grows_the_pool() {
+    fn inject_grows_the_pool() {
         let pool = WorkPool::new();
-        pool.push_new(1u32);
-        pool.push_new(2);
+        pool.inject(1u32);
+        pool.inject(2);
         assert_eq!(pool.queued(), 2);
         assert!(!pool.is_drained());
+    }
+
+    #[test]
+    fn inject_does_not_touch_in_flight_accounting() {
+        // inject is for brand-new tasks: a drain must require only the
+        // queue to empty, with no phantom in-flight count to cancel.
+        let pool = WorkPool::new();
+        pool.inject(1u32);
+        let t = pool.pop().unwrap();
+        pool.inject(t + 1); // WRONG for a popped task — leaks in-flight...
+        pool.pop().unwrap();
+        pool.complete_one(); // ...so two completes are needed for one inject
+        pool.complete_one();
+        assert!(pool.is_drained());
+    }
+
+    #[test]
+    fn completion_counting_balances_pops() {
+        // complete_one must pair 1:1 with pops that are not requeued.
+        let pool = WorkPool::from_tasks(vec![1u32, 2, 3]);
+        let a = pool.pop().unwrap();
+        let b = pool.pop().unwrap();
+        pool.requeue(a);
+        pool.complete_one(); // finishes b
+        let _ = b;
+        assert_eq!(pool.queued(), 2);
+        assert!(!pool.is_drained());
+        pool.pop().unwrap();
+        pool.complete_one();
+        pool.pop().unwrap();
+        pool.complete_one();
+        assert!(pool.pop().is_none());
+        assert!(pool.is_drained());
     }
 
     #[test]

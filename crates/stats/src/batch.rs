@@ -1,0 +1,272 @@
+//! Batched CI-test evaluation over a shared contingency-table pass.
+//!
+//! The single-test path (`CiEngine` in the learner) builds one contingency
+//! table, evaluates it, and throws the counts away — for a group of `gs`
+//! tests of the same edge that means `gs` full sweeps over the `X` and `Y`
+//! columns and `2·gs` freshly allocated marginal buffers. The
+//! [`BatchedCiRunner`] amortizes both:
+//!
+//! * it owns an **arena of tables** (one slot per in-flight test, reshaped
+//!   in place, allocations reused across batches), so a caller can fill
+//!   every table of a batch in *one* pass over the samples — each sample's
+//!   `(x, y)` pair is read once and scattered into all tables instead of
+//!   being re-read per test;
+//! * it evaluates the whole batch with **one pair of marginal scratch
+//!   buffers**, via the `*_statistic_scratch` kernels.
+//!
+//! The numerics are byte-identical to the single-test path: a batch slot is
+//! an ordinary [`ContingencyTable`] and the evaluation calls the very same
+//! statistic code ([`crate::gsq`], [`crate::pearson`], [`crate::mi`]) that
+//! [`crate::citest::run_ci_test`] dispatches to. The batched-vs-single
+//! golden tests pin that equivalence at 1e-9 (it is exact in practice).
+
+use crate::citest::{CiOutcome, CiTestKind, DfRule};
+use crate::contingency::ContingencyTable;
+use crate::gsq::{g2_degrees_of_freedom_scratch, g2_statistic_scratch};
+use crate::pearson::x2_statistic_scratch;
+
+/// Arena of contingency tables plus shared evaluation scratch for running a
+/// batch of CI tests in one table-fill pass and one evaluation pass.
+pub struct BatchedCiRunner {
+    /// Table slots; only the first `active` belong to the current batch.
+    /// Slots are reshaped, never dropped, so allocations persist.
+    tables: Vec<ContingencyTable>,
+    active: usize,
+    /// Shared marginal scratch, grown to the largest `rx`/`ry` seen.
+    nx: Vec<u64>,
+    ny: Vec<u64>,
+    outcomes: Vec<CiOutcome>,
+}
+
+impl BatchedCiRunner {
+    /// An empty runner (no tables allocated yet).
+    pub fn new() -> Self {
+        Self {
+            tables: Vec::new(),
+            active: 0,
+            nx: Vec::new(),
+            ny: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Start a new batch, invalidating the previous batch's tables and
+    /// outcomes (allocations are kept).
+    pub fn begin(&mut self) {
+        self.active = 0;
+        self.outcomes.clear();
+    }
+
+    /// Add a zeroed `rx × ry × nz` table to the batch and return its slot
+    /// index. Reuses a retired slot's allocation when one is available.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero (same contract as
+    /// [`ContingencyTable::new`]).
+    pub fn add_table(&mut self, rx: usize, ry: usize, nz: usize) -> usize {
+        let slot = self.active;
+        if slot < self.tables.len() {
+            self.tables[slot].reshape(rx, ry, nz);
+        } else {
+            self.tables.push(ContingencyTable::new(rx, ry, nz));
+        }
+        self.active += 1;
+        slot
+    }
+
+    /// Number of tables in the current batch.
+    pub fn len(&self) -> usize {
+        self.active
+    }
+
+    /// True when the current batch holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.active == 0
+    }
+
+    /// The current batch's tables, mutably — this is what a shared fill
+    /// pass iterates while scattering each sample into every table.
+    pub fn tables_mut(&mut self) -> &mut [ContingencyTable] {
+        &mut self.tables[..self.active]
+    }
+
+    /// Read a table of the current batch.
+    pub fn table(&self, slot: usize) -> &ContingencyTable {
+        assert!(slot < self.active, "slot {slot} not in the current batch");
+        &self.tables[slot]
+    }
+
+    /// Evaluate every table of the batch with `kind` at level `alpha`,
+    /// sharing one pair of marginal buffers across all tests. Returns the
+    /// outcomes in slot order; the slice is valid until the next `begin`.
+    pub fn run(&mut self, kind: CiTestKind, alpha: f64, rule: DfRule) -> &[CiOutcome] {
+        self.outcomes.clear();
+        for table in &self.tables[..self.active] {
+            let outcome = match kind {
+                CiTestKind::GSquared => {
+                    eval_g2_family(table, alpha, rule, &mut self.nx, &mut self.ny, |g2, _| g2)
+                }
+                CiTestKind::MutualInfo => {
+                    // Same decision as G²; the statistic is MI = G² / 2N.
+                    eval_g2_family(table, alpha, rule, &mut self.nx, &mut self.ny, |g2, n| {
+                        if n == 0 {
+                            0.0
+                        } else {
+                            g2 / (2.0 * n as f64)
+                        }
+                    })
+                }
+                CiTestKind::PearsonX2 => {
+                    let stat = x2_statistic_scratch(table, &mut self.nx, &mut self.ny);
+                    let df = g2_degrees_of_freedom_scratch(table, rule, &mut self.nx, &mut self.ny);
+                    finish(stat, stat, df, alpha)
+                }
+            };
+            self.outcomes.push(outcome);
+        }
+        &self.outcomes
+    }
+}
+
+impl Default for BatchedCiRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evaluate the G² statistic and map it to the reported statistic via
+/// `report(g2, n)` (identity for G², `g2 / 2N` for the MI view).
+fn eval_g2_family(
+    table: &ContingencyTable,
+    alpha: f64,
+    rule: DfRule,
+    nx: &mut Vec<u64>,
+    ny: &mut Vec<u64>,
+    report: impl Fn(f64, u64) -> f64,
+) -> CiOutcome {
+    let g2 = g2_statistic_scratch(table, nx, ny);
+    let df = g2_degrees_of_freedom_scratch(table, rule, nx, ny);
+    finish(report(g2, table.total()), g2, df, alpha)
+}
+
+/// Decision step shared by all kinds: `p = sf(decision_stat, df)`, with the
+/// degenerate-df convention (`df ≤ 0 ⇒ p = 1`) of the single-test path.
+fn finish(reported_stat: f64, decision_stat: f64, df: f64, alpha: f64) -> CiOutcome {
+    let p_value = if df <= 0.0 {
+        1.0
+    } else {
+        crate::chi2::chi2_sf(decision_stat, df)
+    };
+    CiOutcome {
+        statistic: reported_stat,
+        df,
+        p_value,
+        independent: p_value > alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citest::run_ci_test;
+
+    fn fill(table: &mut ContingencyTable, seed: u64, n: usize) {
+        let (rx, ry, nz) = (table.rx(), table.ry(), table.nz());
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 24) as usize;
+            table.add(r % rx, (r / rx) % ry, (r / (rx * ry)) % nz);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_test_path_exactly() {
+        for kind in [
+            CiTestKind::GSquared,
+            CiTestKind::PearsonX2,
+            CiTestKind::MutualInfo,
+        ] {
+            for rule in [DfRule::Classic, DfRule::Adjusted] {
+                let mut runner = BatchedCiRunner::new();
+                runner.begin();
+                let shapes = [(2, 2, 1), (3, 2, 4), (2, 4, 2), (3, 3, 1)];
+                for (i, &(rx, ry, nz)) in shapes.iter().enumerate() {
+                    let slot = runner.add_table(rx, ry, nz);
+                    assert_eq!(slot, i);
+                    fill(&mut runner.tables_mut()[slot], i as u64 + 1, 500);
+                }
+                // Reference: the single-test front end on a copy of each table.
+                let singles: Vec<CiOutcome> = (0..shapes.len())
+                    .map(|i| run_ci_test(runner.table(i), kind, 0.05, rule))
+                    .collect();
+                let batched = runner.run(kind, 0.05, rule).to_vec();
+                assert_eq!(batched.len(), singles.len());
+                for (b, s) in batched.iter().zip(&singles) {
+                    assert_eq!(b.independent, s.independent, "{kind:?}/{rule:?}");
+                    assert!((b.statistic - s.statistic).abs() < 1e-12);
+                    assert!((b.p_value - s.p_value).abs() < 1e-12);
+                    assert_eq!(b.df, s.df);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_reused_across_batches() {
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        runner.add_table(4, 4, 8);
+        fill(&mut runner.tables_mut()[0], 3, 100);
+        assert_eq!(runner.len(), 1);
+        // Second batch: slot 0 must come back zeroed with the new shape.
+        runner.begin();
+        assert!(runner.is_empty());
+        let slot = runner.add_table(2, 2, 1);
+        assert_eq!(slot, 0);
+        assert_eq!(runner.table(0).cells(), 4);
+        assert_eq!(runner.table(0).total(), 0, "reshaped slot must be zeroed");
+    }
+
+    #[test]
+    fn empty_batch_runs_to_empty_outcomes() {
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        let out = runner.run(CiTestKind::GSquared, 0.05, DfRule::Classic);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mixed_shapes_share_scratch_without_cross_talk() {
+        // A wide table evaluated before a narrow one must not leave stale
+        // marginal entries behind (the scratch is resized per table).
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        runner.add_table(5, 5, 2);
+        runner.add_table(2, 2, 1);
+        fill(&mut runner.tables_mut()[0], 7, 400);
+        // Perfectly independent small table: statistic must be ~0.
+        let t = &mut runner.tables_mut()[1];
+        for _ in 0..10 {
+            t.add(0, 0, 0);
+            t.add(0, 1, 0);
+            t.add(1, 0, 0);
+            t.add(1, 1, 0);
+        }
+        let out = runner.run(CiTestKind::GSquared, 0.05, DfRule::Classic);
+        assert!(out[1].statistic.abs() < 1e-9, "stale scratch leaked");
+        assert!(out[1].independent);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the current batch")]
+    fn reading_a_retired_slot_panics() {
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        runner.add_table(2, 2, 1);
+        runner.begin();
+        runner.table(0);
+    }
+}

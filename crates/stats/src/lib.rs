@@ -13,12 +13,16 @@
 //! * [`pearson`] — the classical Pearson X² statistic (alternative CI test),
 //! * [`mi`] — the (conditional) mutual-information view of G² (`G² = 2·N·MI`),
 //! * [`citest`] — a uniform conditional-independence-test front end used by
-//!   the learner ([`CiTestKind`], [`CiOutcome`], degrees-of-freedom rules).
+//!   the learner ([`CiTestKind`], [`CiOutcome`], degrees-of-freedom rules),
+//! * [`batch`] — a [`batch::BatchedCiRunner`] that evaluates a whole group
+//!   of CI tests over a shared contingency-table pass (one table arena, one
+//!   marginal-scratch allocation) with numerics identical to [`citest`].
 //!
 //! Everything here is pure computation (no I/O, no global state), so the
 //! learner crates can call these kernels from any thread without
 //! synchronization: a CI test is a pure function of a contingency table.
 
+pub mod batch;
 pub mod chi2;
 pub mod citest;
 pub mod contingency;
@@ -27,6 +31,7 @@ pub mod mi;
 pub mod pearson;
 pub mod special;
 
+pub use batch::BatchedCiRunner;
 pub use chi2::{chi2_cdf, chi2_critical_value, chi2_sf};
 pub use citest::{CiOutcome, CiTestKind, DfRule};
 pub use contingency::ContingencyTable;

@@ -14,7 +14,7 @@
 
 use fastbn_stats::{
     chi2_cdf, chi2_critical_value, chi2_sf, g2_statistic, g2_test, x2_statistic, x2_test,
-    ContingencyTable, DfRule,
+    BatchedCiRunner, CiTestKind, ContingencyTable, DfRule,
 };
 
 /// Assert `got` is within 1e-9 of `want`, absolutely or relatively
@@ -89,6 +89,60 @@ fn rectangular_table_with_zero_cell() {
     assert!(!g.independent);
     let x = x2_test(&t, 0.05, DfRule::Classic);
     assert_golden(x.p_value, 7.146_186_147_096_960_8e-3, "x2 p");
+}
+
+/// The batched runner must reproduce the single-test golden values: same
+/// statistic, same p-value, at the same 1e-9 pin — evaluating all four
+/// golden tables as one batch with shared scratch.
+#[test]
+fn batched_runner_reproduces_single_test_goldens() {
+    let tables = [
+        table(&[&[&[10, 20], &[30, 40]]]),
+        table(&[&[&[100, 3], &[5, 120]]]),
+        table(&[&[&[12, 5], &[0, 7], &[9, 9]]]),
+        table(&[&[&[20, 5], &[4, 21]], &[&[6, 18], &[17, 3]]]),
+    ];
+    let g2_stats = [
+        0.804_348_646_096_486_37,
+        245.538_084_269_309_1,
+        12.673_949_688_219_039,
+        39.236_642_575_759_504,
+    ];
+    let g2_ps = [
+        0.369_796_367_929_895_47,
+        2.439_001_085_584_941_2e-55,
+        1.769_647_607_351_693_1e-3,
+        3.019_057_054_633_486_5e-9,
+    ];
+    let x2_stats = [
+        0.793_650_793_650_793_65,
+        196.956_027_197_997_36,
+        9.882_352_941_176_470_6,
+        36.254_435_419_652_811,
+    ];
+    let x2_ps = [
+        0.372_998_483_613_487_12,
+        9.640_949_507_781_129_1e-45,
+        7.146_186_147_096_960_8e-3,
+        1.341_063_604_905_600_1e-8,
+    ];
+
+    for (kind, stats, ps) in [
+        (CiTestKind::GSquared, &g2_stats, &g2_ps),
+        (CiTestKind::PearsonX2, &x2_stats, &x2_ps),
+    ] {
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        for t in &tables {
+            let slot = runner.add_table(t.rx(), t.ry(), t.nz());
+            runner.tables_mut()[slot].merge(t);
+        }
+        let out = runner.run(kind, 0.05, DfRule::Classic).to_vec();
+        for (i, o) in out.iter().enumerate() {
+            assert_golden(o.statistic, stats[i], &format!("{kind:?} batched stat {i}"));
+            assert_golden(o.p_value, ps[i], &format!("{kind:?} batched p {i}"));
+        }
+    }
 }
 
 #[test]

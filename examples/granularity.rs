@@ -1,5 +1,6 @@
-//! Compare the three parallelism granularities (paper Figure 1/Table I)
-//! on one workload, verifying they compute identical structures.
+//! Compare the parallelism granularities (paper Figure 1/Table I, plus the
+//! work-stealing scheduler) on one workload, verifying they compute
+//! identical structures.
 //!
 //! ```sh
 //! cargo run --release --example granularity
@@ -27,6 +28,7 @@ fn main() {
     );
     for mode in [
         ParallelMode::CiLevel,
+        ParallelMode::WorkSteal,
         ParallelMode::EdgeLevel,
         ParallelMode::SampleLevel,
     ] {

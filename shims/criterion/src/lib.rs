@@ -128,8 +128,39 @@ impl BenchmarkGroup<'_> {
 
 fn report(group: &str, label: &str, median: Option<Duration>, samples: usize) {
     match median {
-        Some(m) => println!("{group}/{label:<40} {m:>12.2?}  ({samples} samples)"),
+        Some(m) => {
+            println!("{group}/{label:<40} {m:>12.2?}  ({samples} samples)");
+            emit_json(group, label, m);
+        }
         None => println!("{group}/{label:<40} (no measurement: iter never called)"),
+    }
+}
+
+/// When `CRITERION_JSON` names a file, append one JSON line per measured
+/// benchmark: `{"id":"<group>/<label>","median_ns":<n>}`. This is the
+/// machine-readable channel the CI bench-baseline gate reads (see
+/// `crates/bench/src/bin/bench_diff.rs`); the real criterion would provide
+/// baselines natively.
+fn emit_json(group: &str, label: &str, median: Duration) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let line = format!(
+        "{{\"id\":\"{}/{}\",\"median_ns\":{}}}\n",
+        group.replace('"', "'"),
+        label.replace('"', "'"),
+        median.as_nanos()
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
     }
 }
 

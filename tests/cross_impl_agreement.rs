@@ -51,6 +51,7 @@ fn all_schedulers_and_thread_counts_agree() {
             ParallelMode::EdgeLevel,
             ParallelMode::SampleLevel,
             ParallelMode::CiLevel,
+            ParallelMode::WorkSteal,
         ] {
             for threads in [1usize, 2, 3, 5] {
                 let cfg = PcConfig::fast_bns().with_mode(mode).with_threads(threads);
@@ -69,9 +70,44 @@ fn all_schedulers_and_thread_counts_agree() {
 fn group_sizes_agree() {
     let data = workload(11);
     let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
-    for gs in [1usize, 2, 3, 6, 8, 16, 64] {
-        let cfg = PcConfig::fast_bns().with_threads(2).with_group_size(gs);
-        assert_identical(&data, cfg, &reference, &format!("gs={gs}"));
+    for mode in [ParallelMode::CiLevel, ParallelMode::WorkSteal] {
+        for gs in [1usize, 2, 3, 6, 8, 16, 64] {
+            let cfg = PcConfig::fast_bns()
+                .with_mode(mode)
+                .with_threads(2)
+                .with_group_size(gs);
+            assert_identical(&data, cfg, &reference, &format!("{mode:?} gs={gs}"));
+        }
+    }
+}
+
+/// The work-stealing scheduler's extra degrees of freedom (sharding,
+/// stealing, batched fills) must be invisible in the output: ungrouped
+/// endpoints, precomputed conditioning sets and the row-major layout all
+/// agree with the sequential reference.
+#[test]
+fn steal_par_agrees_across_knobs() {
+    let data = workload(61);
+    let reference = PcStable::new(PcConfig::fast_bns_seq()).learn(&data);
+    for layout in [
+        fastbn_data::Layout::ColumnMajor,
+        fastbn_data::Layout::RowMajor,
+    ] {
+        for cond in [CondSetGen::OnTheFly, CondSetGen::Precomputed] {
+            for grouping in [true, false] {
+                let cfg = PcConfig::fast_bns_steal()
+                    .with_threads(3)
+                    .with_layout(layout)
+                    .with_cond_sets(cond)
+                    .with_group_endpoints(grouping);
+                assert_identical(
+                    &data,
+                    cfg,
+                    &reference,
+                    &format!("steal {layout:?}/{cond:?}/grouping={grouping}"),
+                );
+            }
+        }
     }
 }
 
