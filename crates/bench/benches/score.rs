@@ -1,0 +1,107 @@
+//! Microbench: the score subsystem's kernels — cache hit/miss cost, batched
+//! delta (sufficient-statistics) evaluation, and the hybrid learner
+//! end-to-end on the alarm-1k workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_core::score_search::{HybridConfig, HybridLearner};
+use fastbn_network::zoo;
+use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, ScoreCache, ScoreKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_score_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let net = zoo::by_name("alarm", 3).expect("zoo network");
+    let data = net.sample_dataset(1000, 17);
+    // A representative local-score request: child 5 with two parents.
+    let (child, parents): (usize, Vec<u32>) = (5, vec![1, 9]);
+
+    // One hit is ~tens of ns — far too jittery to gate at 2x — so the
+    // kernel measures a sweep of 256 lookups over a mixed keyset (the
+    // searcher's per-iteration access pattern, µs-scale and stable).
+    group.bench_function(BenchmarkId::new("cache_hit256", "alarm_1k"), |b| {
+        let cache = ScoreCache::new(true);
+        let mut scorer = LocalScorer::new(&data, ScoreKind::Bic, 1 << 22);
+        let keys: Vec<(u32, Vec<u32>)> = (0..16u32)
+            .map(|c| (c, vec![(c + 1) % 37, (c + 9) % 37]))
+            .map(|(c, mut p)| {
+                p.sort_unstable();
+                (c, p)
+            })
+            .collect();
+        // Prewarm every key, then measure pure lookup cost.
+        for (c, p) in &keys {
+            cache.get_or_compute(*c, p, || scorer.local_score(*c as usize, p));
+        }
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..16 {
+                for (c, p) in &keys {
+                    acc += cache
+                        .get_or_compute(*c, p, || panic!("prewarmed key must hit"))
+                        .unwrap_or(0.0);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cache_miss", "alarm_1k"), |b| {
+        // Disabled cache: every request recomputes — the miss-path cost
+        // (one count-table fill over the dataset plus evaluation).
+        let cache = ScoreCache::new(false);
+        let mut scorer = LocalScorer::new(&data, ScoreKind::Bic, 1 << 22);
+        b.iter(|| {
+            black_box(cache.get_or_compute(child as u32, &parents, || {
+                scorer.local_score(child, &parents)
+            }))
+        })
+    });
+
+    // Batched delta evaluation: 8 candidate parent sets of one child,
+    // all count tables filled in one tiled dataset pass — the shape the
+    // searcher's per-iteration recomputes take.
+    let sets: Vec<Vec<u32>> = (0..8u32)
+        .map(|i| {
+            let a = 1 + (i % 4);
+            let b = 9 + (i % 5);
+            vec![a.min(b), a.max(b) + 1]
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("delta_batch8", "alarm_1k"), |b| {
+        let mut scorer = LocalScorer::new(&data, ScoreKind::Bic, 1 << 22);
+        b.iter(|| {
+            let sum: f64 = scorer.score_batch(child, &sets).flatten().sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    let net = zoo::by_name("alarm", 3).expect("zoo network");
+    let data = net.sample_dataset(1000, 17);
+
+    group.bench_function(BenchmarkId::new("hillclimb_t2", "alarm_1k"), |b| {
+        let learner = HillClimb::new(HillClimbConfig::default().with_threads(2));
+        b.iter(|| black_box(learner.learn(&data).score))
+    });
+
+    group.bench_function(BenchmarkId::new("hybrid_t2", "alarm_1k"), |b| {
+        let learner = HybridLearner::new(HybridConfig::fast_bns().with_threads(2));
+        b.iter(|| black_box(learner.learn(&data).score))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_cache, bench_learners);
+criterion_main!(benches);

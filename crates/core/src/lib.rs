@@ -35,6 +35,20 @@
 //! [`baselines`] module wires the "all off" corners into faithful stand-ins
 //! for the packages the paper compares against (pcalg/bnlearn-style).
 //!
+//! ## Learner families
+//!
+//! PC-stable is one of three families behind the [`score_search::Strategy`]
+//! front door:
+//!
+//! * [`Strategy::PcStable`] — constraint-based (this crate's pipeline),
+//! * [`Strategy::HillClimb`] — score-based search (`fastbn-score`'s
+//!   parallel BIC/BDeu hill climber),
+//! * [`Strategy::Hybrid`] — MMHC-style: the Fast-BNS skeleton restricts
+//!   the candidate-parent sets, then hill climbing searches inside it
+//!   ([`HybridLearner`]).
+//!
+//! See the top-level README's "Choosing a learner" for guidance.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -58,11 +72,15 @@ pub mod learner;
 pub mod oracle;
 pub mod orient;
 pub mod perf_model;
+pub mod score_search;
 pub mod skeleton;
 pub mod stats_run;
 pub mod trace;
 
 pub use config::{CondSetGen, ParallelMode, PcConfig, SampleFill};
 pub use learner::{LearnResult, PcStable};
+pub use score_search::{
+    learn_structure, HybridConfig, HybridLearner, HybridResult, Strategy, StructureResult,
+};
 pub use stats_run::{DepthStats, RunStats};
 pub use trace::{record_ci_trace, CiTestRecord};

@@ -1,0 +1,298 @@
+//! Score-based and hybrid structure learning — the second algorithm family
+//! next to PC-stable.
+//!
+//! Constraint-based learning (the [`crate::learner::PcStable`] pipeline)
+//! and score-based search ([`fastbn_score::HillClimb`]) are the two
+//! pillars of BN structure learning; the **hybrid** (MMHC-style) learner
+//! combines them: the Fast-BNS skeleton restricts the candidate-parent
+//! sets, then hill climbing searches only inside that skeleton. The
+//! restriction shrinks the per-iteration move set from `O(n²)` to
+//! `O(|skeleton edges|)`, which is why the hybrid beats an unrestricted
+//! climb on wall-clock while inheriting the skeleton's soundness.
+//!
+//! [`Strategy`] is the uniform front door: every learner family behind one
+//! dispatch, each producing a [`StructureResult`] with a CPDAG (score-based
+//! DAGs are mapped to their Markov equivalence class via
+//! [`fastbn_graph::dag_to_cpdag`], making results comparable across
+//! families).
+
+use crate::config::PcConfig;
+use crate::learner::PcStable;
+use crate::stats_run::RunStats;
+use fastbn_data::Dataset;
+use fastbn_graph::{dag_to_cpdag, Dag, Pdag, UGraph};
+use fastbn_score::{HillClimb, HillClimbConfig, SearchStats};
+
+/// Configuration of the hybrid (skeleton-restricted) learner.
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// The constraint-based stage that learns the restriction skeleton.
+    pub pc: PcConfig,
+    /// The score-based stage that climbs inside it.
+    pub hc: HillClimbConfig,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self::fast_bns()
+    }
+}
+
+impl HybridConfig {
+    /// Fast-BNS skeleton (work-stealing scheduler) + default hill climb.
+    pub fn fast_bns() -> Self {
+        Self {
+            pc: PcConfig::fast_bns_steal(),
+            hc: HillClimbConfig::default(),
+        }
+    }
+
+    /// Set the worker-thread count of **both** stages (builder style).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.pc = self.pc.with_threads(t);
+        self.hc = self.hc.with_threads(t);
+        self
+    }
+
+    /// Set the score kind of the search stage.
+    pub fn with_kind(mut self, kind: fastbn_score::ScoreKind) -> Self {
+        self.hc = self.hc.with_kind(kind);
+        self
+    }
+}
+
+/// Which structure-learning algorithm family to run.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Constraint-based: PC-stable / Fast-BNS (CI tests + orientation).
+    PcStable(PcConfig),
+    /// Score-based: unrestricted greedy hill climbing.
+    HillClimb(HillClimbConfig),
+    /// Hybrid: Fast-BNS skeleton restricting a hill climb (MMHC-style).
+    Hybrid(HybridConfig),
+}
+
+impl Strategy {
+    /// Short name used in bench output and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::PcStable(_) => "pc-stable",
+            Strategy::HillClimb(_) => "hill-climb",
+            Strategy::Hybrid(_) => "hybrid",
+        }
+    }
+}
+
+/// Uniform result of [`learn_structure`]: whichever family ran, the learned
+/// equivalence class is in `cpdag`; family-specific artifacts are optional.
+pub struct StructureResult {
+    /// The learned CPDAG (score-based DAGs mapped to their class).
+    pub cpdag: Pdag,
+    /// The learned DAG (score-based and hybrid strategies only).
+    pub dag: Option<Dag>,
+    /// The restriction/learned skeleton (constraint and hybrid only).
+    pub skeleton: Option<UGraph>,
+    /// Total decomposable score (score-based and hybrid only).
+    pub score: Option<f64>,
+    /// Constraint-stage statistics (per-depth CI counts, timings).
+    pub pc_stats: Option<RunStats>,
+    /// Search-stage statistics (iterations, cache hits, timings).
+    pub search_stats: Option<SearchStats>,
+}
+
+/// Learn a structure from `data` with the given strategy.
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 variables.
+pub fn learn_structure(data: &Dataset, strategy: &Strategy) -> StructureResult {
+    assert!(
+        data.n_vars() >= 2,
+        "structure learning needs at least 2 variables"
+    );
+    match strategy {
+        Strategy::PcStable(cfg) => {
+            let result = PcStable::new(cfg.clone()).learn(data);
+            let (skeleton, _sepsets, cpdag, stats) = result.into_parts();
+            StructureResult {
+                cpdag,
+                dag: None,
+                skeleton: Some(skeleton),
+                score: None,
+                pc_stats: Some(stats),
+                search_stats: None,
+            }
+        }
+        Strategy::HillClimb(cfg) => {
+            let result = HillClimb::new(cfg.clone()).learn(data);
+            StructureResult {
+                cpdag: dag_to_cpdag(&result.dag),
+                dag: Some(result.dag),
+                skeleton: None,
+                score: Some(result.score),
+                pc_stats: None,
+                search_stats: Some(result.stats),
+            }
+        }
+        Strategy::Hybrid(cfg) => {
+            let result = HybridLearner::new(cfg.clone()).learn(data);
+            StructureResult {
+                cpdag: result.cpdag,
+                dag: Some(result.dag),
+                skeleton: Some(result.skeleton),
+                score: Some(result.score),
+                pc_stats: Some(result.pc_stats),
+                search_stats: Some(result.search_stats),
+            }
+        }
+    }
+}
+
+/// Everything a hybrid run produces.
+pub struct HybridResult {
+    /// The DAG the restricted climb settled on.
+    pub dag: Dag,
+    /// Its Markov equivalence class.
+    pub cpdag: Pdag,
+    /// The PC-stable skeleton that restricted the search.
+    pub skeleton: UGraph,
+    /// Total score of `dag`.
+    pub score: f64,
+    /// Skeleton-stage statistics.
+    pub pc_stats: RunStats,
+    /// Search-stage statistics.
+    pub search_stats: SearchStats,
+}
+
+/// The hybrid learner: Fast-BNS skeleton, then a skeleton-restricted climb.
+///
+/// ```
+/// use fastbn_core::score_search::{HybridConfig, HybridLearner};
+/// use fastbn_data::Dataset;
+///
+/// let data = Dataset::from_columns(
+///     vec![],
+///     vec![2, 2],
+///     vec![vec![0, 1, 1, 0, 1, 0], vec![1, 1, 0, 0, 0, 1]],
+/// ).unwrap();
+/// let result = HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
+/// assert_eq!(result.skeleton.n(), 2);
+/// ```
+pub struct HybridLearner {
+    config: HybridConfig,
+}
+
+impl HybridLearner {
+    /// A hybrid learner with the given two-stage configuration.
+    pub fn new(config: HybridConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+
+    /// Run both stages on `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer than 2 variables.
+    pub fn learn(&self, data: &Dataset) -> HybridResult {
+        assert!(
+            data.n_vars() >= 2,
+            "structure learning needs at least 2 variables"
+        );
+        let (skeleton, _sepsets, pc_stats) =
+            PcStable::new(self.config.pc.clone()).learn_skeleton(data);
+
+        let search = HillClimb::new(self.config.hc.clone());
+        let result = search.learn_restricted(data, Some(&skeleton));
+        HybridResult {
+            cpdag: dag_to_cpdag(&result.dag),
+            dag: result.dag,
+            skeleton,
+            score: result.score,
+            pc_stats,
+            search_stats: result.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbn_network::{generate_network, NetworkSpec};
+    use fastbn_score::ScoreKind;
+
+    fn workload() -> (fastbn_network::BayesNet, Dataset) {
+        let net = generate_network(&NetworkSpec::small("t", 10, 12), 13);
+        let data = net.sample_dataset(2000, 14);
+        (net, data)
+    }
+
+    #[test]
+    fn hybrid_dag_stays_inside_the_skeleton() {
+        let (_, data) = workload();
+        let result = HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
+        for (u, v) in result.dag.edges() {
+            assert!(
+                result.skeleton.has_edge(u, v),
+                "edge {u}→{v} outside the restriction skeleton"
+            );
+        }
+        assert!(result.score.is_finite());
+    }
+
+    #[test]
+    fn strategies_all_learn_something_reasonable() {
+        let (net, data) = workload();
+        let truth = fastbn_graph::dag_to_cpdag(net.dag());
+        for strategy in [
+            Strategy::PcStable(PcConfig::fast_bns_seq()),
+            Strategy::HillClimb(HillClimbConfig::default()),
+            Strategy::Hybrid(HybridConfig::fast_bns()),
+        ] {
+            let result = learn_structure(&data, &strategy);
+            let shd = fastbn_graph::metrics::shd_cpdag(&truth, &result.cpdag);
+            // Loose sanity bound: each family recovers most of the truth.
+            assert!(
+                shd <= net.dag().edge_count() + 6,
+                "{} SHD {shd} too large",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::PcStable(PcConfig::fast_bns()).name(), "pc-stable");
+        assert_eq!(
+            Strategy::HillClimb(HillClimbConfig::default()).name(),
+            "hill-climb"
+        );
+        assert_eq!(Strategy::Hybrid(HybridConfig::fast_bns()).name(), "hybrid");
+    }
+
+    #[test]
+    fn hybrid_with_threads_sets_both_stages() {
+        let cfg = HybridConfig::fast_bns().with_threads(6);
+        assert_eq!(cfg.pc.threads, 6);
+        assert_eq!(cfg.hc.threads, 6);
+        let cfg = cfg.with_kind(ScoreKind::BDeu { ess: 1.0 });
+        assert_eq!(cfg.hc.kind, ScoreKind::BDeu { ess: 1.0 });
+    }
+
+    #[test]
+    fn hybrid_result_cpdag_matches_its_dag() {
+        let (_, data) = workload();
+        let result = HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
+        assert_eq!(result.cpdag, fastbn_graph::dag_to_cpdag(&result.dag));
+        assert_eq!(result.cpdag.skeleton(), result.dag.skeleton());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 variables")]
+    fn single_variable_rejected() {
+        let data = Dataset::from_columns(vec![], vec![2], vec![vec![0, 1]]).unwrap();
+        HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
+    }
+}

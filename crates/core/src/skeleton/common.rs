@@ -7,7 +7,9 @@ use fastbn_data::{Dataset, Layout};
 use fastbn_graph::UGraph;
 use fastbn_parallel::StepResult;
 use fastbn_stats::citest::run_ci_test;
-use fastbn_stats::{BatchedCiRunner, CiTestKind, ContingencyTable, DfRule};
+use fastbn_stats::{
+    mixed_radix_strides, BatchedCiRunner, CiTestKind, ContingencyTable, DfRule, FILL_BLOCK,
+};
 use parking_lot::Mutex;
 
 /// One schedulable unit of the skeleton phase: an edge (or an ordered
@@ -141,7 +143,9 @@ pub fn fill_with(
 
 /// Mixed-radix strides for a conditioning set (first variable most
 /// significant, matching lexicographic enumeration). Returns `None` if the
-/// configuration count would exceed `max_cells / (rx·ry)`.
+/// configuration count would exceed `max_cells / (rx·ry)`. Thin wrapper
+/// over the workspace-wide radix definition
+/// ([`fastbn_stats::mixed_radix_strides`]).
 pub fn z_strides(
     data: &Dataset,
     cond: &[usize],
@@ -152,17 +156,7 @@ pub fn z_strides(
 ) -> Option<usize> {
     out.clear();
     out.resize(cond.len(), 0);
-    let mut nz = 1usize;
-    // Build strides right-to-left: last conditioning variable is least
-    // significant.
-    for i in (0..cond.len()).rev() {
-        out[i] = nz;
-        nz = nz.checked_mul(data.arity(cond[i]))?;
-        if nz.saturating_mul(rx * ry) > max_cells {
-            return None;
-        }
-    }
-    Some(nz)
+    mixed_radix_strides(|i| data.arity(cond[i]), out, rx * ry, max_cells)
 }
 
 /// Per-thread CI-test executor: owns the reusable contingency table and
@@ -369,7 +363,6 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
                     // registers across its block while the X/Y (and Z)
                     // column tiles, shared by the whole batch, stay
                     // L1-resident instead of being re-streamed per test.
-                    const FILL_BLOCK: usize = 2048;
                     for start in (0..n_samples).step_by(FILL_BLOCK) {
                         let end = (start + FILL_BLOCK).min(n_samples);
                         for (i, table) in tables.iter_mut().enumerate() {

@@ -1,19 +1,25 @@
-//! Step 1 of PC-stable: skeleton discovery (Algorithm 1), behind the four
+//! Step 1 of PC-stable: skeleton discovery (Algorithm 1), behind five
 //! interchangeable schedulers.
 //!
 //! The depth loop lives here; per-depth execution is delegated to
-//! [`seq`], [`edge_par`], [`sample_par`], [`ci_par`] or [`steal_par`]
-//! according to [`PcConfig::mode`]. Two paper-fidelity details:
+//! [`seq`], [`edge_par`], [`sample_par`], [`ci_par`] (the paper's dynamic
+//! work pool) or [`steal_par`] (its work-stealing sharded successor with
+//! batched CI-test execution) according to [`PcConfig::mode`]. Dispatch
+//! details:
 //!
-//! * at depth 0 the conditioning set is always empty and the number of
-//!   tests is known up front (`n(n−1)/2`), so Fast-BNS uses plain
-//!   edge-level parallelism there (§IV-B, last paragraph) — `CiLevel`
-//!   (and its work-stealing successor `WorkSteal`) falls back to
-//!   `edge_par` for `d = 0`;
-//! * parallel modes buffer removals and apply them at the end of the
-//!   depth; the sequential mode applies them immediately. PC-stable's
-//!   per-depth adjacency snapshots make both orders produce identical
-//!   results, which the cross-mode tests assert.
+//! * **Depth 0.** The conditioning set is always empty and the number of
+//!   tests is known up front (`n(n−1)/2`), so no dynamic scheduling is
+//!   needed (§IV-B, last paragraph). `CiLevel` falls back to plain
+//!   edge-level parallelism (`edge_par`) there, as the paper prescribes;
+//!   `WorkSteal` goes one step further with
+//!   [`steal_par::run_depth0_batched`], a batched marginal sweep that
+//!   fills all depth-0 contingency tables of a thread's static chunk in
+//!   one tiled pass over the dataset. Both produce byte-identical results
+//!   to the per-test path — only the fill schedule differs.
+//! * **Removal buffering.** Parallel modes buffer removals and apply them
+//!   at the end of the depth; the sequential mode applies them
+//!   immediately. PC-stable's per-depth adjacency snapshots make both
+//!   orders produce identical results, which the cross-mode tests assert.
 
 pub mod ci_par;
 pub mod common;
@@ -74,8 +80,14 @@ pub fn learn_skeleton_observed<O: CiObserver>(
                     &mut depth_stats,
                     |graph, sepsets, tasks, d| {
                         let (removals, performed, _skipped) = match mode {
-                            // Depth 0: tests known up front ⇒ plain edge split.
-                            ParallelMode::CiLevel | ParallelMode::WorkSteal if d == 0 => {
+                            // Depth 0: tests known up front ⇒ static split.
+                            // WorkSteal batches the whole chunk's fills
+                            // into one dataset pass; CiLevel keeps the
+                            // paper's plain edge-level fallback.
+                            ParallelMode::WorkSteal if d == 0 => {
+                                steal_par::run_depth0_batched(team, data, cfg, tasks)
+                            }
+                            ParallelMode::CiLevel if d == 0 => {
                                 edge_par::run_depth(team, data, cfg, tasks, d)
                             }
                             ParallelMode::CiLevel => ci_par::run_depth(team, data, cfg, tasks, d),

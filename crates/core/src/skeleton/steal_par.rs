@@ -28,10 +28,12 @@
 //! change the learned skeleton. `tests/cross_impl_agreement.rs` and
 //! `tests/determinism.rs` pin this.
 
-use super::common::{process_group_batched, run_pooled_depth, EdgeTask, Removal};
+use super::common::{fill_with, process_group_batched, run_pooled_depth, EdgeTask, Removal};
 use crate::config::PcConfig;
-use fastbn_data::Dataset;
-use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, Team};
+use fastbn_data::{Dataset, Layout};
+use fastbn_parallel::{chunk_ranges, run_steal_pool, shard_by_key, StealPool, Team};
+use fastbn_stats::{BatchedCiRunner, FILL_BLOCK};
+use parking_lot::Mutex;
 
 /// Run one depth through the work-stealing sharded pool on `team`.
 /// Returns (removals, CI tests performed, tests skipped).
@@ -50,4 +52,146 @@ pub fn run_depth(
     run_pooled_depth(t, data, cfg, d, process_group_batched, |step| {
         run_steal_pool(team, &pool, step)
     })
+}
+
+/// The batched depth-0 sweep: every depth-0 task is exactly one marginal
+/// test with a known-up-front empty conditioning set, so no dynamic
+/// scheduling is needed — the task list is split into `t` static chunks
+/// and each thread fills **all** of its chunk's contingency tables in one
+/// tiled pass over the samples (the X/Y column tiles stay L1-resident
+/// while every table of the chunk consumes them), instead of one full
+/// dataset sweep per edge.
+///
+/// Decisions are identical to the per-test path: each table is an ordinary
+/// batch slot evaluated by the same statistic kernels
+/// ([`BatchedCiRunner::run`]), so the learned skeleton is byte-identical —
+/// the cross-impl suite pins it. The depth-0 single-test path never skips
+/// on table size (an empty conditioning set has one configuration), and
+/// neither does this sweep.
+///
+/// Returns (removals, CI tests performed, tests skipped — always 0).
+pub fn run_depth0_batched(
+    team: &Team<'_>,
+    data: &Dataset,
+    cfg: &PcConfig,
+    tasks: Vec<EdgeTask>,
+) -> (Vec<Removal>, u64, u64) {
+    let t = team.n_threads();
+    let ranges = chunk_ranges(tasks.len(), t);
+    let results: Vec<Mutex<Vec<Removal>>> = (0..t).map(|_| Mutex::new(Vec::new())).collect();
+    let performed = tasks.len() as u64;
+
+    team.broadcast(&|tid| {
+        let my_tasks = &tasks[ranges[tid].clone()];
+        if my_tasks.is_empty() {
+            return;
+        }
+        let mut runner = BatchedCiRunner::new();
+        runner.begin();
+        for task in my_tasks {
+            runner.add_table(data.arity(task.u as usize), data.arity(task.v as usize), 1);
+        }
+
+        // One tiled pass over the samples fills the whole chunk.
+        let n_samples = data.n_samples();
+        let tables = runner.tables_mut();
+        match cfg.layout {
+            Layout::ColumnMajor => {
+                // Reuse the shared fill kernel per (table, block): with an
+                // empty conditioning set it is exactly the x/y scatter.
+                for start in (0..n_samples).step_by(FILL_BLOCK) {
+                    let end = (start + FILL_BLOCK).min(n_samples);
+                    for (table, task) in tables.iter_mut().zip(my_tasks) {
+                        fill_with(
+                            data,
+                            Layout::ColumnMajor,
+                            task.u as usize,
+                            task.v as usize,
+                            &[],
+                            &[],
+                            start..end,
+                            |x, y, z| table.add(x, y, z),
+                        );
+                    }
+                }
+            }
+            Layout::RowMajor => {
+                for s in 0..n_samples {
+                    let row = data.row(s);
+                    for (table, task) in tables.iter_mut().zip(my_tasks) {
+                        table.add(
+                            row[task.u as usize] as usize,
+                            row[task.v as usize] as usize,
+                            0,
+                        );
+                    }
+                }
+            }
+        }
+
+        let outcomes = runner.run(cfg.test, cfg.alpha, cfg.df_rule);
+        let mut removals = Vec::new();
+        for (task, outcome) in my_tasks.iter().zip(outcomes) {
+            if outcome.independent {
+                removals.push(Removal {
+                    u: task.u,
+                    v: task.v,
+                    // The empty set separates the pair at depth 0.
+                    sepset: Vec::new(),
+                    from_first_direction: true,
+                });
+            }
+        }
+        *results[tid].lock() = removals;
+    });
+
+    let mut all = Vec::new();
+    for slot in results {
+        all.extend(slot.into_inner());
+    }
+    (all, performed, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::build_tasks;
+    use super::super::edge_par;
+    use super::*;
+    use fastbn_graph::UGraph;
+    use fastbn_network::{generate_network, NetworkSpec};
+
+    /// The sweep's removals, counters and decisions must match the
+    /// per-test depth-0 path (`edge_par`) exactly, in every layout.
+    #[test]
+    fn depth0_sweep_matches_edge_par_exactly() {
+        let net = generate_network(&NetworkSpec::small("t", 9, 11), 23);
+        let data = net.sample_dataset(1200, 5);
+        for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+            for grouping in [true, false] {
+                let cfg = fastbn_core_cfg(layout, grouping);
+                let graph = UGraph::complete(data.n_vars());
+                let (mut a, pa, sa) = Team::scoped(3, |team| {
+                    edge_par::run_depth(team, &data, &cfg, build_tasks(&graph, 0, &cfg), 0)
+                });
+                let (mut b, pb, sb) = Team::scoped(3, |team| {
+                    run_depth0_batched(team, &data, &cfg, build_tasks(&graph, 0, &cfg))
+                });
+                let key = |r: &Removal| (r.u, r.v, r.sepset.clone(), r.from_first_direction);
+                a.sort_by_key(key);
+                b.sort_by_key(key);
+                assert_eq!(a, b, "{layout:?} grouping={grouping} removals");
+                assert_eq!(
+                    (pa, sa),
+                    (pb, sb),
+                    "{layout:?} grouping={grouping} counters"
+                );
+            }
+        }
+    }
+
+    fn fastbn_core_cfg(layout: Layout, grouping: bool) -> PcConfig {
+        PcConfig::fast_bns_steal()
+            .with_layout(layout)
+            .with_group_endpoints(grouping)
+    }
 }

@@ -1,0 +1,174 @@
+//! The score cache: memoized local scores keyed on the canonical
+//! (child, parent-set) encoding.
+//!
+//! Hill climbing re-examines the same `local(v, P)` values thousands of
+//! times — every iteration rescans all candidate moves, but only the two
+//! children touched by the previously applied move have changed parent
+//! sets. The cache turns every other delta evaluation into two hash-map
+//! lookups.
+//!
+//! **Canonical keying.** A parent set is encoded as its sorted-ascending
+//! variable-id list; the key is `(child, sorted parents)`. Sorting makes
+//! the encoding canonical — `{2,7}` and `{7,2}` are the same set, and
+//! [`crate::score::LocalScorer`] fixes the count-table radix order to the
+//! same sorted order, so a cached value is bit-identical to a fresh
+//! computation no matter which move first requested it. Unscorable entries
+//! (`None`: table over the cell cap) are cached too, so an oversized
+//! parent set is rejected once, not once per iteration.
+//!
+//! **Sharing.** One cache is shared by all search threads behind a mutex.
+//! The lock is held only for lookup/insert — the score computation itself
+//! runs outside it — so contention stays low, and because a local score is
+//! a pure function of `(child, parents, data)`, a racing double-compute
+//! inserts the same value twice and cannot affect results (which is why
+//! the searcher is byte-identical with the cache on, off, or shared by any
+//! number of threads).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Canonical cache key: child plus its sorted parent-set encoding.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+struct ScoreKey {
+    child: u32,
+    parents: Box<[u32]>,
+}
+
+/// A shared memo of local scores with hit/miss accounting.
+pub struct ScoreCache {
+    /// `None` disables memoization (every request is a miss) while keeping
+    /// the counters — the ablation knob the property tests exercise.
+    map: Option<Mutex<HashMap<ScoreKey, Option<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScoreCache {
+    /// A cache; `enabled = false` makes every lookup a miss (scores are
+    /// recomputed each time — results must not change, only speed).
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            map: enabled.then(|| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// True when memoization is active.
+    pub fn is_enabled(&self) -> bool {
+        self.map.is_some()
+    }
+
+    /// Number of distinct (child, parent-set) entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.as_ref().map_or(0, |m| m.lock().len())
+    }
+
+    /// True when no entry is stored (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Look up `local(child, parents)`, computing and inserting it on a
+    /// miss. `parents` must already be in canonical (sorted ascending)
+    /// order. `compute` runs outside the lock.
+    pub fn get_or_compute(
+        &self,
+        child: u32,
+        parents: &[u32],
+        compute: impl FnOnce() -> Option<f64>,
+    ) -> Option<f64> {
+        debug_assert!(
+            parents.windows(2).all(|w| w[0] < w[1]),
+            "cache key must use the canonical sorted encoding: {parents:?}"
+        );
+        let Some(map) = &self.map else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        };
+        let key = ScoreKey {
+            child,
+            parents: parents.into(),
+        };
+        if let Some(&cached) = map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        map.lock().insert(key, value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = ScoreCache::new(true);
+        let mut calls = 0u32;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(1, &[0, 4], || {
+                calls += 1;
+                Some(-12.5)
+            });
+            assert_eq!(v, Some(-12.5));
+        }
+        assert_eq!(calls, 1, "computed once, served twice");
+        assert_eq!(cache.stats(), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let cache = ScoreCache::new(false);
+        let mut calls = 0u32;
+        for _ in 0..3 {
+            cache.get_or_compute(1, &[2], || {
+                calls += 1;
+                Some(0.0)
+            });
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(cache.stats(), (0, 3));
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn none_results_are_cached_too() {
+        let cache = ScoreCache::new(true);
+        let mut calls = 0u32;
+        for _ in 0..2 {
+            let v = cache.get_or_compute(0, &[1, 2, 3], || {
+                calls += 1;
+                None
+            });
+            assert_eq!(v, None);
+        }
+        assert_eq!(calls, 1, "unscorable entries memoized");
+    }
+
+    #[test]
+    fn distinct_children_and_sets_do_not_collide() {
+        let cache = ScoreCache::new(true);
+        cache.get_or_compute(0, &[1], || Some(1.0));
+        cache.get_or_compute(1, &[0], || Some(2.0));
+        cache.get_or_compute(0, &[], || Some(3.0));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get_or_compute(0, &[1], || unreachable!()), Some(1.0));
+        assert_eq!(cache.get_or_compute(1, &[0], || unreachable!()), Some(2.0));
+        assert_eq!(cache.get_or_compute(0, &[], || unreachable!()), Some(3.0));
+    }
+}

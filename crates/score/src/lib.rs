@@ -1,0 +1,36 @@
+//! # fastbn-score — score-based structure search for Fast-BNS
+//!
+//! The constraint-based learner (`fastbn-core`'s PC-stable / Fast-BNS)
+//! prunes edges with CI tests; this crate provides the other pillar of BN
+//! structure learning — **search over DAGs guided by a decomposable
+//! score** — built on the same substrates: contingency tables filled
+//! through [`fastbn_stats::TableArena`]'s tiled dataset sweep, and
+//! parallel fan-out over [`fastbn_parallel::StealPool`]'s work-stealing
+//! deques.
+//!
+//! Three layers:
+//!
+//! * [`score`] — BIC and BDeu **local scores** of a (child, parent-set)
+//!   pair, with batched sufficient-statistics fills and a fixed summation
+//!   order (bit-reproducible values);
+//! * [`cache`] — the **score cache**: local scores memoized under the
+//!   canonical sorted parent-set key, shared across search threads,
+//!   hit/miss accounted;
+//! * [`search`] — the **parallel hill-climbing searcher**: add/delete/
+//!   reverse moves, tabu ring, seeded random restarts, candidate-move
+//!   deltas fanned out over stealing deques, and a canonical-move-order
+//!   tie-break that makes the learned DAG byte-identical across thread
+//!   counts.
+//!
+//! The hybrid (skeleton-restricted, MMHC-style) learner that combines
+//! this searcher with the Fast-BNS skeleton lives in `fastbn-core`
+//! (`score_search` module), keeping this crate free of constraint-based
+//! code.
+
+pub mod cache;
+pub mod score;
+pub mod search;
+
+pub use cache::ScoreCache;
+pub use score::{LocalScorer, ScoreKind};
+pub use search::{HillClimb, HillClimbConfig, HillClimbResult, Move, SearchStats};

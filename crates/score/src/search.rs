@@ -1,0 +1,695 @@
+//! Parallel greedy hill climbing over DAG space.
+//!
+//! The searcher repeatedly evaluates every admissible **add / delete /
+//! reverse** move against the current DAG, applies the best strictly
+//! improving one, and stops at a local optimum; seeded random restarts
+//! perturb the best DAG found and climb again. Two properties are
+//! load-bearing:
+//!
+//! * **Parallel delta evaluation.** Scoring candidate moves is the
+//!   dominant, embarrassingly parallel cost (each delta is one or two
+//!   local-score computations — count-table fills over the dataset). The
+//!   move list is adjacency-sharded by the move's child onto
+//!   [`fastbn_parallel::StealPool`] deques — moves touching the same child
+//!   colocate with that child's data columns — and idle threads steal,
+//!   exactly the scheduling the skeleton phase uses for CI tests.
+//! * **Determinism.** Deltas are pure functions of `(move, DAG, data)`
+//!   computed with a fixed summation order, results are gathered by move
+//!   index, and the applied move is the *first* maximum in **canonical
+//!   move order** (all adds in lexicographic `(u, v)` order, then all
+//!   deletes, then all reverses). Thread count, steal interleaving and
+//!   cache state are therefore invisible: the learned DAG is byte-identical
+//!   at 1, 2, 4 or 8 threads, with the cache on or off — the same
+//!   discipline the cross-impl suite enforces on the constraint-based side.
+//!
+//! A tabu ring forbids the immediate inverse of recently applied moves
+//! (cheap insurance against plateau cycling after a perturbation; strict
+//! improvement already rules out cycles within one climb).
+
+use crate::cache::ScoreCache;
+use crate::score::{LocalScorer, ScoreKind};
+use fastbn_data::Dataset;
+use fastbn_graph::{Dag, UGraph};
+use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, StepResult, Team};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One atomic modification of the current DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Insert the edge `u → v`.
+    Add(u32, u32),
+    /// Remove the existing edge `u → v`.
+    Delete(u32, u32),
+    /// Replace the existing edge `u → v` by `v → u`.
+    Reverse(u32, u32),
+}
+
+impl Move {
+    /// The move that undoes this one (what the tabu ring stores).
+    pub fn inverse(self) -> Move {
+        match self {
+            Move::Add(u, v) => Move::Delete(u, v),
+            Move::Delete(u, v) => Move::Add(u, v),
+            Move::Reverse(u, v) => Move::Reverse(v, u),
+        }
+    }
+
+    /// The child whose parent set the move alters (for a reverse, the new
+    /// child `u`; the sharding key of the delta evaluation).
+    pub fn primary_child(self) -> u32 {
+        match self {
+            Move::Add(_, v) | Move::Delete(_, v) => v,
+            Move::Reverse(u, _) => u,
+        }
+    }
+}
+
+/// Configuration of a [`HillClimb`] search.
+#[derive(Clone, Debug)]
+pub struct HillClimbConfig {
+    /// The decomposable score to maximize.
+    pub kind: ScoreKind,
+    /// Worker threads for delta evaluation (0 is promoted to 1).
+    pub threads: usize,
+    /// Hard cap on any node's parent count.
+    pub max_parents: usize,
+    /// How many recently applied moves keep their inverse forbidden.
+    pub tabu_len: usize,
+    /// Random restarts after the initial climb (0 = plain hill climbing).
+    pub restarts: usize,
+    /// Random moves applied to the incumbent before each restart climb.
+    pub perturb_moves: usize,
+    /// Seed for the restart RNG (the shim's deterministic xoshiro256**).
+    pub seed: u64,
+    /// Memoize local scores in the shared [`ScoreCache`].
+    pub use_cache: bool,
+    /// Minimum score improvement for a move to be applied.
+    pub epsilon: f64,
+    /// Count tables larger than this many cells make the parent set
+    /// unscorable; such moves are skipped.
+    pub max_table_cells: usize,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        Self {
+            kind: ScoreKind::Bic,
+            threads: 2,
+            max_parents: 8,
+            tabu_len: 16,
+            restarts: 0,
+            perturb_moves: 8,
+            seed: 0x0FA5_7B45,
+            use_cache: true,
+            epsilon: 1e-9,
+            max_table_cells: 1 << 22,
+        }
+    }
+}
+
+impl HillClimbConfig {
+    /// Set the worker-thread count (builder style).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// Set the score kind.
+    pub fn with_kind(mut self, kind: ScoreKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Set the number of random restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Set the restart RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the score cache (results must not change).
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Set the parent-count cap.
+    ///
+    /// # Panics
+    /// Panics if `max_parents == 0`.
+    pub fn with_max_parents(mut self, max_parents: usize) -> Self {
+        assert!(max_parents >= 1, "max_parents must be at least 1");
+        self.max_parents = max_parents;
+        self
+    }
+
+    /// Effective thread count (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+/// Counters and timings of one search run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Moves applied across all climbs.
+    pub iterations: u64,
+    /// Restarts actually performed.
+    pub restarts: u64,
+    /// Candidate-move deltas evaluated (cache hits included).
+    pub moves_evaluated: u64,
+    /// Score-cache hits.
+    pub cache_hits: u64,
+    /// Score-cache misses (= fresh local-score computations when caching).
+    pub cache_misses: u64,
+    /// Moves skipped because a count table exceeded the cell cap.
+    pub oversized_skipped: u64,
+    /// Wall-clock duration of the whole search.
+    pub duration: Duration,
+}
+
+/// Everything a hill-climbing run produces.
+pub struct HillClimbResult {
+    /// The best DAG found.
+    pub dag: Dag,
+    /// Its total score `Σ_v local(v, Pa(v))`.
+    pub score: f64,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// The score-based structure learner: greedy hill climbing with restarts.
+///
+/// ```
+/// use fastbn_score::{HillClimb, HillClimbConfig};
+/// use fastbn_data::Dataset;
+///
+/// let data = Dataset::from_columns(
+///     vec![],
+///     vec![2, 2],
+///     vec![vec![0, 1, 1, 0, 1, 0, 0, 1], vec![0, 1, 1, 0, 1, 0, 1, 0]],
+/// ).unwrap();
+/// let result = HillClimb::new(HillClimbConfig::default()).learn(&data);
+/// assert!(result.score.is_finite());
+/// ```
+pub struct HillClimb {
+    config: HillClimbConfig,
+}
+
+impl HillClimb {
+    /// A searcher with the given configuration.
+    pub fn new(config: HillClimbConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HillClimbConfig {
+        &self.config
+    }
+
+    /// Search the full DAG space over `data`.
+    pub fn learn(&self, data: &Dataset) -> HillClimbResult {
+        self.learn_restricted(data, None)
+    }
+
+    /// Search with candidate parents restricted to `allowed` adjacencies:
+    /// an edge `u → v` may exist only if `allowed` has the undirected edge
+    /// `u — v`. This is the hybrid (MMHC-style) second stage, with the
+    /// PC-stable skeleton as the restriction graph.
+    ///
+    /// # Panics
+    /// Panics if `allowed` has a different node count than `data`.
+    pub fn learn_restricted(&self, data: &Dataset, allowed: Option<&UGraph>) -> HillClimbResult {
+        if let Some(g) = allowed {
+            assert_eq!(g.n(), data.n_vars(), "restriction graph node count");
+        }
+        let t0 = Instant::now();
+        let cfg = &self.config;
+        let t = cfg.effective_threads();
+        let searcher = Searcher {
+            cfg,
+            allowed,
+            cache: ScoreCache::new(cfg.use_cache),
+            scorers: (0..t)
+                .map(|_| Mutex::new(LocalScorer::new(data, cfg.kind, cfg.max_table_cells)))
+                .collect(),
+            stats: Mutex::new(SearchStats::default()),
+        };
+
+        // One worker team lives for the whole search (all climbs and
+        // restarts) and is broadcast per delta evaluation — the same
+        // amortization the skeleton phase uses; spawning per iteration
+        // would put thread start-up on the hot path.
+        let run = |team: Option<&Team<'_>>| {
+            let n = data.n_vars();
+            let mut dag = Dag::empty(n);
+            let mut score = searcher.climb(&mut dag, team);
+            let mut best = (dag, score);
+
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            for _ in 0..cfg.restarts {
+                let mut cand = best.0.clone();
+                searcher.perturb(&mut cand, &mut rng);
+                score = searcher.climb(&mut cand, team);
+                // Strict improvement keeps the incumbent on ties, so the
+                // result does not depend on restart exploration quirks.
+                if score > best.1 + cfg.epsilon {
+                    best = (cand, score);
+                }
+                searcher.stats.lock().restarts += 1;
+            }
+            best
+        };
+        let best = if t > 1 {
+            Team::scoped(t, |team| run(Some(team)))
+        } else {
+            run(None)
+        };
+
+        let mut stats = searcher.stats.into_inner();
+        let (hits, misses) = searcher.cache.stats();
+        stats.cache_hits = hits;
+        stats.cache_misses = misses;
+        for scorer in searcher.scorers {
+            stats.oversized_skipped += scorer.into_inner().oversized;
+        }
+        stats.duration = t0.elapsed();
+        HillClimbResult {
+            dag: best.0,
+            score: best.1,
+            stats,
+        }
+    }
+}
+
+/// Internal search state shared across climbs of one run.
+struct Searcher<'d, 'c> {
+    cfg: &'c HillClimbConfig,
+    allowed: Option<&'c UGraph>,
+    cache: ScoreCache,
+    scorers: Vec<Mutex<LocalScorer<'d>>>,
+    stats: Mutex<SearchStats>,
+}
+
+impl Searcher<'_, '_> {
+    /// Greedy-climb `dag` to a local optimum; returns its total score.
+    /// `team` is the long-lived worker team for delta fan-out (`None` =
+    /// single-threaded).
+    fn climb(&self, dag: &mut Dag, team: Option<&Team<'_>>) -> f64 {
+        let n = dag.n();
+        let mut cur: Vec<f64> = (0..n).map(|v| self.node_score(dag, v)).collect();
+        let mut tabu: VecDeque<Move> = VecDeque::new();
+
+        loop {
+            let moves = self.enumerate_moves(dag, &tabu);
+            if moves.is_empty() {
+                break;
+            }
+            let deltas = self.eval_deltas(dag, &cur, &moves, team);
+            self.stats.lock().moves_evaluated += moves.len() as u64;
+
+            // First strict maximum in canonical order wins — the
+            // deterministic tie-break.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, delta) in deltas.iter().enumerate() {
+                if let Some(d) = *delta {
+                    if d > self.cfg.epsilon && best.is_none_or(|(_, bd)| d > bd) {
+                        best = Some((i, d));
+                    }
+                }
+            }
+            let Some((idx, _)) = best else { break };
+            let mv = moves[idx];
+            apply_move(dag, mv);
+            match mv {
+                Move::Add(_, v) | Move::Delete(_, v) => {
+                    cur[v as usize] = self.node_score(dag, v as usize);
+                }
+                Move::Reverse(u, v) => {
+                    cur[u as usize] = self.node_score(dag, u as usize);
+                    cur[v as usize] = self.node_score(dag, v as usize);
+                }
+            }
+            if self.cfg.tabu_len > 0 {
+                tabu.push_back(mv.inverse());
+                while tabu.len() > self.cfg.tabu_len {
+                    tabu.pop_front();
+                }
+            }
+            self.stats.lock().iterations += 1;
+        }
+        cur.iter().sum()
+    }
+
+    /// Current local score of `v` under `dag` (−∞ when unscorable, which
+    /// only arises transiently after a perturbation; the climb repairs it
+    /// because deleting a parent then has +∞ delta).
+    fn node_score(&self, dag: &Dag, v: usize) -> f64 {
+        let parents: Vec<u32> = dag.parents(v).iter_ones().map(|p| p as u32).collect();
+        self.cache
+            .get_or_compute(v as u32, &parents, || {
+                self.scorers[0].lock().local_score(v, &parents)
+            })
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// All structurally admissible moves, in canonical order: adds in
+    /// lexicographic `(u, v)`, then deletes, then reverses (each over the
+    /// DAG's lexicographic edge list).
+    fn enumerate_moves(&self, dag: &Dag, tabu: &VecDeque<Move>) -> Vec<Move> {
+        let n = dag.n();
+        let max_parents = self.cfg.max_parents;
+        let permitted = |u: usize, v: usize| self.allowed.is_none_or(|g| g.has_edge(u, v));
+        let mut moves = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u == v || dag.has_edge(u, v) || dag.has_edge(v, u) {
+                    continue;
+                }
+                if !permitted(u, v)
+                    || dag.in_degree(v) >= max_parents
+                    || dag.reaches(v, u)
+                    || tabu.contains(&Move::Add(u as u32, v as u32))
+                {
+                    continue;
+                }
+                moves.push(Move::Add(u as u32, v as u32));
+            }
+        }
+        let edges = dag.edges();
+        for &(u, v) in &edges {
+            if !tabu.contains(&Move::Delete(u as u32, v as u32)) {
+                moves.push(Move::Delete(u as u32, v as u32));
+            }
+        }
+        for &(u, v) in &edges {
+            if dag.in_degree(u) >= max_parents
+                || tabu.contains(&Move::Reverse(u as u32, v as u32))
+                || has_path_excluding(dag, u, v)
+            {
+                continue;
+            }
+            moves.push(Move::Reverse(u as u32, v as u32));
+        }
+        moves
+    }
+
+    /// Score deltas for every move, fanned out over the stealing deques
+    /// on the search's long-lived `team` (sequential when `None`). Results
+    /// indexed like `moves`; `None` means the move's new parent set is
+    /// unscorable.
+    fn eval_deltas(
+        &self,
+        dag: &Dag,
+        cur: &[f64],
+        moves: &[Move],
+        team: Option<&Team<'_>>,
+    ) -> Vec<Option<f64>> {
+        let Some(team) = team else {
+            let mut scorer = self.scorers[0].lock();
+            return moves
+                .iter()
+                .map(|&mv| self.move_delta(dag, cur, mv, &mut scorer))
+                .collect();
+        };
+        let t = team.n_threads();
+        let tasks: Vec<(usize, Move)> = moves.iter().copied().enumerate().collect();
+        // Adjacency sharding: moves with the same child (whose columns the
+        // count fill streams) colocate; weight by the child's fan-in as a
+        // proxy for its table size.
+        let shards = shard_by_key(
+            tasks,
+            t,
+            |&(_, mv)| mv.primary_child() as usize,
+            |&(_, mv)| 1 + dag.in_degree(mv.primary_child() as usize) as u64,
+        );
+        let pool = StealPool::from_shards(shards);
+        // Per-thread (move index, delta) collection slots; only thread
+        // `tid` touches slot `tid`, the mutexes are uncontended.
+        type DeltaSlot = Mutex<Vec<(usize, Option<f64>)>>;
+        let outs: Vec<DeltaSlot> = (0..t).map(|_| Mutex::new(Vec::new())).collect();
+        run_steal_pool(team, &pool, |tid, (idx, mv): (usize, Move)| {
+            let mut scorer = self.scorers[tid].lock();
+            let delta = self.move_delta(dag, cur, mv, &mut scorer);
+            outs[tid].lock().push((idx, delta));
+            StepResult::Done
+        });
+        let mut deltas = vec![None; moves.len()];
+        for slot in outs {
+            for (idx, delta) in slot.into_inner() {
+                deltas[idx] = delta;
+            }
+        }
+        deltas
+    }
+
+    /// The score change `score(dag ∘ mv) − score(dag)`, or `None` when a
+    /// touched parent set is unscorable.
+    fn move_delta(
+        &self,
+        dag: &Dag,
+        cur: &[f64],
+        mv: Move,
+        scorer: &mut LocalScorer<'_>,
+    ) -> Option<f64> {
+        match mv {
+            Move::Add(u, v) => {
+                let new = self.score_edited(dag, v as usize, Some(u), None, scorer)?;
+                Some(new - cur[v as usize])
+            }
+            Move::Delete(u, v) => {
+                let new = self.score_edited(dag, v as usize, None, Some(u), scorer)?;
+                Some(new - cur[v as usize])
+            }
+            Move::Reverse(u, v) => {
+                let new_u = self.score_edited(dag, u as usize, Some(v), None, scorer)?;
+                let new_v = self.score_edited(dag, v as usize, None, Some(u), scorer)?;
+                Some((new_u - cur[u as usize]) + (new_v - cur[v as usize]))
+            }
+        }
+    }
+
+    /// Local score of `child` with its parent set edited (one inserted,
+    /// one removed), through the cache. The edited set stays sorted, so the
+    /// cache key is canonical by construction.
+    fn score_edited(
+        &self,
+        dag: &Dag,
+        child: usize,
+        insert: Option<u32>,
+        remove: Option<u32>,
+        scorer: &mut LocalScorer<'_>,
+    ) -> Option<f64> {
+        let mut parents: Vec<u32> = dag
+            .parents(child)
+            .iter_ones()
+            .map(|p| p as u32)
+            .filter(|&p| Some(p) != remove)
+            .collect();
+        if let Some(p) = insert {
+            let pos = parents.partition_point(|&x| x < p);
+            parents.insert(pos, p);
+        }
+        self.cache.get_or_compute(child as u32, &parents, || {
+            scorer.local_score(child, &parents)
+        })
+    }
+
+    /// Apply `perturb_moves` random admissible moves (no tabu) — the
+    /// restart kick. Deterministic given the caller's seeded RNG.
+    fn perturb(&self, dag: &mut Dag, rng: &mut StdRng) {
+        let no_tabu = VecDeque::new();
+        for _ in 0..self.cfg.perturb_moves {
+            let moves = self.enumerate_moves(dag, &no_tabu);
+            if moves.is_empty() {
+                break;
+            }
+            apply_move(dag, moves[rng.gen_range(0..moves.len())]);
+        }
+    }
+}
+
+/// Apply a validated move to the DAG.
+///
+/// # Panics
+/// Panics if the move is structurally invalid for `dag` (the enumerator
+/// guarantees it is not).
+fn apply_move(dag: &mut Dag, mv: Move) {
+    match mv {
+        Move::Add(u, v) => {
+            assert!(
+                dag.try_add_edge(u as usize, v as usize),
+                "invalid add {mv:?}"
+            );
+        }
+        Move::Delete(u, v) => {
+            assert!(
+                dag.remove_edge(u as usize, v as usize),
+                "invalid delete {mv:?}"
+            );
+        }
+        Move::Reverse(u, v) => {
+            assert!(
+                dag.remove_edge(u as usize, v as usize),
+                "invalid reverse {mv:?}"
+            );
+            assert!(
+                dag.try_add_edge(v as usize, u as usize),
+                "reverse {mv:?} would create a cycle"
+            );
+        }
+    }
+}
+
+/// True when a directed path `u ⇝ v` exists that does not use the direct
+/// edge `u → v` — exactly the condition under which reversing `u → v`
+/// would create a cycle.
+fn has_path_excluding(dag: &Dag, u: usize, v: usize) -> bool {
+    let mut seen = vec![false; dag.n()];
+    let mut stack: Vec<usize> = dag.children(u).iter_ones().filter(|&c| c != v).collect();
+    for &c in &stack {
+        seen[c] = true;
+    }
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for c in dag.children(x).iter_ones() {
+            if c == v {
+                return true;
+            }
+            if !seen[c] {
+                seen[c] = true;
+                stack.push(c);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_data() -> Dataset {
+        // x → y → z with strong links: hill climbing must recover the
+        // chain's adjacencies (direction within the equivalence class may
+        // vary).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        let mut state = 0xC0FFEEu64;
+        for _ in 0..1500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 16;
+            let a = (r & 1) as u8;
+            let b = if r % 100 < 10 { 1 - a } else { a };
+            let c = if (r >> 32) % 100 < 10 { 1 - b } else { b };
+            x.push(a);
+            y.push(b);
+            z.push(c);
+        }
+        Dataset::from_columns(vec![], vec![2, 2, 2], vec![x, y, z]).unwrap()
+    }
+
+    #[test]
+    fn recovers_chain_adjacencies() {
+        let data = chain_data();
+        let result = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+        let skel = result.dag.skeleton();
+        assert!(skel.has_edge(0, 1), "x—y");
+        assert!(skel.has_edge(1, 2), "y—z");
+        assert!(!skel.has_edge(0, 2), "x⟂z | y: no direct edge");
+        assert!(result.score.is_finite());
+        assert!(result.stats.iterations >= 2);
+    }
+
+    #[test]
+    fn thread_counts_learn_identical_dags() {
+        let data = chain_data();
+        let reference = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+        for t in [2usize, 4] {
+            let got = HillClimb::new(HillClimbConfig::default().with_threads(t)).learn(&data);
+            assert_eq!(got.dag, reference.dag, "t={t}");
+            assert_eq!(got.score, reference.score, "t={t} (bitwise)");
+        }
+    }
+
+    #[test]
+    fn cache_disabled_is_identical() {
+        let data = chain_data();
+        let with = HillClimb::new(HillClimbConfig::default()).learn(&data);
+        let without = HillClimb::new(HillClimbConfig::default().with_cache(false)).learn(&data);
+        assert_eq!(with.dag, without.dag);
+        assert_eq!(with.score, without.score);
+        assert_eq!(without.stats.cache_hits, 0);
+        assert!(with.stats.cache_hits > 0, "the cache must actually engage");
+    }
+
+    #[test]
+    fn restriction_graph_is_respected() {
+        let data = chain_data();
+        // Forbid the (1,2) adjacency: the learned DAG must not contain it
+        // in either direction.
+        let mut allowed = UGraph::complete(3);
+        allowed.remove_edge(1, 2);
+        let result =
+            HillClimb::new(HillClimbConfig::default()).learn_restricted(&data, Some(&allowed));
+        assert!(!result.dag.has_edge(1, 2));
+        assert!(!result.dag.has_edge(2, 1));
+    }
+
+    #[test]
+    fn restarts_are_deterministic_and_never_worse() {
+        let data = chain_data();
+        let base = HillClimb::new(HillClimbConfig::default()).learn(&data);
+        let cfg = HillClimbConfig::default().with_restarts(3).with_seed(7);
+        let a = HillClimb::new(cfg.clone()).learn(&data);
+        let b = HillClimb::new(cfg).learn(&data);
+        assert_eq!(a.dag, b.dag, "same seed, same search");
+        assert_eq!(a.score, b.score);
+        assert!(a.score >= base.score, "restarts keep the best incumbent");
+        assert_eq!(a.stats.restarts, 3);
+    }
+
+    #[test]
+    fn max_parents_cap_holds() {
+        let data = chain_data();
+        let result = HillClimb::new(HillClimbConfig::default().with_max_parents(1)).learn(&data);
+        for v in 0..3 {
+            assert!(result.dag.in_degree(v) <= 1, "node {v} over cap");
+        }
+    }
+
+    #[test]
+    fn move_inverse_roundtrips() {
+        for mv in [Move::Add(1, 2), Move::Delete(3, 4), Move::Reverse(5, 6)] {
+            assert_eq!(mv.inverse().inverse(), mv);
+        }
+        assert_eq!(Move::Add(1, 2).primary_child(), 2);
+        assert_eq!(Move::Reverse(5, 6).primary_child(), 5);
+    }
+
+    #[test]
+    fn path_exclusion_detects_alternate_routes() {
+        // 0→1→2 plus 0→2: reversing 0→2 must be blocked (alt path 0⇝2).
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(has_path_excluding(&dag, 0, 2));
+        assert!(!has_path_excluding(&dag, 1, 2), "only the direct edge");
+        // Reversing 1→2 is fine: no other 1⇝2 path.
+        let mut d = dag.clone();
+        apply_move(&mut d, Move::Reverse(1, 2));
+        assert!(d.has_edge(2, 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the score subsystem: cache transparency, scorer
+//! determinism, and search invariance to threads/cache — the score-side
+//! analogue of the constraint learner's cross-impl discipline.
+
+use fastbn_data::Dataset;
+use fastbn_graph::Dag;
+use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, ScoreCache, ScoreKind};
+use proptest::prelude::*;
+
+/// Strategy: a random complete discrete dataset (3–5 variables of arity
+/// 2–3, 120–320 samples).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (3usize..6, 120usize..320).prop_flat_map(|(n_vars, m)| {
+        (
+            proptest::collection::vec(2u8..4, n_vars..=n_vars),
+            proptest::collection::vec(proptest::collection::vec(0u8..2, m..=m), n_vars..=n_vars),
+            Just(n_vars),
+        )
+            .prop_map(|(arities, raw_cols, _)| {
+                // Clamp values into each variable's arity.
+                let cols: Vec<Vec<u8>> = raw_cols
+                    .into_iter()
+                    .zip(&arities)
+                    .map(|(col, &a)| col.into_iter().map(|v| v % a).collect())
+                    .collect();
+                Dataset::from_columns(vec![], arities, cols).unwrap()
+            })
+    })
+}
+
+/// All sorted parent subsets of size ≤ 2 for a child (enough shapes to
+/// exercise the radix/stride paths without combinatorial blow-up).
+fn parent_subsets(n: usize, child: usize) -> Vec<Vec<u32>> {
+    let others: Vec<u32> = (0..n as u32).filter(|&v| v as usize != child).collect();
+    let mut sets = vec![vec![]];
+    for (i, &a) in others.iter().enumerate() {
+        sets.push(vec![a]);
+        for &b in &others[i + 1..] {
+            sets.push(vec![a, b]);
+        }
+    }
+    sets
+}
+
+proptest! {
+    /// The cache is transparent: a value served from the cache equals a
+    /// freshly computed one to 1e-9 (bitwise, in fact) for BIC and BDeu,
+    /// every child and every parent set.
+    #[test]
+    fn cached_and_fresh_scores_agree(data in dataset_strategy()) {
+        for kind in [ScoreKind::Bic, ScoreKind::BDeu { ess: 1.0 }] {
+            let cache = ScoreCache::new(true);
+            let mut warm = LocalScorer::new(&data, kind, 1 << 20);
+            let mut fresh = LocalScorer::new(&data, kind, 1 << 20);
+            for child in 0..data.n_vars() {
+                for parents in parent_subsets(data.n_vars(), child) {
+                    // First call computes and fills the cache...
+                    let first = cache.get_or_compute(child as u32, &parents, || {
+                        warm.local_score(child, &parents)
+                    });
+                    // ...second call must be served from it.
+                    let cached = cache.get_or_compute(child as u32, &parents, || {
+                        panic!("cache must hit on the second request")
+                    });
+                    let recomputed = fresh.local_score(child, &parents);
+                    prop_assert_eq!(first.is_some(), recomputed.is_some());
+                    if let (Some(c), Some(r)) = (cached, recomputed) {
+                        prop_assert!((c - r).abs() < 1e-9,
+                            "{:?} child {} parents {:?}: cached {} vs fresh {}",
+                            kind, child, parents, c, r);
+                    }
+                }
+            }
+            let (hits, _misses) = cache.stats();
+            prop_assert!(hits > 0);
+        }
+    }
+
+    /// A local score is a pure function: two scorers over the same data
+    /// produce bit-identical values regardless of call history.
+    #[test]
+    fn scorer_is_deterministic(data in dataset_strategy()) {
+        let mut a = LocalScorer::new(&data, ScoreKind::Bic, 1 << 20);
+        let mut b = LocalScorer::new(&data, ScoreKind::Bic, 1 << 20);
+        // Different call orders (forward vs reverse) must not matter.
+        let n = data.n_vars();
+        let mut pairs: Vec<(usize, Vec<u32>)> = (0..n)
+            .flat_map(|c| parent_subsets(n, c).into_iter().map(move |p| (c, p)))
+            .collect();
+        let forward: Vec<Option<f64>> =
+            pairs.iter().map(|(c, p)| a.local_score(*c, p)).collect();
+        pairs.reverse();
+        let mut backward: Vec<Option<f64>> =
+            pairs.iter().map(|(c, p)| b.local_score(*c, p)).collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Hill climbing learns the identical DAG (and bitwise-identical
+    /// score) at every thread count, with the cache on or off.
+    #[test]
+    fn hill_climb_invariant_to_threads_and_cache(data in dataset_strategy()) {
+        let reference = HillClimb::new(
+            HillClimbConfig::default().with_threads(1),
+        ).learn(&data);
+        prop_assert!(dag_is_valid(&reference.dag));
+        for threads in [2usize, 4] {
+            let got = HillClimb::new(
+                HillClimbConfig::default().with_threads(threads),
+            ).learn(&data);
+            prop_assert_eq!(&got.dag, &reference.dag, "t={}", threads);
+            prop_assert_eq!(got.score, reference.score, "t={} score", threads);
+        }
+        let uncached = HillClimb::new(
+            HillClimbConfig::default().with_threads(2).with_cache(false),
+        ).learn(&data);
+        prop_assert_eq!(&uncached.dag, &reference.dag, "cache off");
+        prop_assert_eq!(uncached.score, reference.score, "cache off score");
+    }
+
+    /// BDeu searches are thread-invariant too (different numerics than
+    /// BIC: log-gamma sums instead of log-likelihood terms).
+    #[test]
+    fn bdeu_search_is_thread_invariant(data in dataset_strategy()) {
+        let cfg = |t: usize| HillClimbConfig::default()
+            .with_kind(ScoreKind::BDeu { ess: 1.0 })
+            .with_threads(t);
+        let reference = HillClimb::new(cfg(1)).learn(&data);
+        let parallel = HillClimb::new(cfg(4)).learn(&data);
+        prop_assert_eq!(&parallel.dag, &reference.dag);
+        prop_assert_eq!(parallel.score, reference.score);
+    }
+}
+
+/// The searcher's output must always be a DAG (acyclicity is enforced per
+/// move; this guards the enumerator's cycle checks).
+fn dag_is_valid(dag: &Dag) -> bool {
+    // `Dag` maintains acyclicity structurally; a topological order of full
+    // length certifies it.
+    dag.topological_order().len() == dag.n()
+}

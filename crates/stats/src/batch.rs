@@ -6,11 +6,13 @@
 //! columns and `2·gs` freshly allocated marginal buffers. The
 //! [`BatchedCiRunner`] amortizes both:
 //!
-//! * it owns an **arena of tables** (one slot per in-flight test, reshaped
-//!   in place, allocations reused across batches), so a caller can fill
-//!   every table of a batch in *one* pass over the samples — each sample's
+//! * it owns a [`TableArena`] (one slot per in-flight test, reshaped in
+//!   place, allocations reused across batches), so a caller can fill every
+//!   table of a batch in *one* pass over the samples — each sample's
 //!   `(x, y)` pair is read once and scattered into all tables instead of
-//!   being re-read per test;
+//!   being re-read per test; the arena is its own type because the
+//!   score-based learner reuses it for per-(child, parent-set) count
+//!   tables, sharing the same tiled dataset-sweep path;
 //! * it evaluates the whole batch with **one pair of marginal scratch
 //!   buffers**, via the `*_statistic_scratch` kernels.
 //!
@@ -25,36 +27,43 @@ use crate::contingency::ContingencyTable;
 use crate::gsq::{g2_degrees_of_freedom_scratch, g2_statistic_scratch};
 use crate::pearson::x2_statistic_scratch;
 
-/// Arena of contingency tables plus shared evaluation scratch for running a
-/// batch of CI tests in one table-fill pass and one evaluation pass.
-pub struct BatchedCiRunner {
+/// Sample-block size for tiled batch fills: every batched counting path
+/// (the CI-test group fill, the depth-0 marginal sweep, the score
+/// sufficient-statistics fill) inner-loops its tables over one block of
+/// samples at a time, so the shared column tiles stay L1-resident instead
+/// of being re-streamed per table. One definition so a future
+/// hardware-tuning pass (ROADMAP) changes every fill together.
+pub const FILL_BLOCK: usize = 2048;
+
+/// A reusable arena of contingency tables: one slot per in-flight table,
+/// reshaped in place so allocations persist across batches.
+///
+/// This is the sufficient-statistics substrate shared by every batched
+/// counting path in the workspace — the CI-test groups of
+/// [`BatchedCiRunner`] and the per-(child, parent-set) count tables of the
+/// score-based learner (`fastbn-score`) both fill arena slots through one
+/// tiled sweep over the dataset.
+#[derive(Default)]
+pub struct TableArena {
     /// Table slots; only the first `active` belong to the current batch.
     /// Slots are reshaped, never dropped, so allocations persist.
     tables: Vec<ContingencyTable>,
     active: usize,
-    /// Shared marginal scratch, grown to the largest `rx`/`ry` seen.
-    nx: Vec<u64>,
-    ny: Vec<u64>,
-    outcomes: Vec<CiOutcome>,
 }
 
-impl BatchedCiRunner {
-    /// An empty runner (no tables allocated yet).
+impl TableArena {
+    /// An empty arena (no tables allocated yet).
     pub fn new() -> Self {
         Self {
             tables: Vec::new(),
             active: 0,
-            nx: Vec::new(),
-            ny: Vec::new(),
-            outcomes: Vec::new(),
         }
     }
 
-    /// Start a new batch, invalidating the previous batch's tables and
-    /// outcomes (allocations are kept).
+    /// Start a new batch, invalidating the previous batch's tables
+    /// (allocations are kept).
     pub fn begin(&mut self) {
         self.active = 0;
-        self.outcomes.clear();
     }
 
     /// Add a zeroed `rx × ry × nz` table to the batch and return its slot
@@ -90,10 +99,74 @@ impl BatchedCiRunner {
         &mut self.tables[..self.active]
     }
 
+    /// The current batch's tables.
+    pub fn tables(&self) -> &[ContingencyTable] {
+        &self.tables[..self.active]
+    }
+
     /// Read a table of the current batch.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not part of the current batch.
     pub fn table(&self, slot: usize) -> &ContingencyTable {
         assert!(slot < self.active, "slot {slot} not in the current batch");
         &self.tables[slot]
+    }
+}
+
+/// Table arena plus shared evaluation scratch for running a batch of CI
+/// tests in one table-fill pass and one evaluation pass.
+pub struct BatchedCiRunner {
+    arena: TableArena,
+    /// Shared marginal scratch, grown to the largest `rx`/`ry` seen.
+    nx: Vec<u64>,
+    ny: Vec<u64>,
+    outcomes: Vec<CiOutcome>,
+}
+
+impl BatchedCiRunner {
+    /// An empty runner (no tables allocated yet).
+    pub fn new() -> Self {
+        Self {
+            arena: TableArena::new(),
+            nx: Vec::new(),
+            ny: Vec::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Start a new batch, invalidating the previous batch's tables and
+    /// outcomes (allocations are kept).
+    pub fn begin(&mut self) {
+        self.arena.begin();
+        self.outcomes.clear();
+    }
+
+    /// Add a zeroed `rx × ry × nz` table to the batch and return its slot
+    /// index (see [`TableArena::add_table`]).
+    pub fn add_table(&mut self, rx: usize, ry: usize, nz: usize) -> usize {
+        self.arena.add_table(rx, ry, nz)
+    }
+
+    /// Number of tables in the current batch.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when the current batch holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// The current batch's tables, mutably — this is what a shared fill
+    /// pass iterates while scattering each sample into every table.
+    pub fn tables_mut(&mut self) -> &mut [ContingencyTable] {
+        self.arena.tables_mut()
+    }
+
+    /// Read a table of the current batch.
+    pub fn table(&self, slot: usize) -> &ContingencyTable {
+        self.arena.table(slot)
     }
 
     /// Evaluate every table of the batch with `kind` at level `alpha`,
@@ -101,7 +174,7 @@ impl BatchedCiRunner {
     /// outcomes in slot order; the slice is valid until the next `begin`.
     pub fn run(&mut self, kind: CiTestKind, alpha: f64, rule: DfRule) -> &[CiOutcome] {
         self.outcomes.clear();
-        for table in &self.tables[..self.active] {
+        for table in self.arena.tables() {
             let outcome = match kind {
                 CiTestKind::GSquared => {
                     eval_g2_family(table, alpha, rule, &mut self.nx, &mut self.ny, |g2, _| g2)

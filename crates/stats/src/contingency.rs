@@ -17,6 +17,35 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+/// Mixed-radix strides for a sequence of digit arities, **first digit most
+/// significant**, written into `out` (one stride per digit, caller-sized).
+/// Returns the configuration count `q = Π arity_of(i)`, or `None` when
+/// `q · scale` would exceed `max_cells` (or the product overflows) —
+/// the oversized-table guard.
+///
+/// This is the single definition of the radix order used to index a
+/// table's Z axis: the CI engine's conditioning sets (`scale = rx·ry`)
+/// and the score subsystem's parent configurations (`scale = r_child`)
+/// both build their strides here, so a canonical (sorted) variable list
+/// maps to the same configuration index everywhere.
+pub fn mixed_radix_strides(
+    arity_of: impl Fn(usize) -> usize,
+    out: &mut [usize],
+    scale: usize,
+    max_cells: usize,
+) -> Option<usize> {
+    let mut q = 1usize;
+    // Build strides right-to-left: the last digit is least significant.
+    for i in (0..out.len()).rev() {
+        out[i] = q;
+        q = q.checked_mul(arity_of(i))?;
+        if q.saturating_mul(scale) > max_cells {
+            return None;
+        }
+    }
+    Some(q)
+}
+
 /// A dense three-way contingency table for `(X, Y | Z)` with `rx`, `ry`
 /// categories and `nz` joint Z-configurations.
 #[derive(Clone, Debug)]

@@ -14,9 +14,11 @@
 //! * [`mi`] — the (conditional) mutual-information view of G² (`G² = 2·N·MI`),
 //! * [`citest`] — a uniform conditional-independence-test front end used by
 //!   the learner ([`CiTestKind`], [`CiOutcome`], degrees-of-freedom rules),
-//! * [`batch`] — a [`batch::BatchedCiRunner`] that evaluates a whole group
-//!   of CI tests over a shared contingency-table pass (one table arena, one
-//!   marginal-scratch allocation) with numerics identical to [`citest`].
+//! * [`batch`] — a reusable [`batch::TableArena`] of contingency tables
+//!   plus a [`batch::BatchedCiRunner`] that evaluates a whole group of CI
+//!   tests over a shared table-fill pass (one arena, one marginal-scratch
+//!   allocation) with numerics identical to [`citest`]; the arena is also
+//!   the sufficient-statistics store of the score-based learner.
 //!
 //! Everything here is pure computation (no I/O, no global state), so the
 //! learner crates can call these kernels from any thread without
@@ -31,10 +33,10 @@ pub mod mi;
 pub mod pearson;
 pub mod special;
 
-pub use batch::BatchedCiRunner;
+pub use batch::{BatchedCiRunner, TableArena, FILL_BLOCK};
 pub use chi2::{chi2_cdf, chi2_critical_value, chi2_sf};
 pub use citest::{CiOutcome, CiTestKind, DfRule};
-pub use contingency::ContingencyTable;
+pub use contingency::{mixed_radix_strides, ContingencyTable};
 pub use gsq::{g2_statistic, g2_test};
 pub use mi::{conditional_mutual_information, mi_test};
 pub use pearson::{x2_statistic, x2_test};

@@ -1,0 +1,76 @@
+//! Compare the three learner families on the same workload: constraint-
+//! based (PC-stable/Fast-BNS), score-based (parallel hill climbing) and
+//! hybrid (skeleton-restricted hill climbing, MMHC-style).
+//!
+//! Run with `cargo run --release --example hybrid`.
+
+use fastbn::prelude::*;
+use fastbn_core::score_search::{learn_structure, HybridConfig, StructureResult};
+use fastbn_graph::dag_to_cpdag;
+use fastbn_network::zoo;
+use std::time::Instant;
+
+fn main() {
+    let net = zoo::by_name("alarm", 7).expect("alarm replica");
+    let data = net.sample_dataset(1000, 42);
+    let truth = dag_to_cpdag(net.dag());
+    let threads = 4;
+    println!(
+        "workload: alarm replica ({} nodes, {} edges), {} samples, t={threads}\n",
+        net.n(),
+        net.dag().edge_count(),
+        data.n_samples()
+    );
+
+    let strategies = [
+        Strategy::PcStable(PcConfig::fast_bns_steal().with_threads(threads)),
+        Strategy::HillClimb(HillClimbConfig::default().with_threads(threads)),
+        Strategy::Hybrid(HybridConfig::fast_bns().with_threads(threads)),
+    ];
+
+    println!(
+        "{:<12} {:>9} {:>6} {:>12} {:>10} {:>10}",
+        "learner", "time", "SHD", "score", "moves", "cache-hit%"
+    );
+    for strategy in &strategies {
+        let t0 = Instant::now();
+        let result: StructureResult = learn_structure(&data, strategy);
+        let elapsed = t0.elapsed();
+        let shd = shd_cpdag(&truth, &result.cpdag);
+        let score = result.score.map_or("—".to_string(), |s| format!("{s:.1}"));
+        let (moves, hit_pct) =
+            result
+                .search_stats
+                .as_ref()
+                .map_or(("—".to_string(), "—".to_string()), |s| {
+                    let total = s.cache_hits + s.cache_misses;
+                    let pct = if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * s.cache_hits as f64 / total as f64
+                    };
+                    (s.moves_evaluated.to_string(), format!("{pct:.1}"))
+                });
+        println!(
+            "{:<12} {:>8.1?} {:>6} {:>12} {:>10} {:>10}",
+            strategy.name(),
+            elapsed,
+            shd,
+            score,
+            moves,
+            hit_pct
+        );
+    }
+
+    // The hybrid's restriction skeleton is the Fast-BNS skeleton itself.
+    let hybrid = fastbn_core::HybridLearner::new(HybridConfig::fast_bns().with_threads(threads))
+        .learn(&data);
+    let m = skeleton_metrics(&net.dag().skeleton(), &hybrid.skeleton);
+    println!(
+        "\nhybrid restriction skeleton: {} edges, F1 {:.3} vs truth; \
+         climb kept {} of them as arcs",
+        hybrid.skeleton.edge_count(),
+        m.f1,
+        hybrid.dag.edge_count()
+    );
+}

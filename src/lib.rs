@@ -26,7 +26,7 @@
 //!
 //! See the crate-level docs of each member for details:
 //! [`graph`], [`stats`], [`data`], [`network`], [`parallel`], [`cachesim`],
-//! [`core`].
+//! [`score`], [`core`].
 
 pub use fastbn_cachesim as cachesim;
 pub use fastbn_core as core;
@@ -34,17 +34,20 @@ pub use fastbn_data as data;
 pub use fastbn_graph as graph;
 pub use fastbn_network as network;
 pub use fastbn_parallel as parallel;
+pub use fastbn_score as score;
 pub use fastbn_stats as stats;
 
 /// Commonly used items, importable with `use fastbn::prelude::*`.
 pub mod prelude {
     pub use fastbn_core::{
         baselines::{NaivePcStable, NaiveStyle},
-        LearnResult, ParallelMode, PcConfig, PcStable,
+        learn_structure, HybridConfig, HybridLearner, LearnResult, ParallelMode, PcConfig,
+        PcStable, Strategy,
     };
     pub use fastbn_data::Dataset;
     pub use fastbn_graph::metrics::{shd_cpdag, skeleton_metrics};
     pub use fastbn_graph::{Pdag, UGraph};
     pub use fastbn_network::{BayesNet, NetworkSpec};
+    pub use fastbn_score::{HillClimb, HillClimbConfig, ScoreKind};
     pub use fastbn_stats::{CiTestKind, DfRule};
 }

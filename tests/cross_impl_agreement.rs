@@ -174,6 +174,60 @@ fn naive_baselines_agree_with_fast_bns() {
     }
 }
 
+/// The hybrid learner is invariant to which skeleton scheduler ran its
+/// constraint stage: all PC modes learn identical skeletons, so the
+/// restricted climb — itself deterministic — must land on the identical
+/// DAG, CPDAG and score.
+#[test]
+fn hybrid_agrees_across_skeleton_schedulers() {
+    use fastbn_core::score_search::{HybridConfig, HybridLearner};
+    let data = workload(71);
+    let reference = {
+        let mut cfg = HybridConfig::fast_bns();
+        cfg.pc = PcConfig::fast_bns_seq();
+        HybridLearner::new(cfg).learn(&data)
+    };
+    for mode in [
+        ParallelMode::EdgeLevel,
+        ParallelMode::CiLevel,
+        ParallelMode::WorkSteal,
+    ] {
+        for threads in [1usize, 3] {
+            let mut cfg = HybridConfig::fast_bns();
+            cfg.pc = PcConfig::fast_bns().with_mode(mode).with_threads(threads);
+            let got = HybridLearner::new(cfg).learn(&data);
+            assert_eq!(
+                got.skeleton, reference.skeleton,
+                "{mode:?} t={threads} skeleton"
+            );
+            assert_eq!(got.dag, reference.dag, "{mode:?} t={threads} DAG");
+            assert_eq!(got.cpdag, reference.cpdag, "{mode:?} t={threads} CPDAG");
+            assert_eq!(got.score, reference.score, "{mode:?} t={threads} score");
+        }
+    }
+}
+
+/// The score cache is pure memoization: disabling it cannot change the
+/// search trajectory, only its speed.
+#[test]
+fn score_cache_toggle_is_invisible() {
+    let data = workload(81);
+    for kind in [ScoreKind::Bic, ScoreKind::BDeu { ess: 1.0 }] {
+        let cached =
+            HillClimb::new(HillClimbConfig::default().with_kind(kind).with_threads(3)).learn(&data);
+        let uncached = HillClimb::new(
+            HillClimbConfig::default()
+                .with_kind(kind)
+                .with_threads(3)
+                .with_cache(false),
+        )
+        .learn(&data);
+        assert_eq!(cached.dag, uncached.dag, "{kind:?}");
+        assert_eq!(cached.score, uncached.score, "{kind:?}");
+        assert_eq!(uncached.stats.cache_hits, 0);
+    }
+}
+
 #[test]
 fn ci_test_kinds_are_internally_consistent() {
     // Different statistics may disagree with each other near the

@@ -8,6 +8,8 @@ use fastbn::prelude::*;
 use fastbn_core::ParallelMode;
 use fastbn_network::zoo;
 
+use fastbn_core::score_search::{HybridConfig, HybridLearner};
+
 /// Sampling is a pure function of `(network, n, seed)`: two calls yield
 /// byte-identical datasets.
 #[test]
@@ -72,6 +74,46 @@ fn thread_count_does_not_change_learned_structure() {
                 "CPDAG differs: {mode:?} with {threads} threads"
             );
         }
+    }
+}
+
+/// The score-based family obeys the same discipline: hill climbing and
+/// the hybrid learner are invariant to thread count (the delta fan-out
+/// over the stealing deques gathers by move index and tie-breaks on
+/// canonical move order, so steal interleavings are invisible).
+#[test]
+fn score_learners_are_thread_invariant() {
+    let net = zoo::by_name("insurance", 5).unwrap();
+    let data = net.sample_dataset(1000, 33);
+    let hc_ref = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+    let hy_ref = HybridLearner::new(HybridConfig::fast_bns().with_threads(1)).learn(&data);
+    for threads in [2usize, 4, 8] {
+        let hc = HillClimb::new(HillClimbConfig::default().with_threads(threads)).learn(&data);
+        assert_eq!(hc.dag, hc_ref.dag, "hill-climb t={threads}");
+        assert_eq!(hc.score, hc_ref.score, "hill-climb score t={threads}");
+        let hy = HybridLearner::new(HybridConfig::fast_bns().with_threads(threads)).learn(&data);
+        assert_eq!(hy.dag, hy_ref.dag, "hybrid t={threads}");
+        assert_eq!(hy.cpdag, hy_ref.cpdag, "hybrid CPDAG t={threads}");
+    }
+}
+
+/// Repeated score-based runs on the same dataset are identical — the
+/// shared score cache and steal timing are pure implementation detail.
+#[test]
+fn repeated_score_runs_are_identical() {
+    let net = zoo::by_name("alarm", 3).unwrap();
+    let data = net.sample_dataset(800, 17);
+    let cfg = || {
+        HillClimbConfig::default()
+            .with_threads(4)
+            .with_restarts(1)
+            .with_seed(5)
+    };
+    let first = HillClimb::new(cfg()).learn(&data);
+    for _ in 0..2 {
+        let again = HillClimb::new(cfg()).learn(&data);
+        assert_eq!(again.dag, first.dag);
+        assert_eq!(again.score, first.score);
     }
 }
 

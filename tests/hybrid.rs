@@ -1,0 +1,159 @@
+//! Integration tests for the score-based and hybrid learner family:
+//! cross-thread byte-identity (the score-side analogue of the Fast-BNS
+//! "same accuracy" claim) and the hybrid's headline win — restricting the
+//! climb to the PC-stable skeleton is faster than an unrestricted climb
+//! without giving up structural accuracy.
+
+use fastbn::prelude::*;
+use fastbn_core::score_search::{HybridConfig, HybridLearner};
+use fastbn_graph::dag_to_cpdag;
+use fastbn_network::zoo;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Every test in this binary holds this lock: the wall-clock comparison
+/// below must not time its learners while sibling tests saturate the
+/// machine with their own 8-thread runs (cargo's in-binary test
+/// parallelism would otherwise make the timing assertion flaky).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn alarm_1k() -> (fastbn_network::BayesNet, Dataset) {
+    let net = zoo::by_name("alarm", 7).unwrap();
+    let data = net.sample_dataset(1000, 42);
+    (net, data)
+}
+
+/// Hill climbing and the hybrid learner produce byte-identical DAGs and
+/// CPDAGs at 1, 2, 4 and 8 threads.
+#[test]
+fn score_learners_are_byte_identical_across_thread_counts() {
+    let _guard = serial();
+    let (_, data) = alarm_1k();
+
+    let hc_ref = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+    let hy_ref = HybridLearner::new(HybridConfig::fast_bns().with_threads(1)).learn(&data);
+    assert!(hc_ref.score.is_finite());
+
+    for threads in [2usize, 4, 8] {
+        let hc = HillClimb::new(HillClimbConfig::default().with_threads(threads)).learn(&data);
+        assert_eq!(hc.dag, hc_ref.dag, "hill-climb DAG t={threads}");
+        assert_eq!(hc.score, hc_ref.score, "hill-climb score t={threads}");
+        assert_eq!(
+            dag_to_cpdag(&hc.dag),
+            dag_to_cpdag(&hc_ref.dag),
+            "hill-climb CPDAG t={threads}"
+        );
+
+        let hy = HybridLearner::new(HybridConfig::fast_bns().with_threads(threads)).learn(&data);
+        assert_eq!(hy.dag, hy_ref.dag, "hybrid DAG t={threads}");
+        assert_eq!(hy.cpdag, hy_ref.cpdag, "hybrid CPDAG t={threads}");
+        assert_eq!(hy.skeleton, hy_ref.skeleton, "hybrid skeleton t={threads}");
+        assert_eq!(hy.score, hy_ref.score, "hybrid score t={threads}");
+    }
+}
+
+/// Restarts perturb with the seeded shim RNG: the whole search (including
+/// restarts) is reproducible, and a different seed may explore differently
+/// but never returns a worse incumbent than its own initial climb.
+#[test]
+fn restarted_searches_are_seed_reproducible() {
+    let _guard = serial();
+    let (_, data) = alarm_1k();
+    let cfg = HillClimbConfig::default()
+        .with_threads(2)
+        .with_restarts(2)
+        .with_seed(11);
+    let a = HillClimb::new(cfg.clone()).learn(&data);
+    let b = HillClimb::new(cfg).learn(&data);
+    assert_eq!(a.dag, b.dag);
+    assert_eq!(a.score, b.score);
+
+    let plain = HillClimb::new(HillClimbConfig::default().with_threads(2)).learn(&data);
+    assert!(a.score >= plain.score, "restarts never lose the incumbent");
+}
+
+/// The hybrid's bargain on alarm-1k at t = 4: strictly less wall-clock
+/// than an unrestricted hill climb, with equal-or-better SHD against the
+/// true network's CPDAG.
+#[test]
+fn hybrid_beats_pure_hill_climb_on_alarm() {
+    let _guard = serial();
+    let (net, data) = alarm_1k();
+    let truth = dag_to_cpdag(net.dag());
+
+    // Best-of-two timings: sibling tests are serialized out by the
+    // binary-wide lock, but a scheduler hiccup on an oversubscribed CI
+    // runner can still inflate a single measurement; the minimum is
+    // robust while the ~2.9x expected gap stays far above it.
+    let mut pure_elapsed = std::time::Duration::MAX;
+    let mut hybrid_elapsed = std::time::Duration::MAX;
+    let mut pure = None;
+    let mut hybrid = None;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        pure = Some(HillClimb::new(HillClimbConfig::default().with_threads(4)).learn(&data));
+        pure_elapsed = pure_elapsed.min(t0.elapsed());
+
+        let t1 = Instant::now();
+        hybrid = Some(HybridLearner::new(HybridConfig::fast_bns().with_threads(4)).learn(&data));
+        hybrid_elapsed = hybrid_elapsed.min(t1.elapsed());
+    }
+    let (pure, hybrid) = (pure.unwrap(), hybrid.unwrap());
+
+    let pure_shd = shd_cpdag(&truth, &dag_to_cpdag(&pure.dag));
+    let hybrid_shd = shd_cpdag(&truth, &hybrid.cpdag);
+    assert!(
+        hybrid_shd <= pure_shd,
+        "hybrid SHD {hybrid_shd} worse than pure hill-climb SHD {pure_shd}"
+    );
+    assert!(
+        hybrid_elapsed < pure_elapsed,
+        "hybrid {hybrid_elapsed:?} not faster than pure hill climb {pure_elapsed:?}"
+    );
+    // The restriction is what buys the speed: the move sets the hybrid
+    // evaluated must be a small fraction of the unrestricted search's.
+    assert!(
+        hybrid.search_stats.moves_evaluated * 2 < pure.stats.moves_evaluated,
+        "hybrid evaluated {} moves vs pure {}",
+        hybrid.search_stats.moves_evaluated,
+        pure.stats.moves_evaluated
+    );
+}
+
+/// The hybrid DAG lives inside its PC skeleton, and its CPDAG is a sane
+/// reconstruction of the ground truth.
+#[test]
+fn hybrid_structure_is_skeleton_consistent_and_accurate() {
+    let _guard = serial();
+    let (net, data) = alarm_1k();
+    let result = HybridLearner::new(HybridConfig::fast_bns().with_threads(2)).learn(&data);
+    for (u, v) in result.dag.edges() {
+        assert!(
+            result.skeleton.has_edge(u, v),
+            "hybrid edge {u}→{v} outside its restriction skeleton"
+        );
+    }
+    let m = skeleton_metrics(&net.dag().skeleton(), &result.dag.skeleton());
+    assert!(m.f1 > 0.6, "hybrid skeleton F1 {} too low", m.f1);
+    // The score cache must be doing real work on a 37-node search.
+    assert!(result.search_stats.cache_hits > result.search_stats.cache_misses);
+}
+
+/// BDeu and BIC are both usable end-to-end through the hybrid path.
+#[test]
+fn hybrid_supports_both_score_kinds() {
+    let _guard = serial();
+    let (_, data) = alarm_1k();
+    for kind in [ScoreKind::Bic, ScoreKind::BDeu { ess: 1.0 }] {
+        let cfg = HybridConfig::fast_bns().with_threads(2).with_kind(kind);
+        let result = HybridLearner::new(cfg).learn(&data);
+        assert!(result.score.is_finite(), "{kind:?}");
+        assert!(result.dag.edge_count() > 0, "{kind:?} learned nothing");
+    }
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Shim API drift check (ROADMAP: "keep shim API drift zero").
+#
+# The shims/ crates are offline stand-ins for registry crates, frozen to
+# exactly the API subset the workspace uses so that swapping back to the
+# real dependencies stays a Cargo.toml-only change. Any change to a shim's
+# public surface (a new pub fn, a changed signature, a removed macro) is
+# *drift*: either the workspace started depending on shim-only behaviour,
+# or a shim grew an API the real crate spells differently.
+#
+# This script extracts every shim's public surface (pub items, including
+# trait/impl methods, and exported macros) from every .rs file under the
+# crate (recursively — a new module file cannot escape the gate) and
+# diffs it against the checked-in manifest shims/api.txt.
+#
+# Scope: this is a line-based fingerprint, not a Rust parser. It captures
+# each declaration line in full — so renamed items, added items, and
+# same-line signature changes (params, return types, generics) all show
+# as drift — but a multi-line signature is fingerprinted by its first
+# line only, and body-only behaviour changes are out of scope (the test
+# suite owns those).
+#
+#   tools/check_shim_drift.sh           # check (CI mode; nonzero on drift)
+#   tools/check_shim_drift.sh update    # rewrite the manifest after an
+#                                       # *intentional* surface change
+#                                       # (review the diff in the same PR)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MANIFEST=shims/api.txt
+
+# Print one "<crate>: <declaration line>" entry per item declaration of
+# a shim — `pub` or not, because trait/impl methods carry no `pub` yet
+# are public API, and a frozen shim should see *no* deliberate signature
+# change go unreviewed. The line is kept whole (trailing open-brace/
+# semicolon stripped) so single-line signature edits are visible in the
+# diff.
+surface() {
+  local crate="$1"
+  find "shims/${crate}/src" -name '*.rs' -print0 | LC_ALL=C sort -z \
+    | xargs -0 grep -hE \
+        '^[[:space:]]*(pub[[:space:](]+)?((unsafe|const|async)[[:space:]]+)*(fn|struct|enum|trait|mod|type|static|use)[[:space:]]|^[[:space:]]*macro_rules![[:space:]]*[a-zA-Z_]+|^[[:space:]]*(pub[[:space:](]+)?const[[:space:]]+[A-Z_]' \
+    | sed -E 's/^[[:space:]]+//; s/[[:space:]]+/ /g; s/[[:space:]]*[{;][[:space:]]*$//; s/[[:space:]]+$//' \
+    | sed "s|^|${crate}: |"
+}
+
+generate() {
+  # The shim list is derived from the directory tree, so adding a sixth
+  # shim crate shows up as drift until the manifest is refreshed.
+  for dir in shims/*/; do
+    surface "$(basename "${dir}")"
+  done | LC_ALL=C sort
+}
+
+case "${1:-check}" in
+  update)
+    generate > "${MANIFEST}"
+    echo "wrote $(wc -l < "${MANIFEST}") surface entries to ${MANIFEST}"
+    ;;
+  check)
+    if [[ ! -f "${MANIFEST}" ]]; then
+      echo "error: ${MANIFEST} missing — run 'tools/check_shim_drift.sh update'" >&2
+      exit 1
+    fi
+    if ! diff -u "${MANIFEST}" <(generate); then
+      cat >&2 <<'EOF'
+
+shim API drift detected: a shims/ crate's public surface no longer matches
+shims/api.txt. The shims must stay frozen to the API subset the workspace
+uses (ROADMAP: "keep shim API drift zero"). If the change is intentional —
+the workspace legitimately needs more of the real crate's API — verify the
+addition matches the real crate's spelling, then refresh the manifest with
+'tools/check_shim_drift.sh update' and commit it in the same PR.
+EOF
+      exit 1
+    fi
+    echo "shim API surface matches ${MANIFEST} (drift zero)"
+    ;;
+  *)
+    echo "usage: tools/check_shim_drift.sh [check|update]" >&2
+    exit 2
+    ;;
+esac
