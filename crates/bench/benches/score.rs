@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_core::score_search::{HybridConfig, HybridLearner};
 use fastbn_network::zoo;
-use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, ScoreCache, ScoreKind};
+use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, MoveEval, ScoreCache, ScoreKind};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -91,8 +91,40 @@ fn bench_learners(c: &mut Criterion) {
     let net = zoo::by_name("alarm", 3).expect("zoo network");
     let data = net.sample_dataset(1000, 17);
 
+    // The historical kernel: full re-enumeration every iteration. Pinned
+    // to `MoveEval::Full` so it keeps measuring what its baseline was
+    // captured on; the incremental kernel below must beat it.
     group.bench_function(BenchmarkId::new("hillclimb_t2", "alarm_1k"), |b| {
-        let learner = HillClimb::new(HillClimbConfig::default().with_threads(2));
+        let learner = HillClimb::new(
+            HillClimbConfig::default()
+                .with_threads(2)
+                .with_evaluation(MoveEval::Full),
+        );
+        b.iter(|| black_box(learner.learn(&data).score))
+    });
+
+    // Maintained delta table (the default): only moves touching the
+    // applied move's children are re-scored each iteration.
+    group.bench_function(
+        BenchmarkId::new("hillclimb_incremental_t2", "alarm_1k"),
+        |b| {
+            let learner = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(2)
+                    .with_evaluation(MoveEval::Incremental),
+            );
+            b.iter(|| black_box(learner.learn(&data).score))
+        },
+    );
+
+    // Tabu search on top of the maintained table: bounded non-improving
+    // exploration past the greedy optimum, with aspiration.
+    group.bench_function(BenchmarkId::new("tabu_t2", "alarm_1k"), |b| {
+        let learner = HillClimb::new(
+            HillClimbConfig::default()
+                .with_threads(2)
+                .with_tabu_search(true),
+        );
         b.iter(|| black_box(learner.learn(&data).score))
     });
 

@@ -59,6 +59,28 @@ impl HybridConfig {
         self.hc = self.hc.with_kind(kind);
         self
     }
+
+    /// Enable tabu search in the search stage (accept bounded
+    /// non-improving moves when stuck; the result is the best DAG seen).
+    pub fn with_tabu_search(mut self, on: bool) -> Self {
+        self.hc = self.hc.with_tabu_search(on);
+        self
+    }
+
+    /// Enable first-ascent move selection in the search stage (apply the
+    /// first improving move in canonical order — cheaper iterations on
+    /// very wide restriction skeletons).
+    pub fn with_first_ascent(mut self, on: bool) -> Self {
+        self.hc = self.hc.with_first_ascent(on);
+        self
+    }
+
+    /// Choose the search stage's delta-evaluation mode (incremental
+    /// maintained table vs full re-enumeration; results are identical).
+    pub fn with_evaluation(mut self, evaluation: fastbn_score::MoveEval) -> Self {
+        self.hc = self.hc.with_evaluation(evaluation);
+        self
+    }
 }
 
 /// Which structure-learning algorithm family to run.
@@ -279,6 +301,13 @@ mod tests {
         assert_eq!(cfg.hc.threads, 6);
         let cfg = cfg.with_kind(ScoreKind::BDeu { ess: 1.0 });
         assert_eq!(cfg.hc.kind, ScoreKind::BDeu { ess: 1.0 });
+        let cfg = cfg
+            .with_tabu_search(true)
+            .with_first_ascent(true)
+            .with_evaluation(fastbn_score::MoveEval::Full);
+        assert!(cfg.hc.tabu_search);
+        assert!(cfg.hc.first_ascent);
+        assert_eq!(cfg.hc.evaluation, fastbn_score::MoveEval::Full);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! * [`cache`] — the **score cache**: local scores memoized under the
 //!   canonical sorted parent-set key, shared across search threads,
 //!   hit/miss accounted;
-//! * [`search`] — the **parallel hill-climbing searcher**: add/delete/
-//!   reverse moves, tabu ring, seeded random restarts, candidate-move
-//!   deltas fanned out over stealing deques, and a canonical-move-order
-//!   tie-break that makes the learned DAG byte-identical across thread
-//!   counts.
+//! * [`search`] — the **parallel hill-climbing / tabu searcher**:
+//!   add/delete/reverse moves with an incrementally maintained delta
+//!   table (only moves touching the changed children are re-scored),
+//!   tabu search with aspiration, first-ascent mode, seeded random
+//!   restarts, stale deltas fanned out over stealing deques, and a
+//!   canonical-move-order tie-break that makes the learned DAG
+//!   byte-identical across thread counts and evaluation modes.
 //!
 //! The hybrid (skeleton-restricted, MMHC-style) learner that combines
 //! this searcher with the Fast-BNS skeleton lives in `fastbn-core`
@@ -33,4 +35,4 @@ pub mod search;
 
 pub use cache::ScoreCache;
 pub use score::{LocalScorer, ScoreKind};
-pub use search::{HillClimb, HillClimbConfig, HillClimbResult, Move, SearchStats};
+pub use search::{HillClimb, HillClimbConfig, HillClimbResult, Move, MoveEval, SearchStats};

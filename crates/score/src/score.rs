@@ -1,4 +1,4 @@
-//! Decomposable scoring functions: BIC and BDeu local scores.
+//! Decomposable scoring functions: BIC, AIC, BDeu and BDs local scores.
 //!
 //! A decomposable score of a DAG `G` over discrete data factorizes as
 //! `score(G) = Σ_v local(v, Pa_G(v))`, so structure search only ever needs
@@ -10,7 +10,7 @@
 //! ([`fastbn_stats::batch`]): one pass over the samples fills every table
 //! of a batch, reading the child column once per sample block.
 //!
-//! Both scores are computed with a **fixed summation order** (parent
+//! All four scores are computed with a **fixed summation order** (parent
 //! configurations outer, child states inner, parents encoded most
 //! significant first in ascending variable order), so a local score is
 //! bit-for-bit reproducible regardless of thread, cache state or batch
@@ -24,9 +24,23 @@ use fastbn_stats::{ln_gamma, mixed_radix_strides, ContingencyTable, TableArena, 
 pub enum ScoreKind {
     /// Bayesian information criterion: `LL − (ln m / 2)·(r−1)·q` per node.
     Bic,
+    /// Akaike information criterion: `LL − (r−1)·q` per node — the same
+    /// likelihood with a sample-size-independent penalty, so it keeps more
+    /// edges than BIC on large datasets.
+    Aic,
     /// Bayesian Dirichlet equivalent uniform with equivalent sample size
     /// `ess` (bnlearn's `bde` with `iss = ess`).
     BDeu {
+        /// The equivalent sample size `α > 0` (commonly 1.0).
+        ess: f64,
+    },
+    /// Bayesian Dirichlet sparse (Scutari 2016): BDeu with the prior mass
+    /// spread only over the parent configurations **actually observed** in
+    /// the data (`α_j = ess / q̃` with `q̃` the observed-configuration
+    /// count), which removes BDeu's bias against large parent sets whose
+    /// configuration space the data barely covers. Coincides bitwise with
+    /// BDeu whenever every configuration is observed.
+    BDs {
         /// The equivalent sample size `α > 0` (commonly 1.0).
         ess: f64,
     },
@@ -37,7 +51,9 @@ impl ScoreKind {
     pub fn name(self) -> &'static str {
         match self {
             ScoreKind::Bic => "bic",
+            ScoreKind::Aic => "aic",
             ScoreKind::BDeu { .. } => "bdeu",
+            ScoreKind::BDs { .. } => "bds",
         }
     }
 }
@@ -275,7 +291,7 @@ fn eval_local(kind: ScoreKind, table: &ContingencyTable, m: usize) -> f64 {
     let r = table.rx();
     let q = table.nz();
     match kind {
-        ScoreKind::Bic => {
+        ScoreKind::Bic | ScoreKind::Aic => {
             let mut ll = 0.0f64;
             for c in 0..q {
                 let counts = table.z_slice(c);
@@ -292,7 +308,10 @@ fn eval_local(kind: ScoreKind, table: &ContingencyTable, m: usize) -> f64 {
                 }
             }
             let params = ((r - 1) * q) as f64;
-            ll - 0.5 * (m as f64).ln() * params
+            match kind {
+                ScoreKind::Bic => ll - 0.5 * (m as f64).ln() * params,
+                _ => ll - params,
+            }
         }
         ScoreKind::BDeu { ess } => {
             assert!(ess > 0.0, "BDeu equivalent sample size must be positive");
@@ -304,6 +323,37 @@ fn eval_local(kind: ScoreKind, table: &ContingencyTable, m: usize) -> f64 {
             for c in 0..q {
                 let counts = table.z_slice(c);
                 let nc: u64 = counts.iter().map(|&x| x as u64).sum();
+                score += lg_aq - ln_gamma(alpha_q + nc as f64);
+                for &nck in counts {
+                    score += ln_gamma(alpha_qr + nck as f64) - lg_aqr;
+                }
+            }
+            score
+        }
+        ScoreKind::BDs { ess } => {
+            assert!(ess > 0.0, "BDs equivalent sample size must be positive");
+            // First pass (fixed order): count the observed configurations
+            // q̃; the prior mass is spread over those alone. Unobserved
+            // configurations contribute exactly zero (their Gamma terms
+            // cancel), so the second pass skips them — which makes BDs
+            // coincide bitwise with BDeu whenever q̃ == q.
+            let q_obs = (0..q)
+                .filter(|&c| table.z_slice(c).iter().any(|&x| x > 0))
+                .count();
+            if q_obs == 0 {
+                return 0.0;
+            }
+            let alpha_q = ess / q_obs as f64;
+            let alpha_qr = alpha_q / r as f64;
+            let lg_aq = ln_gamma(alpha_q);
+            let lg_aqr = ln_gamma(alpha_qr);
+            let mut score = 0.0f64;
+            for c in 0..q {
+                let counts = table.z_slice(c);
+                let nc: u64 = counts.iter().map(|&x| x as u64).sum();
+                if nc == 0 {
+                    continue;
+                }
                 score += lg_aq - ln_gamma(alpha_q + nc as f64);
                 for &nck in counts {
                     score += ln_gamma(alpha_qr + nck as f64) - lg_aqr;
@@ -411,6 +461,86 @@ mod tests {
         assert_eq!(scorer.oversized, 1);
         // A small set still scores, arena slot reuse notwithstanding.
         assert!(scorer.local_score(1, &[0]).is_some());
+    }
+
+    #[test]
+    fn aic_matches_hand_computation_for_root_node() {
+        // Root node: LL = Σ_k N_k ln(N_k/m); AIC penalty = r−1 (no ln m).
+        let data = small_data();
+        let m = data.n_samples() as f64;
+        let mut scorer = LocalScorer::new(&data, ScoreKind::Aic, 1 << 20);
+        let got = scorer.local_score(0, &[]).unwrap();
+        let col = data.column(0);
+        let n1 = col.iter().filter(|&&v| v == 1).count() as f64;
+        let n0 = m - n1;
+        let expect = n0 * (n0 / m).ln() + n1 * (n1 / m).ln() - 1.0;
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        // AIC penalizes less than BIC once ln m > 2, so it scores higher.
+        let bic = LocalScorer::new(&data, ScoreKind::Bic, 1 << 20)
+            .local_score(0, &[])
+            .unwrap();
+        assert!(got > bic, "AIC {got} must beat BIC {bic} at m=800");
+    }
+
+    #[test]
+    fn aic_keeps_the_true_parent_ordering() {
+        let data = small_data();
+        let mut scorer = LocalScorer::new(&data, ScoreKind::Aic, 1 << 20);
+        let with_x = scorer.local_score(1, &[0]).unwrap();
+        let empty = scorer.local_score(1, &[]).unwrap();
+        let with_z = scorer.local_score(1, &[2]).unwrap();
+        assert!(with_x > empty, "true parent must improve");
+        assert!(with_x > with_z, "true parent beats noise");
+    }
+
+    #[test]
+    fn bds_equals_bdeu_when_every_configuration_is_observed() {
+        // 800 samples over ≤ 6 parent configurations: every configuration
+        // occurs, so q̃ == q and BDs must coincide bitwise with BDeu.
+        let data = small_data();
+        for ess in [0.5, 1.0, 4.0] {
+            let mut bds = LocalScorer::new(&data, ScoreKind::BDs { ess }, 1 << 20);
+            let mut bdeu = LocalScorer::new(&data, ScoreKind::BDeu { ess }, 1 << 20);
+            for (v, parents) in [
+                (0usize, vec![]),
+                (1, vec![0]),
+                (1, vec![0, 2]),
+                (2, vec![1]),
+            ] {
+                assert_eq!(
+                    bds.local_score(v, &parents),
+                    bdeu.local_score(v, &parents),
+                    "ess={ess} v={v} parents={parents:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bds_diverges_from_bdeu_on_unobserved_configurations() {
+        // Parent column never takes value 2 (arity 3 declared, only 0/1
+        // observed): a third of the configuration space is empty, so BDs
+        // spreads its prior over q̃ = 2 < q = 3 and the scores differ.
+        let x = vec![0u8, 1, 0, 1, 0, 1, 0, 1];
+        let y = vec![0u8, 1, 1, 0, 0, 1, 1, 0];
+        let data = Dataset::from_columns(vec![], vec![3, 2], vec![x, y]).unwrap();
+        let mut bds = LocalScorer::new(&data, ScoreKind::BDs { ess: 1.0 }, 1 << 20);
+        let mut bdeu = LocalScorer::new(&data, ScoreKind::BDeu { ess: 1.0 }, 1 << 20);
+        let s_bds = bds.local_score(1, &[0]).unwrap();
+        let s_bdeu = bdeu.local_score(1, &[0]).unwrap();
+        assert!(
+            (s_bds - s_bdeu).abs() > 1e-12,
+            "BDs {s_bds} must diverge from BDeu {s_bdeu} with empty configs"
+        );
+        assert!(s_bds.is_finite() && s_bdeu.is_finite());
+    }
+
+    #[test]
+    fn score_kind_names_are_stable() {
+        assert_eq!(ScoreKind::Bic.name(), "bic");
+        assert_eq!(ScoreKind::Aic.name(), "aic");
+        assert_eq!(ScoreKind::BDeu { ess: 1.0 }.name(), "bdeu");
+        assert_eq!(ScoreKind::BDs { ess: 1.0 }.name(), "bds");
     }
 
     #[test]

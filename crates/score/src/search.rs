@@ -1,30 +1,55 @@
-//! Parallel greedy hill climbing over DAG space.
+//! Parallel greedy hill climbing and tabu search over DAG space, with
+//! incrementally maintained candidate-move deltas.
 //!
-//! The searcher repeatedly evaluates every admissible **add / delete /
-//! reverse** move against the current DAG, applies the best strictly
-//! improving one, and stops at a local optimum; seeded random restarts
-//! perturb the best DAG found and climb again. Two properties are
-//! load-bearing:
+//! The searcher repeatedly evaluates the admissible **add / delete /
+//! reverse** moves against the current DAG, applies one (the best
+//! improving move, or — in tabu mode — the best non-improving one when
+//! stuck), and stops at a local optimum; seeded random restarts perturb
+//! the best DAG found and climb again. Three properties are load-bearing:
 //!
+//! * **Incremental delta maintenance.** A move's score delta is a pure
+//!   function of the parent sets (and current local scores) of the
+//!   children it edits — `v` for `Add`/`Delete(u, v)`, both endpoints for
+//!   `Reverse`. Applying a move therefore invalidates only the deltas
+//!   whose score-children intersect the applied move's touched set; every
+//!   other delta carries over bit-for-bit. [`MoveEval::Incremental`] keeps
+//!   a table of live deltas across iterations and fans **only the stale
+//!   slice** over [`fastbn_parallel::StealPool`]; [`MoveEval::Full`]
+//!   re-evaluates everything each iteration and is kept as the test
+//!   oracle — the two must produce byte-identical DAGs.
+//!   (Structural admissibility — acyclicity, parent caps, the restriction
+//!   graph — is recomputed from the DAG every iteration, so only *deltas*
+//!   are ever carried, never validity.)
 //! * **Parallel delta evaluation.** Scoring candidate moves is the
 //!   dominant, embarrassingly parallel cost (each delta is one or two
 //!   local-score computations — count-table fills over the dataset). The
-//!   move list is adjacency-sharded by the move's child onto
-//!   [`fastbn_parallel::StealPool`] deques — moves touching the same child
-//!   colocate with that child's data columns — and idle threads steal,
-//!   exactly the scheduling the skeleton phase uses for CI tests.
+//!   stale move list is adjacency-sharded by the move's child onto the
+//!   stealing deques — moves touching the same child colocate with that
+//!   child's data columns — and idle threads steal, exactly the
+//!   scheduling the skeleton phase uses for CI tests.
 //! * **Determinism.** Deltas are pure functions of `(move, DAG, data)`
 //!   computed with a fixed summation order, results are gathered by move
 //!   index, and the applied move is the *first* maximum in **canonical
 //!   move order** (all adds in lexicographic `(u, v)` order, then all
-//!   deletes, then all reverses). Thread count, steal interleaving and
-//!   cache state are therefore invisible: the learned DAG is byte-identical
-//!   at 1, 2, 4 or 8 threads, with the cache on or off — the same
-//!   discipline the cross-impl suite enforces on the constraint-based side.
+//!   deletes, then all reverses). Thread count, steal interleaving, cache
+//!   state and evaluation mode are therefore invisible: the learned DAG
+//!   is byte-identical at 1, 2, 4 or 8 threads, with the cache on or off,
+//!   incremental or full — the same discipline the cross-impl suite
+//!   enforces on the constraint-based side.
 //!
-//! A tabu ring forbids the immediate inverse of recently applied moves
-//! (cheap insurance against plateau cycling after a perturbation; strict
-//! improvement already rules out cycles within one climb).
+//! **Tabu semantics.** The tabu ring remembers the last `tabu_len`
+//! *applied* moves and blocks every move that would undo one of their
+//! edge-state changes ([`Move::undoers`]): re-adding a deleted edge,
+//! re-deleting an added one, and — for a reversal `u→v ⇒ v→u` — both
+//! re-reversing *and* deleting the new `v→u` edge (blocking only the
+//! re-reverse would let a delete undo the reversal one iteration later, a
+//! real plateau cycle once non-improving moves are accepted). A tabu move
+//! is still admissible under the **aspiration criterion**: it may be
+//! applied if it would beat the best total score seen this climb. With
+//! `tabu_search` enabled the searcher accepts the best admissible
+//! non-improving move when no improving one exists, bounded by `tabu_len`
+//! consecutive moves without a new incumbent; the result is always the
+//! best DAG seen, not the last one visited.
 
 use crate::cache::ScoreCache;
 use crate::score::{LocalScorer, ScoreKind};
@@ -34,7 +59,7 @@ use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, StepResult, Team}
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// One atomic modification of the current DAG.
@@ -49,12 +74,36 @@ pub enum Move {
 }
 
 impl Move {
-    /// The move that undoes this one (what the tabu ring stores).
+    /// The single move that exactly restores the pre-move DAG.
     pub fn inverse(self) -> Move {
         match self {
             Move::Add(u, v) => Move::Delete(u, v),
             Move::Delete(u, v) => Move::Add(u, v),
             Move::Reverse(u, v) => Move::Reverse(v, u),
+        }
+    }
+
+    /// The moves the tabu ring blocks after this move is applied: every
+    /// move that would undo its edge-state change. For `Add`/`Delete`
+    /// that is the plain [`Move::inverse`]; for `Reverse(u, v)` both
+    /// `Reverse(v, u)` *and* `Delete(v, u)` revert the reversed edge
+    /// state, so both are blocked — keying on the inverse alone lets a
+    /// delete dismantle the reversal on the next iteration.
+    pub fn undoers(self) -> (Move, Option<Move>) {
+        match self {
+            Move::Add(u, v) => (Move::Delete(u, v), None),
+            Move::Delete(u, v) => (Move::Add(u, v), None),
+            Move::Reverse(u, v) => (Move::Reverse(v, u), Some(Move::Delete(v, u))),
+        }
+    }
+
+    /// The children whose parent sets (and hence local scores) this move
+    /// edits: `v` for add/delete, both endpoints for a reverse. This is
+    /// the invalidation key of the maintained delta table.
+    pub fn touched(self) -> (u32, Option<u32>) {
+        match self {
+            Move::Add(_, v) | Move::Delete(_, v) => (v, None),
+            Move::Reverse(u, v) => (u, Some(v)),
         }
     }
 
@@ -68,6 +117,20 @@ impl Move {
     }
 }
 
+/// How candidate-move deltas are obtained each iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MoveEval {
+    /// Maintain the delta table across iterations: after applying a move,
+    /// only deltas whose score-children were touched are recomputed (and
+    /// fanned over the stealing deques); all others carry over bitwise.
+    #[default]
+    Incremental,
+    /// Re-enumerate and re-score every candidate move every iteration —
+    /// the pre-maintenance behavior, kept as the incremental path's test
+    /// oracle (results must be byte-identical).
+    Full,
+}
+
 /// Configuration of a [`HillClimb`] search.
 #[derive(Clone, Debug)]
 pub struct HillClimbConfig {
@@ -77,8 +140,21 @@ pub struct HillClimbConfig {
     pub threads: usize,
     /// Hard cap on any node's parent count.
     pub max_parents: usize,
-    /// How many recently applied moves keep their inverse forbidden.
+    /// How many recently applied moves keep their undoing moves forbidden
+    /// (see [`Move::undoers`]); also bounds tabu exploration.
     pub tabu_len: usize,
+    /// Accept the best admissible **non-improving** move when no improving
+    /// one exists (tabu search proper). Exploration is bounded: after
+    /// `tabu_len` consecutive applied moves without a new incumbent the
+    /// climb stops. The result is always the best DAG seen. Has no effect
+    /// when `tabu_len == 0`.
+    pub tabu_search: bool,
+    /// Apply the **first** improving move in canonical order instead of
+    /// the best one — fewer, cheaper iterations on very wide networks at
+    /// the cost of a greedier trajectory. Still deterministic.
+    pub first_ascent: bool,
+    /// Delta evaluation mode (incremental table vs full re-enumeration).
+    pub evaluation: MoveEval,
     /// Random restarts after the initial climb (0 = plain hill climbing).
     pub restarts: usize,
     /// Random moves applied to the incumbent before each restart climb.
@@ -87,7 +163,7 @@ pub struct HillClimbConfig {
     pub seed: u64,
     /// Memoize local scores in the shared [`ScoreCache`].
     pub use_cache: bool,
-    /// Minimum score improvement for a move to be applied.
+    /// Minimum score improvement for a move to count as improving.
     pub epsilon: f64,
     /// Count tables larger than this many cells make the parent set
     /// unscorable; such moves are skipped.
@@ -101,6 +177,9 @@ impl Default for HillClimbConfig {
             threads: 2,
             max_parents: 8,
             tabu_len: 16,
+            tabu_search: false,
+            first_ascent: false,
+            evaluation: MoveEval::Incremental,
             restarts: 0,
             perturb_moves: 8,
             seed: 0x0FA5_7B45,
@@ -142,6 +221,30 @@ impl HillClimbConfig {
         self
     }
 
+    /// Choose the delta-evaluation mode (results must not change).
+    pub fn with_evaluation(mut self, evaluation: MoveEval) -> Self {
+        self.evaluation = evaluation;
+        self
+    }
+
+    /// Enable tabu search (accept bounded non-improving moves when stuck).
+    pub fn with_tabu_search(mut self, on: bool) -> Self {
+        self.tabu_search = on;
+        self
+    }
+
+    /// Set the tabu-ring length (also the tabu exploration bound).
+    pub fn with_tabu_len(mut self, tabu_len: usize) -> Self {
+        self.tabu_len = tabu_len;
+        self
+    }
+
+    /// Enable first-ascent move selection.
+    pub fn with_first_ascent(mut self, on: bool) -> Self {
+        self.first_ascent = on;
+        self
+    }
+
     /// Set the parent-count cap.
     ///
     /// # Panics
@@ -165,13 +268,25 @@ pub struct SearchStats {
     pub iterations: u64,
     /// Restarts actually performed.
     pub restarts: u64,
-    /// Candidate-move deltas evaluated (cache hits included).
+    /// Candidate-move deltas actually **computed** (score-cache hits
+    /// included; carried-over and unscorable moves are not).
     pub moves_evaluated: u64,
+    /// Candidate moves whose delta computation came back unscorable (a
+    /// touched parent set's count table exceeded the cell cap). Note the
+    /// counters are work meters, not comparable across evaluation modes:
+    /// [`MoveEval::Full`] re-counts a persistently unscorable move every
+    /// iteration, while [`MoveEval::Incremental`] counts it once and then
+    /// reports its cached `None` under `moves_carried`.
+    pub moves_pruned: u64,
+    /// Candidate-move deltas served from the maintained table without any
+    /// recomputation (incremental mode only; includes carried unscorable
+    /// entries — see `moves_pruned`).
+    pub moves_carried: u64,
     /// Score-cache hits.
     pub cache_hits: u64,
     /// Score-cache misses (= fresh local-score computations when caching).
     pub cache_misses: u64,
-    /// Moves skipped because a count table exceeded the cell cap.
+    /// Parent sets skipped because their count table exceeded the cell cap.
     pub oversized_skipped: u64,
     /// Wall-clock duration of the whole search.
     pub duration: Duration,
@@ -187,7 +302,8 @@ pub struct HillClimbResult {
     pub stats: SearchStats,
 }
 
-/// The score-based structure learner: greedy hill climbing with restarts.
+/// The score-based structure learner: greedy hill climbing (optionally
+/// tabu search) with restarts.
 ///
 /// ```
 /// use fastbn_score::{HillClimb, HillClimbConfig};
@@ -301,53 +417,178 @@ struct Searcher<'d, 'c> {
 }
 
 impl Searcher<'_, '_> {
-    /// Greedy-climb `dag` to a local optimum; returns its total score.
-    /// `team` is the long-lived worker team for delta fan-out (`None` =
-    /// single-threaded).
+    /// Climb `dag` to a local optimum (greedy) or explore past it (tabu
+    /// search); leaves the **best DAG seen** in `dag` and returns its
+    /// total score. `team` is the long-lived worker team for delta
+    /// fan-out (`None` = single-threaded).
     fn climb(&self, dag: &mut Dag, team: Option<&Team<'_>>) -> f64 {
         let n = dag.n();
         let mut cur: Vec<f64> = (0..n).map(|v| self.node_score(dag, v)).collect();
+        // Totals are always re-summed in index order so the aspiration
+        // comparison is bitwise identical in every mode and thread count.
+        let mut cur_total: f64 = cur.iter().sum();
+        let mut best_total = cur_total;
+        // Only tabu exploration can leave `dag` below the incumbent, so
+        // only it pays for best-DAG snapshots; plain greedy never applies
+        // a non-improving move, so its final DAG is the best seen.
+        let mut best_dag: Option<Dag> = self.cfg.tabu_search.then(|| dag.clone());
+        // The tabu ring holds *applied* moves; `is_tabu` blocks their
+        // undoing moves (both of them, for reversals).
         let mut tabu: VecDeque<Move> = VecDeque::new();
+        // The maintained delta table (incremental mode). An entry stays
+        // valid until a move touches its score-children; entries for
+        // currently inadmissible moves are simply not read — validity is
+        // re-derived from the DAG each iteration, only deltas carry over.
+        let mut table: HashMap<Move, Option<f64>> = HashMap::new();
+        // Applied moves since `best` last improved (tabu exploration bound).
+        let mut stall = 0usize;
 
         loop {
-            let moves = self.enumerate_moves(dag, &tabu);
+            let moves = self.enumerate_moves(dag);
             if moves.is_empty() {
                 break;
             }
-            let deltas = self.eval_deltas(dag, &cur, &moves, team);
-            self.stats.lock().moves_evaluated += moves.len() as u64;
+            let deltas = match self.cfg.evaluation {
+                MoveEval::Full => {
+                    let deltas = self.eval_deltas(dag, &cur, &moves, team);
+                    self.record_eval(&deltas);
+                    deltas
+                }
+                MoveEval::Incremental => self.eval_incremental(dag, &cur, &moves, &mut table, team),
+            };
 
-            // First strict maximum in canonical order wins — the
-            // deterministic tie-break.
-            let mut best: Option<(usize, f64)> = None;
+            // Selection. Admissible = scorable and (not tabu, or tabu but
+            // aspirating — the move would beat the best score seen).
+            // `best_any` is the first maximum in canonical order over the
+            // admissible moves; `first_imp` the first improving one.
+            let mut best_any: Option<(usize, f64)> = None;
+            let mut first_imp: Option<(usize, f64)> = None;
             for (i, delta) in deltas.iter().enumerate() {
-                if let Some(d) = *delta {
-                    if d > self.cfg.epsilon && best.is_none_or(|(_, bd)| d > bd) {
-                        best = Some((i, d));
+                let Some(d) = *delta else { continue };
+                let aspirates = cur_total + d > best_total + self.cfg.epsilon;
+                if !aspirates && self.is_tabu(moves[i], &tabu) {
+                    continue;
+                }
+                if first_imp.is_none() && d > self.cfg.epsilon {
+                    first_imp = Some((i, d));
+                    if self.cfg.first_ascent {
+                        break;
                     }
                 }
+                if best_any.is_none_or(|(_, bd)| d > bd) {
+                    best_any = Some((i, d));
+                }
             }
-            let Some((idx, _)) = best else { break };
+            let improving = if self.cfg.first_ascent {
+                first_imp
+            } else {
+                best_any.filter(|&(_, d)| d > self.cfg.epsilon)
+            };
+            let pick = match improving {
+                Some(p) => Some(p),
+                // Stuck: tabu search takes the best admissible
+                // non-improving move, bounded by `tabu_len` applied moves
+                // without a new incumbent.
+                None if self.cfg.tabu_search && stall < self.cfg.tabu_len => best_any,
+                None => None,
+            };
+            let Some((idx, _)) = pick else { break };
+
             let mv = moves[idx];
             apply_move(dag, mv);
-            match mv {
-                Move::Add(_, v) | Move::Delete(_, v) => {
-                    cur[v as usize] = self.node_score(dag, v as usize);
-                }
-                Move::Reverse(u, v) => {
-                    cur[u as usize] = self.node_score(dag, u as usize);
-                    cur[v as usize] = self.node_score(dag, v as usize);
-                }
+            let (a, b) = mv.touched();
+            cur[a as usize] = self.node_score(dag, a as usize);
+            if let Some(b) = b {
+                cur[b as usize] = self.node_score(dag, b as usize);
             }
+            cur_total = cur.iter().sum();
+            // Invalidate exactly the deltas whose score-children were
+            // touched; everything else carries over bitwise.
+            let touched = |c: u32| c == a || Some(c) == b;
+            table.retain(|m, _| {
+                let (x, y) = m.touched();
+                !touched(x) && !y.is_some_and(touched)
+            });
             if self.cfg.tabu_len > 0 {
-                tabu.push_back(mv.inverse());
+                tabu.push_back(mv);
                 while tabu.len() > self.cfg.tabu_len {
                     tabu.pop_front();
                 }
             }
             self.stats.lock().iterations += 1;
+            if cur_total > best_total + self.cfg.epsilon {
+                best_total = cur_total;
+                if let Some(b) = best_dag.as_mut() {
+                    b.clone_from(dag);
+                }
+                stall = 0;
+            } else {
+                stall += 1;
+            }
         }
-        cur.iter().sum()
+        match best_dag {
+            // Tabu mode: the climb may end below the incumbent — return
+            // the best DAG seen and its score.
+            Some(b) => {
+                *dag = b;
+                best_total
+            }
+            // Greedy mode: every applied move improved, the final DAG is
+            // the best seen (and its freshly summed total is the score).
+            None => cur_total,
+        }
+    }
+
+    /// True when `mv` would undo the edge-state change of a move still in
+    /// the tabu ring.
+    fn is_tabu(&self, mv: Move, tabu: &VecDeque<Move>) -> bool {
+        tabu.iter().any(|&applied| {
+            let (a, b) = applied.undoers();
+            mv == a || Some(mv) == b
+        })
+    }
+
+    /// Account one evaluation round: deltas actually computed vs pruned
+    /// (unscorable) — carried-over moves never reach this.
+    fn record_eval(&self, computed: &[Option<f64>]) {
+        let scored = computed.iter().filter(|d| d.is_some()).count() as u64;
+        let mut stats = self.stats.lock();
+        stats.moves_evaluated += scored;
+        stats.moves_pruned += computed.len() as u64 - scored;
+    }
+
+    /// Incremental evaluation: serve every move with a live table entry
+    /// from the table, compute only the stale slice (fanned over the
+    /// stealing deques) and fold the fresh deltas back in.
+    fn eval_incremental(
+        &self,
+        dag: &Dag,
+        cur: &[f64],
+        moves: &[Move],
+        table: &mut HashMap<Move, Option<f64>>,
+        team: Option<&Team<'_>>,
+    ) -> Vec<Option<f64>> {
+        let mut deltas = vec![None; moves.len()];
+        let mut stale_idx: Vec<usize> = Vec::new();
+        let mut stale: Vec<Move> = Vec::new();
+        let mut carried = 0u64;
+        for (i, &mv) in moves.iter().enumerate() {
+            if let Some(&d) = table.get(&mv) {
+                deltas[i] = d;
+                carried += 1;
+            } else {
+                stale_idx.push(i);
+                stale.push(mv);
+            }
+        }
+        let fresh = self.eval_deltas(dag, cur, &stale, team);
+        self.record_eval(&fresh);
+        self.stats.lock().moves_carried += carried;
+        for ((i, mv), d) in stale_idx.into_iter().zip(stale).zip(fresh) {
+            deltas[i] = d;
+            table.insert(mv, d);
+        }
+        deltas
     }
 
     /// Current local score of `v` under `dag` (−∞ when unscorable, which
@@ -364,22 +605,25 @@ impl Searcher<'_, '_> {
 
     /// All structurally admissible moves, in canonical order: adds in
     /// lexicographic `(u, v)`, then deletes, then reverses (each over the
-    /// DAG's lexicographic edge list).
-    fn enumerate_moves(&self, dag: &Dag, tabu: &VecDeque<Move>) -> Vec<Move> {
+    /// DAG's lexicographic edge list). Tabu status is *not* filtered here —
+    /// selection handles it, because a tabu move may still be applied
+    /// under the aspiration criterion.
+    fn enumerate_moves(&self, dag: &Dag) -> Vec<Move> {
         let n = dag.n();
         let max_parents = self.cfg.max_parents;
         let permitted = |u: usize, v: usize| self.allowed.is_none_or(|g| g.has_edge(u, v));
+        // Strict-descendant bitsets, one reverse-topological sweep: the
+        // cycle check of every candidate add (`v ⇝ u?`) and reverse
+        // becomes a bit test instead of a DFS — with deltas maintained
+        // incrementally, `n²` DFS walks would dominate the iteration.
+        let desc = dag.descendants();
         let mut moves = Vec::new();
         for u in 0..n {
-            for v in 0..n {
+            for (v, desc_v) in desc.iter().enumerate() {
                 if u == v || dag.has_edge(u, v) || dag.has_edge(v, u) {
                     continue;
                 }
-                if !permitted(u, v)
-                    || dag.in_degree(v) >= max_parents
-                    || dag.reaches(v, u)
-                    || tabu.contains(&Move::Add(u as u32, v as u32))
-                {
+                if !permitted(u, v) || dag.in_degree(v) >= max_parents || desc_v.contains(u) {
                     continue;
                 }
                 moves.push(Move::Add(u as u32, v as u32));
@@ -387,15 +631,17 @@ impl Searcher<'_, '_> {
         }
         let edges = dag.edges();
         for &(u, v) in &edges {
-            if !tabu.contains(&Move::Delete(u as u32, v as u32)) {
-                moves.push(Move::Delete(u as u32, v as u32));
-            }
+            moves.push(Move::Delete(u as u32, v as u32));
         }
         for &(u, v) in &edges {
-            if dag.in_degree(u) >= max_parents
-                || tabu.contains(&Move::Reverse(u as u32, v as u32))
-                || has_path_excluding(dag, u, v)
-            {
+            // Reversing u→v cycles iff some u ⇝ v path avoids the direct
+            // edge: a child c ≠ v of u from which v is still reachable.
+            let alt_path = dag
+                .children(u)
+                .iter_ones()
+                .any(|c| c != v && desc[c].contains(v));
+            debug_assert_eq!(alt_path, has_path_excluding(dag, u, v), "{u}→{v}");
+            if dag.in_degree(u) >= max_parents || alt_path {
                 continue;
             }
             moves.push(Move::Reverse(u as u32, v as u32));
@@ -414,7 +660,11 @@ impl Searcher<'_, '_> {
         moves: &[Move],
         team: Option<&Team<'_>>,
     ) -> Vec<Option<f64>> {
-        let Some(team) = team else {
+        // Tiny batches (the steady state of incremental maintenance) are
+        // cheaper inline than broadcast: deltas are pure functions, so the
+        // cutover is invisible in the results.
+        const FAN_OUT_MIN: usize = 32;
+        let Some(team) = team.filter(|_| moves.len() >= FAN_OUT_MIN) else {
             let mut scorer = self.scorers[0].lock();
             return moves
                 .iter()
@@ -507,9 +757,8 @@ impl Searcher<'_, '_> {
     /// Apply `perturb_moves` random admissible moves (no tabu) — the
     /// restart kick. Deterministic given the caller's seeded RNG.
     fn perturb(&self, dag: &mut Dag, rng: &mut StdRng) {
-        let no_tabu = VecDeque::new();
         for _ in 0..self.cfg.perturb_moves {
-            let moves = self.enumerate_moves(dag, &no_tabu);
+            let moves = self.enumerate_moves(dag);
             if moves.is_empty() {
                 break;
             }
@@ -552,7 +801,8 @@ fn apply_move(dag: &mut Dag, mv: Move) {
 
 /// True when a directed path `u ⇝ v` exists that does not use the direct
 /// edge `u → v` — exactly the condition under which reversing `u → v`
-/// would create a cycle.
+/// would create a cycle. Kept as the (debug-asserted) oracle for the
+/// bitset-based check in `enumerate_moves`.
 fn has_path_excluding(dag: &Dag, u: usize, v: usize) -> bool {
     let mut seen = vec![false; dag.n()];
     let mut stack: Vec<usize> = dag.children(u).iter_ones().filter(|&c| c != v).collect();
@@ -603,6 +853,16 @@ mod tests {
         Dataset::from_columns(vec![], vec![2, 2, 2], vec![x, y, z]).unwrap()
     }
 
+    /// Two exactly independent, exactly balanced binary columns: every
+    /// joint cell holds the same count, so no move ever improves (every
+    /// edge costs parameters and buys zero likelihood) and the reverse
+    /// delta is an exact tie — the canonical plateau workload.
+    fn flat_two_var_data() -> Dataset {
+        let x: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+        let y: Vec<u8> = (0..64).map(|i| ((i / 2) % 2) as u8).collect();
+        Dataset::from_columns(vec![], vec![2, 2], vec![x, y]).unwrap()
+    }
+
     #[test]
     fn recovers_chain_adjacencies() {
         let data = chain_data();
@@ -635,6 +895,147 @@ mod tests {
         assert_eq!(with.score, without.score);
         assert_eq!(without.stats.cache_hits, 0);
         assert!(with.stats.cache_hits > 0, "the cache must actually engage");
+    }
+
+    #[test]
+    fn incremental_matches_full_oracle() {
+        let data = chain_data();
+        for t in [1usize, 2] {
+            let full = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(t)
+                    .with_evaluation(MoveEval::Full),
+            )
+            .learn(&data);
+            let incr = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(t)
+                    .with_evaluation(MoveEval::Incremental),
+            )
+            .learn(&data);
+            assert_eq!(incr.dag, full.dag, "t={t}");
+            assert_eq!(incr.score, full.score, "t={t} (bitwise)");
+            assert!(
+                incr.stats.moves_evaluated < full.stats.moves_evaluated,
+                "t={t}: incremental must compute fewer deltas ({} vs {})",
+                incr.stats.moves_evaluated,
+                full.stats.moves_evaluated
+            );
+            assert!(incr.stats.moves_carried > 0, "t={t}: table must carry");
+            assert_eq!(full.stats.moves_carried, 0, "full mode never carries");
+        }
+    }
+
+    #[test]
+    fn first_ascent_is_deterministic_and_terminates() {
+        let data = chain_data();
+        let cfg = |t: usize, eval: MoveEval| {
+            HillClimbConfig::default()
+                .with_threads(t)
+                .with_first_ascent(true)
+                .with_evaluation(eval)
+        };
+        let reference = HillClimb::new(cfg(1, MoveEval::Incremental)).learn(&data);
+        assert!(reference.score.is_finite());
+        for t in [2usize, 4] {
+            let got = HillClimb::new(cfg(t, MoveEval::Incremental)).learn(&data);
+            assert_eq!(got.dag, reference.dag, "t={t}");
+            assert_eq!(got.score, reference.score, "t={t}");
+        }
+        let full = HillClimb::new(cfg(2, MoveEval::Full)).learn(&data);
+        assert_eq!(full.dag, reference.dag, "full oracle");
+        assert_eq!(full.score, reference.score, "full oracle score");
+    }
+
+    #[test]
+    fn tabu_search_terminates_on_flat_two_var_data() {
+        // Regression for the under-blocking tabu ring: once non-improving
+        // moves are accepted, `Reverse(u,v)` followed by `Delete(v,u)`
+        // could cycle a plateau forever if only `Reverse(v,u)` were tabu.
+        let data = flat_two_var_data();
+        for eval in [MoveEval::Incremental, MoveEval::Full] {
+            let result = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(1)
+                    .with_tabu_search(true)
+                    .with_tabu_len(4)
+                    .with_evaluation(eval),
+            )
+            .learn(&data);
+            // Nothing improves on flat data: the best DAG seen is the
+            // empty start, whatever the tabu exploration visited.
+            assert_eq!(result.dag, Dag::empty(2), "{eval:?}");
+            assert!(
+                result.stats.iterations <= 8,
+                "{eval:?}: plateau exploration must stay bounded, took {}",
+                result.stats.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn tabu_blocks_both_undoers_of_a_reversal() {
+        let (a, b) = Move::Reverse(3, 5).undoers();
+        assert_eq!(a, Move::Reverse(5, 3));
+        assert_eq!(b, Some(Move::Delete(5, 3)));
+        let (a, b) = Move::Add(1, 2).undoers();
+        assert_eq!((a, b), (Move::Delete(1, 2), None));
+        let (a, b) = Move::Delete(1, 2).undoers();
+        assert_eq!((a, b), (Move::Add(1, 2), None));
+    }
+
+    #[test]
+    fn tabu_search_never_returns_worse_than_greedy() {
+        let data = chain_data();
+        let greedy = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+        let tabu = HillClimb::new(
+            HillClimbConfig::default()
+                .with_threads(1)
+                .with_tabu_search(true),
+        )
+        .learn(&data);
+        assert!(
+            tabu.score >= greedy.score,
+            "tabu returns the best DAG seen: {} vs {}",
+            tabu.score,
+            greedy.score
+        );
+    }
+
+    #[test]
+    fn evaluated_pruned_and_carried_counters_split_correctly() {
+        // max_table_cells = 8 makes any two-parent set for a binary child
+        // over binary+ternary parents unscorable (2·2·3 = 12 > 8), so the
+        // search must prune some moves while evaluating others.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut z = Vec::new();
+        let mut state = 0xBEEFu64;
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 16;
+            let a = (r & 1) as u8;
+            x.push(a);
+            y.push(if r % 100 < 20 { 1 - a } else { a });
+            z.push(((r >> 8) % 3) as u8);
+        }
+        let data = Dataset::from_columns(vec![], vec![2, 2, 3], vec![x, y, z]).unwrap();
+        let mut cfg = HillClimbConfig::default().with_threads(1);
+        cfg.max_table_cells = 8;
+        let full = HillClimb::new(cfg.clone().with_evaluation(MoveEval::Full)).learn(&data);
+        assert!(full.stats.moves_evaluated > 0);
+        assert!(
+            full.stats.moves_pruned > 0,
+            "oversized moves must be counted as pruned, not evaluated"
+        );
+        assert_eq!(full.stats.moves_carried, 0);
+
+        let incr = HillClimb::new(cfg.with_evaluation(MoveEval::Incremental)).learn(&data);
+        assert_eq!(incr.dag, full.dag, "pruning must not break the oracle");
+        assert!(incr.stats.moves_evaluated <= full.stats.moves_evaluated);
+        assert!(incr.stats.moves_carried > 0);
     }
 
     #[test]
@@ -679,6 +1080,9 @@ mod tests {
         }
         assert_eq!(Move::Add(1, 2).primary_child(), 2);
         assert_eq!(Move::Reverse(5, 6).primary_child(), 5);
+        assert_eq!(Move::Add(1, 2).touched(), (2, None));
+        assert_eq!(Move::Delete(1, 2).touched(), (2, None));
+        assert_eq!(Move::Reverse(5, 6).touched(), (5, Some(6)));
     }
 
     #[test]

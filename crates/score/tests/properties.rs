@@ -4,7 +4,7 @@
 
 use fastbn_data::Dataset;
 use fastbn_graph::Dag;
-use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, ScoreCache, ScoreKind};
+use fastbn_score::{HillClimb, HillClimbConfig, LocalScorer, MoveEval, ScoreCache, ScoreKind};
 use proptest::prelude::*;
 
 /// Strategy: a random complete discrete dataset (3–5 variables of arity
@@ -129,6 +129,104 @@ proptest! {
         let parallel = HillClimb::new(cfg(4)).learn(&data);
         prop_assert_eq!(&parallel.dag, &reference.dag);
         prop_assert_eq!(parallel.score, reference.score);
+    }
+
+    /// The maintained delta table is a pure optimization: incremental and
+    /// full re-enumeration learn the identical DAG and bitwise-identical
+    /// score at every thread count, with the cache on or off, with tabu
+    /// exploration on or off, and in first-ascent mode.
+    #[test]
+    fn incremental_evaluation_matches_full_oracle(data in dataset_strategy()) {
+        for (tabu, first) in [(false, false), (true, false), (false, true)] {
+            let cfg = |eval: MoveEval, t: usize, cache: bool| {
+                HillClimbConfig::default()
+                    .with_threads(t)
+                    .with_cache(cache)
+                    .with_evaluation(eval)
+                    .with_tabu_search(tabu)
+                    .with_first_ascent(first)
+            };
+            let oracle = HillClimb::new(cfg(MoveEval::Full, 1, true)).learn(&data);
+            prop_assert!(dag_is_valid(&oracle.dag));
+            for t in [1usize, 4] {
+                for cache in [true, false] {
+                    let got = HillClimb::new(
+                        cfg(MoveEval::Incremental, t, cache),
+                    ).learn(&data);
+                    prop_assert_eq!(&got.dag, &oracle.dag,
+                        "tabu={} first={} t={} cache={}", tabu, first, t, cache);
+                    prop_assert_eq!(got.score, oracle.score,
+                        "tabu={} first={} t={} cache={} score", tabu, first, t, cache);
+                }
+            }
+        }
+    }
+
+    /// Degenerate data — all-constant columns plus exactly duplicated
+    /// columns (exact score ties everywhere) — must terminate and produce
+    /// byte-identical DAGs across thread counts, evaluation modes, and
+    /// tabu exploration on/off (nothing improves on such data, so every
+    /// variant returns the same best-seen DAG).
+    #[test]
+    fn ties_and_constant_columns_terminate_identically(
+        n_vars in 3usize..6,
+        m in 40usize..120,
+        seed in 0u64..1000,
+    ) {
+        // Column 0: constant. Column 1: pseudo-random. Columns 2..: exact
+        // duplicates of column 1 (maximal tie pressure: every pair of
+        // duplicate variables has identical local scores).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let base: Vec<u8> = (0..m)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) & 1) as u8
+            })
+            .collect();
+        let mut cols = vec![vec![0u8; m], base.clone()];
+        for _ in 2..n_vars {
+            cols.push(base.clone());
+        }
+        let data = Dataset::from_columns(vec![], vec![2; n_vars], cols).unwrap();
+
+        let cfg = |eval: MoveEval, t: usize, tabu: bool| {
+            HillClimbConfig::default()
+                .with_threads(t)
+                .with_evaluation(eval)
+                .with_tabu_search(tabu)
+        };
+        let reference = HillClimb::new(cfg(MoveEval::Full, 1, false)).learn(&data);
+        prop_assert!(dag_is_valid(&reference.dag));
+        for tabu in [false, true] {
+            for eval in [MoveEval::Incremental, MoveEval::Full] {
+                for t in [1usize, 2, 4] {
+                    let got = HillClimb::new(cfg(eval, t, tabu)).learn(&data);
+                    prop_assert_eq!(&got.dag, &reference.dag,
+                        "tabu={} eval={:?} t={}", tabu, eval, t);
+                    prop_assert_eq!(got.score, reference.score,
+                        "tabu={} eval={:?} t={} score", tabu, eval, t);
+                }
+            }
+        }
+    }
+
+    /// AIC and BDs searches obey the thread/cache/evaluation invariance
+    /// discipline like BIC and BDeu.
+    #[test]
+    fn aic_and_bds_searches_are_invariant(data in dataset_strategy()) {
+        for kind in [ScoreKind::Aic, ScoreKind::BDs { ess: 1.0 }] {
+            let cfg = |eval: MoveEval, t: usize| HillClimbConfig::default()
+                .with_kind(kind)
+                .with_threads(t)
+                .with_evaluation(eval);
+            let reference = HillClimb::new(cfg(MoveEval::Full, 1)).learn(&data);
+            prop_assert!(dag_is_valid(&reference.dag));
+            let parallel = HillClimb::new(cfg(MoveEval::Incremental, 4)).learn(&data);
+            prop_assert_eq!(&parallel.dag, &reference.dag, "{:?}", kind);
+            prop_assert_eq!(parallel.score, reference.score, "{:?} score", kind);
+        }
     }
 }
 

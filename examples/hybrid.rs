@@ -1,6 +1,8 @@
-//! Compare the three learner families on the same workload: constraint-
-//! based (PC-stable/Fast-BNS), score-based (parallel hill climbing) and
-//! hybrid (skeleton-restricted hill climbing, MMHC-style).
+//! Compare the learner families — constraint-based (PC-stable/Fast-BNS),
+//! score-based (parallel hill climbing in its incremental, full-oracle,
+//! tabu and first-ascent variants) and hybrid (skeleton-restricted,
+//! MMHC-style) — on the same workload, including the incremental
+//! delta-maintenance savings (`carried` column).
 //!
 //! Run with `cargo run --release --example hybrid`.
 
@@ -22,43 +24,76 @@ fn main() {
         data.n_samples()
     );
 
-    let strategies = [
-        Strategy::PcStable(PcConfig::fast_bns_steal().with_threads(threads)),
-        Strategy::HillClimb(HillClimbConfig::default().with_threads(threads)),
-        Strategy::Hybrid(HybridConfig::fast_bns().with_threads(threads)),
+    let hc = || HillClimbConfig::default().with_threads(threads);
+    let strategies: Vec<(&str, Strategy)> = vec![
+        (
+            "pc-stable",
+            Strategy::PcStable(PcConfig::fast_bns_steal().with_threads(threads)),
+        ),
+        (
+            "hc-full",
+            Strategy::HillClimb(hc().with_evaluation(MoveEval::Full)),
+        ),
+        ("hc-incr", Strategy::HillClimb(hc())),
+        ("hc-tabu", Strategy::HillClimb(hc().with_tabu_search(true))),
+        (
+            "hc-first",
+            Strategy::HillClimb(hc().with_first_ascent(true)),
+        ),
+        (
+            "hybrid",
+            Strategy::Hybrid(HybridConfig::fast_bns().with_threads(threads)),
+        ),
+        (
+            "hybrid-aic",
+            Strategy::Hybrid(
+                HybridConfig::fast_bns()
+                    .with_threads(threads)
+                    .with_kind(ScoreKind::Aic),
+            ),
+        ),
+        (
+            "hybrid-bds",
+            Strategy::Hybrid(
+                HybridConfig::fast_bns()
+                    .with_threads(threads)
+                    .with_kind(ScoreKind::BDs { ess: 1.0 }),
+            ),
+        ),
     ];
 
     println!(
-        "{:<12} {:>9} {:>6} {:>12} {:>10} {:>10}",
-        "learner", "time", "SHD", "score", "moves", "cache-hit%"
+        "{:<12} {:>9} {:>6} {:>12} {:>9} {:>9} {:>7} {:>10}",
+        "learner", "time", "SHD", "score", "scored", "carried", "pruned", "cache-hit%"
     );
-    for strategy in &strategies {
+    for (label, strategy) in &strategies {
         let t0 = Instant::now();
         let result: StructureResult = learn_structure(&data, strategy);
         let elapsed = t0.elapsed();
         let shd = shd_cpdag(&truth, &result.cpdag);
         let score = result.score.map_or("—".to_string(), |s| format!("{s:.1}"));
-        let (moves, hit_pct) =
+        let dash = || "—".to_string();
+        let (scored, carried, pruned, hit_pct) =
             result
                 .search_stats
                 .as_ref()
-                .map_or(("—".to_string(), "—".to_string()), |s| {
+                .map_or((dash(), dash(), dash(), dash()), |s| {
                     let total = s.cache_hits + s.cache_misses;
                     let pct = if total == 0 {
                         0.0
                     } else {
                         100.0 * s.cache_hits as f64 / total as f64
                     };
-                    (s.moves_evaluated.to_string(), format!("{pct:.1}"))
+                    (
+                        s.moves_evaluated.to_string(),
+                        s.moves_carried.to_string(),
+                        s.moves_pruned.to_string(),
+                        format!("{pct:.1}"),
+                    )
                 });
         println!(
-            "{:<12} {:>8.1?} {:>6} {:>12} {:>10} {:>10}",
-            strategy.name(),
-            elapsed,
-            shd,
-            score,
-            moves,
-            hit_pct
+            "{:<12} {:>8.1?} {:>6} {:>12} {:>9} {:>9} {:>7} {:>10}",
+            label, elapsed, shd, score, scored, carried, pruned, hit_pct
         );
     }
 

@@ -9,6 +9,7 @@ use fastbn_core::ParallelMode;
 use fastbn_network::zoo;
 
 use fastbn_core::score_search::{HybridConfig, HybridLearner};
+use fastbn_score::MoveEval;
 
 /// Sampling is a pure function of `(network, n, seed)`: two calls yield
 /// byte-identical datasets.
@@ -94,6 +95,71 @@ fn score_learners_are_thread_invariant() {
         let hy = HybridLearner::new(HybridConfig::fast_bns().with_threads(threads)).learn(&data);
         assert_eq!(hy.dag, hy_ref.dag, "hybrid t={threads}");
         assert_eq!(hy.cpdag, hy_ref.cpdag, "hybrid CPDAG t={threads}");
+    }
+}
+
+/// The maintained candidate-delta table is invisible in the results: on
+/// alarm-1k, incremental evaluation learns the byte-identical DAG and
+/// bitwise-identical score as the full re-enumeration oracle at 1, 2, 4
+/// and 8 threads, with the score cache on and off — the acceptance gate
+/// of the incremental move-list maintenance.
+#[test]
+fn incremental_evaluation_matches_full_oracle_on_alarm() {
+    let net = zoo::by_name("alarm", 7).unwrap();
+    let data = net.sample_dataset(1000, 42);
+    let oracle = HillClimb::new(
+        HillClimbConfig::default()
+            .with_threads(1)
+            .with_evaluation(MoveEval::Full),
+    )
+    .learn(&data);
+    for threads in [1usize, 2, 4, 8] {
+        for cache in [true, false] {
+            let got = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(threads)
+                    .with_cache(cache)
+                    .with_evaluation(MoveEval::Incremental),
+            )
+            .learn(&data);
+            assert_eq!(got.dag, oracle.dag, "t={threads} cache={cache}");
+            assert_eq!(got.score, oracle.score, "t={threads} cache={cache} score");
+            assert!(
+                got.stats.moves_evaluated < oracle.stats.moves_evaluated,
+                "t={threads} cache={cache}: incremental computed {} deltas, oracle {}",
+                got.stats.moves_evaluated,
+                oracle.stats.moves_evaluated
+            );
+        }
+    }
+}
+
+/// Tabu search (bounded non-improving exploration with aspiration) obeys
+/// the same oracle discipline, and never returns a worse DAG than plain
+/// greedy climbing — the result is the best DAG seen.
+#[test]
+fn tabu_search_is_deterministic_and_never_worse_on_alarm() {
+    let net = zoo::by_name("alarm", 7).unwrap();
+    let data = net.sample_dataset(1000, 42);
+    let greedy = HillClimb::new(HillClimbConfig::default().with_threads(1)).learn(&data);
+    let oracle = HillClimb::new(
+        HillClimbConfig::default()
+            .with_threads(1)
+            .with_tabu_search(true)
+            .with_evaluation(MoveEval::Full),
+    )
+    .learn(&data);
+    assert!(oracle.score >= greedy.score, "tabu keeps the best DAG seen");
+    for threads in [2usize, 4, 8] {
+        let got = HillClimb::new(
+            HillClimbConfig::default()
+                .with_threads(threads)
+                .with_tabu_search(true)
+                .with_evaluation(MoveEval::Incremental),
+        )
+        .learn(&data);
+        assert_eq!(got.dag, oracle.dag, "tabu t={threads}");
+        assert_eq!(got.score, oracle.score, "tabu t={threads} score");
     }
 }
 

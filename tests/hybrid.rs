@@ -87,15 +87,18 @@ fn hybrid_beats_pure_hill_climb_on_alarm() {
     let (net, data) = alarm_1k();
     let truth = dag_to_cpdag(net.dag());
 
-    // Best-of-two timings: sibling tests are serialized out by the
+    // Best-of-three timings: sibling tests are serialized out by the
     // binary-wide lock, but a scheduler hiccup on an oversubscribed CI
-    // runner can still inflate a single measurement; the minimum is
-    // robust while the ~2.9x expected gap stays far above it.
+    // runner can still inflate a single measurement. Since PR 4 the
+    // unrestricted climb maintains its deltas incrementally too, so the
+    // expected gap is ~1.4x (10.1ms vs 13.8ms medians), not the old
+    // ~2.9x over full re-enumeration — the extra attempt keeps the
+    // minimum robust against that thinner margin.
     let mut pure_elapsed = std::time::Duration::MAX;
     let mut hybrid_elapsed = std::time::Duration::MAX;
     let mut pure = None;
     let mut hybrid = None;
-    for _ in 0..2 {
+    for _ in 0..3 {
         let t0 = Instant::now();
         pure = Some(HillClimb::new(HillClimbConfig::default().with_threads(4)).learn(&data));
         pure_elapsed = pure_elapsed.min(t0.elapsed());
@@ -145,15 +148,47 @@ fn hybrid_structure_is_skeleton_consistent_and_accurate() {
     assert!(result.search_stats.cache_hits > result.search_stats.cache_misses);
 }
 
-/// BDeu and BIC are both usable end-to-end through the hybrid path.
+/// Every score kind — BIC, AIC, BDeu, BDs — is usable end-to-end through
+/// the hybrid path.
 #[test]
-fn hybrid_supports_both_score_kinds() {
+fn hybrid_supports_all_score_kinds() {
     let _guard = serial();
     let (_, data) = alarm_1k();
-    for kind in [ScoreKind::Bic, ScoreKind::BDeu { ess: 1.0 }] {
+    for kind in [
+        ScoreKind::Bic,
+        ScoreKind::Aic,
+        ScoreKind::BDeu { ess: 1.0 },
+        ScoreKind::BDs { ess: 1.0 },
+    ] {
         let cfg = HybridConfig::fast_bns().with_threads(2).with_kind(kind);
         let result = HybridLearner::new(cfg).learn(&data);
         assert!(result.score.is_finite(), "{kind:?}");
         assert!(result.dag.edge_count() > 0, "{kind:?} learned nothing");
+    }
+}
+
+/// Tabu exploration and first-ascent selection compose with the hybrid
+/// learner and stay deterministic across thread counts.
+#[test]
+fn hybrid_tabu_and_first_ascent_are_thread_invariant() {
+    let _guard = serial();
+    let (_, data) = alarm_1k();
+    for (tabu, first) in [(true, false), (false, true)] {
+        let cfg = |t: usize| {
+            HybridConfig::fast_bns()
+                .with_threads(t)
+                .with_tabu_search(tabu)
+                .with_first_ascent(first)
+        };
+        let reference = HybridLearner::new(cfg(1)).learn(&data);
+        assert!(reference.score.is_finite());
+        for t in [2usize, 4] {
+            let got = HybridLearner::new(cfg(t)).learn(&data);
+            assert_eq!(got.dag, reference.dag, "tabu={tabu} first={first} t={t}");
+            assert_eq!(
+                got.score, reference.score,
+                "tabu={tabu} first={first} t={t}"
+            );
+        }
     }
 }
