@@ -20,8 +20,14 @@ pub struct TimedRun {
 /// Time `PcStable::learn_skeleton` under `cfg`, best (minimum) of `reps`
 /// runs — minimum is the standard choice for wall-clock microbenchmarks
 /// since noise is strictly additive.
+///
+/// Honors the `FASTBN_COUNT_ENGINE` override (tiled | bitmap | auto), so
+/// every paper-table reproduction can be rerun per counting backend
+/// without a code change. Results are identical; only timings move.
 pub fn time_learn(data: &Dataset, cfg: &PcConfig, reps: usize) -> TimedRun {
-    let learner = PcStable::new(cfg.clone());
+    let mut cfg = cfg.clone();
+    cfg.count_engine = cfg.count_engine.or_env();
+    let learner = PcStable::new(cfg);
     let mut best: Option<TimedRun> = None;
     for _ in 0..reps.max(1) {
         let started = Instant::now();

@@ -6,7 +6,7 @@
 //! set generation) without touching algorithm code.
 
 use fastbn_data::Layout;
-use fastbn_stats::{CiTestKind, DfRule};
+use fastbn_stats::{CiTestKind, DfRule, EngineSelect};
 
 /// Which parallelism granularity drives the skeleton phase (paper §IV-A/B,
 /// Figure 1 and Table I).
@@ -102,6 +102,17 @@ pub struct PcConfig {
     /// Contingency tables larger than this many cells make the test
     /// unreliable; the edge is conservatively kept (treated as dependent).
     pub max_table_cells: usize,
+    /// Which counting backend fills the contingency tables (tiled column
+    /// scan, bitmap/popcount, or per-query auto-selection). Any choice
+    /// produces byte-identical counts — this knob only trades speed.
+    ///
+    /// Exception: [`ParallelMode::SampleLevel`] ignores this knob. That
+    /// mode *is* a fill strategy — the paper's strawman splits one table's
+    /// fill across threads by sample range (atomic increments or
+    /// local-table merging, per [`SampleFill`]) — so routing it through a
+    /// whole-range engine would erase exactly the cost it exists to
+    /// measure.
+    pub count_engine: EngineSelect,
 }
 
 impl Default for PcConfig {
@@ -128,6 +139,7 @@ impl PcConfig {
             sample_fill: SampleFill::Atomic,
             max_depth: None,
             max_table_cells: 1 << 22,
+            count_engine: EngineSelect::Auto,
         }
     }
 
@@ -214,6 +226,12 @@ impl PcConfig {
         self
     }
 
+    /// Set the counting backend (results are identical; only speed moves).
+    pub fn with_count_engine(mut self, engine: EngineSelect) -> Self {
+        self.count_engine = engine;
+        self
+    }
+
     /// Effective thread count (≥ 1; 1 for sequential mode).
     pub fn effective_threads(&self) -> usize {
         match self.mode {
@@ -282,6 +300,14 @@ mod tests {
         assert_eq!(ParallelMode::EdgeLevel.name(), "edge-level");
         assert_eq!(ParallelMode::SampleLevel.name(), "sample-level");
         assert_eq!(ParallelMode::WorkSteal.name(), "steal");
+    }
+
+    #[test]
+    fn count_engine_defaults_to_auto_and_builds() {
+        let c = PcConfig::fast_bns();
+        assert_eq!(c.count_engine, EngineSelect::Auto);
+        let c = c.with_count_engine(EngineSelect::ForceBitmap);
+        assert_eq!(c.count_engine, EngineSelect::ForceBitmap);
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod stats_run;
 pub mod trace;
 
 pub use config::{CondSetGen, ParallelMode, PcConfig, SampleFill};
+pub use fastbn_stats::EngineSelect;
 pub use learner::{LearnResult, PcStable};
 pub use score_search::{
     learn_structure, HybridConfig, HybridLearner, HybridResult, Strategy, StructureResult,

@@ -81,6 +81,14 @@ impl HybridConfig {
         self.hc = self.hc.with_evaluation(evaluation);
         self
     }
+
+    /// Set the counting backend of **both** stages (skeleton CI tests and
+    /// search-stage count tables). Results are identical for any choice.
+    pub fn with_count_engine(mut self, engine: fastbn_stats::EngineSelect) -> Self {
+        self.pc = self.pc.with_count_engine(engine);
+        self.hc = self.hc.with_count_engine(engine);
+        self
+    }
 }
 
 /// Which structure-learning algorithm family to run.
@@ -308,6 +316,9 @@ mod tests {
         assert!(cfg.hc.tabu_search);
         assert!(cfg.hc.first_ascent);
         assert_eq!(cfg.hc.evaluation, fastbn_score::MoveEval::Full);
+        let cfg = cfg.with_count_engine(fastbn_stats::EngineSelect::ForceBitmap);
+        assert_eq!(cfg.pc.count_engine, fastbn_stats::EngineSelect::ForceBitmap);
+        assert_eq!(cfg.hc.count_engine, fastbn_stats::EngineSelect::ForceBitmap);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use fastbn_graph::UGraph;
 use fastbn_parallel::StepResult;
 use fastbn_stats::citest::run_ci_test;
 use fastbn_stats::{
-    mixed_radix_strides, BatchedCiRunner, CiTestKind, ContingencyTable, DfRule, FILL_BLOCK,
+    mixed_radix_strides, BatchedCiRunner, CiTestKind, ContingencyTable, CountingBackend, DfRule,
+    FillSpec,
 };
 use parking_lot::Mutex;
 
@@ -163,6 +164,13 @@ pub fn z_strides(
 /// scratch buffers, and counts the tests it performs. One engine per
 /// thread is the structural reason CI-level parallelism needs no atomics
 /// (paper §IV-B): a table is never shared.
+///
+/// All table fills go through the configured counting backend
+/// ([`PcConfig::count_engine`]): tiled column scan, bitmap/popcount, or
+/// per-query auto-selection — byte-identical counts either way. (The one
+/// path outside the seam is [`super::sample_par`], which does not use
+/// this engine at all: sample-level parallelism is its own fill strategy,
+/// measured for its own sake — see [`PcConfig::count_engine`].)
 pub struct CiEngine<'d, O: CiObserver = NoObserver> {
     data: &'d Dataset,
     layout: Layout,
@@ -170,6 +178,7 @@ pub struct CiEngine<'d, O: CiObserver = NoObserver> {
     df_rule: DfRule,
     alpha: f64,
     max_cells: usize,
+    count: CountingBackend,
     table: ContingencyTable,
     cond_buf: Vec<usize>,
     combo_buf: Vec<usize>,
@@ -181,7 +190,6 @@ pub struct CiEngine<'d, O: CiObserver = NoObserver> {
     batch_zmul: Vec<usize>,
     batch_slots: Vec<Option<usize>>,
     batch_active: Vec<usize>,
-    batch_zcols: Vec<&'d [u8]>,
     group_conds: Vec<usize>,
     group_decisions: Vec<bool>,
     /// CI tests actually performed.
@@ -208,6 +216,7 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
             df_rule: cfg.df_rule,
             alpha: cfg.alpha,
             max_cells: cfg.max_table_cells,
+            count: CountingBackend::new(cfg.count_engine),
             table: ContingencyTable::new(1, 1, 1),
             cond_buf: Vec::new(),
             combo_buf: Vec::new(),
@@ -216,7 +225,6 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
             batch_zmul: Vec::new(),
             batch_slots: Vec::new(),
             batch_active: Vec::new(),
-            batch_zcols: Vec::new(),
             group_conds: Vec::new(),
             group_decisions: Vec::new(),
             performed: 0,
@@ -241,16 +249,16 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
             }
         };
         self.table.reshape(rx, ry, nz.max(1));
-        let table = &mut self.table;
-        fill_with(
+        self.count.fill_one(
             self.data,
             self.layout,
-            u,
-            v,
-            cond,
-            &zmul,
-            0..self.data.n_samples(),
-            |x, y, z| table.add(x, y, z),
+            FillSpec {
+                x: u,
+                y: Some(v),
+                cond,
+                zmul: &zmul,
+            },
+            &mut self.table,
         );
         self.zmul_buf = zmul;
         self.performed += 1;
@@ -343,86 +351,23 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
         }
         self.zmul_buf = zmul;
 
-        // Shared fill pass: one sweep over the samples for the whole batch.
-        let mut zcols = std::mem::take(&mut self.batch_zcols);
+        // Shared fill pass through the counting backend: the tiled engine
+        // sweeps the samples once for the whole batch (X/Y column tiles
+        // stay L1-resident across tests); the bitmap engine answers each
+        // table by AND + popcount against the cached sample-bitmap index.
+        // Identical counts either way.
         if !active_tests.is_empty() {
-            let n_samples = data.n_samples();
-            let tables = self.batch.tables_mut();
-            match self.layout {
-                Layout::ColumnMajor => {
-                    let xcol = data.column(u);
-                    let ycol = data.column(v);
-                    zcols.clear();
-                    zcols.extend(active_tests.iter().flat_map(|&t| {
-                        conds_flat[t * d..(t + 1) * d]
-                            .iter()
-                            .map(|&c| data.column(c))
-                    }));
-                    // Tile the sample range: tests inner-loop over one
-                    // block at a time, so each test's table state stays in
-                    // registers across its block while the X/Y (and Z)
-                    // column tiles, shared by the whole batch, stay
-                    // L1-resident instead of being re-streamed per test.
-                    for start in (0..n_samples).step_by(FILL_BLOCK) {
-                        let end = (start + FILL_BLOCK).min(n_samples);
-                        for (i, table) in tables.iter_mut().enumerate() {
-                            let zc = &zcols[i * d..(i + 1) * d];
-                            let zm = &zmul_flat[i * d..(i + 1) * d];
-                            match d {
-                                0 => {
-                                    for s in start..end {
-                                        table.add(xcol[s] as usize, ycol[s] as usize, 0);
-                                    }
-                                }
-                                1 => {
-                                    // A single conditioning variable always
-                                    // has stride 1: z is the raw column.
-                                    let z0 = zc[0];
-                                    for s in start..end {
-                                        table.add(
-                                            xcol[s] as usize,
-                                            ycol[s] as usize,
-                                            z0[s] as usize,
-                                        );
-                                    }
-                                }
-                                2 => {
-                                    let (z0, z1) = (zc[0], zc[1]);
-                                    let m0 = zm[0]; // zm[1] is always 1
-                                    for s in start..end {
-                                        let z = z0[s] as usize * m0 + z1[s] as usize;
-                                        table.add(xcol[s] as usize, ycol[s] as usize, z);
-                                    }
-                                }
-                                _ => {
-                                    for s in start..end {
-                                        let mut z = 0usize;
-                                        for (col, &m) in zc.iter().zip(zm) {
-                                            z += col[s] as usize * m;
-                                        }
-                                        table.add(xcol[s] as usize, ycol[s] as usize, z);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                Layout::RowMajor => {
-                    for s in 0..n_samples {
-                        let row = data.row(s);
-                        let x = row[u] as usize;
-                        let y = row[v] as usize;
-                        for (i, table) in tables.iter_mut().enumerate() {
-                            let t = active_tests[i];
-                            let mut z = 0usize;
-                            for j in 0..d {
-                                z += row[conds_flat[t * d + j]] as usize * zmul_flat[i * d + j];
-                            }
-                            table.add(x, y, z);
-                        }
-                    }
-                }
-            }
+            let specs: Vec<FillSpec<'_>> = active_tests
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| FillSpec {
+                    x: u,
+                    y: Some(v),
+                    cond: &conds_flat[t * d..(t + 1) * d],
+                    zmul: &zmul_flat[i * d..(i + 1) * d],
+                })
+                .collect();
+            self.batch.fill(&mut self.count, data, self.layout, &specs);
         }
 
         // Bookkeeping mirrors the single-test path: one performed count and
@@ -443,7 +388,6 @@ impl<'d, O: CiObserver> CiEngine<'d, O> {
         self.batch_zmul = zmul_flat;
         self.batch_slots = slots;
         self.batch_active = active_tests;
-        self.batch_zcols = zcols;
     }
 }
 

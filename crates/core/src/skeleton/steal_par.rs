@@ -28,11 +28,11 @@
 //! change the learned skeleton. `tests/cross_impl_agreement.rs` and
 //! `tests/determinism.rs` pin this.
 
-use super::common::{fill_with, process_group_batched, run_pooled_depth, EdgeTask, Removal};
+use super::common::{process_group_batched, run_pooled_depth, EdgeTask, Removal};
 use crate::config::PcConfig;
-use fastbn_data::{Dataset, Layout};
+use fastbn_data::Dataset;
 use fastbn_parallel::{chunk_ranges, run_steal_pool, shard_by_key, StealPool, Team};
-use fastbn_stats::{BatchedCiRunner, FILL_BLOCK};
+use fastbn_stats::{BatchedCiRunner, CountingBackend, FillSpec};
 use parking_lot::Mutex;
 
 /// Run one depth through the work-stealing sharded pool on `team`.
@@ -92,42 +92,22 @@ pub fn run_depth0_batched(
             runner.add_table(data.arity(task.u as usize), data.arity(task.v as usize), 1);
         }
 
-        // One tiled pass over the samples fills the whole chunk.
-        let n_samples = data.n_samples();
-        let tables = runner.tables_mut();
-        match cfg.layout {
-            Layout::ColumnMajor => {
-                // Reuse the shared fill kernel per (table, block): with an
-                // empty conditioning set it is exactly the x/y scatter.
-                for start in (0..n_samples).step_by(FILL_BLOCK) {
-                    let end = (start + FILL_BLOCK).min(n_samples);
-                    for (table, task) in tables.iter_mut().zip(my_tasks) {
-                        fill_with(
-                            data,
-                            Layout::ColumnMajor,
-                            task.u as usize,
-                            task.v as usize,
-                            &[],
-                            &[],
-                            start..end,
-                            |x, y, z| table.add(x, y, z),
-                        );
-                    }
-                }
-            }
-            Layout::RowMajor => {
-                for s in 0..n_samples {
-                    let row = data.row(s);
-                    for (table, task) in tables.iter_mut().zip(my_tasks) {
-                        table.add(
-                            row[task.u as usize] as usize,
-                            row[task.v as usize] as usize,
-                            0,
-                        );
-                    }
-                }
-            }
-        }
+        // Fill the whole chunk through the counting backend: the tiled
+        // engine makes one blocked pass over the samples for every table
+        // of the chunk, the bitmap engine answers each 2-variable marginal
+        // by AND + popcount — marginal tables are its best case, and the
+        // Auto policy routes them there.
+        let mut backend = CountingBackend::new(cfg.count_engine);
+        let specs: Vec<FillSpec<'_>> = my_tasks
+            .iter()
+            .map(|task| FillSpec {
+                x: task.u as usize,
+                y: Some(task.v as usize),
+                cond: &[],
+                zmul: &[],
+            })
+            .collect();
+        runner.fill(&mut backend, data, cfg.layout, &specs);
 
         let outcomes = runner.run(cfg.test, cfg.alpha, cfg.df_rule);
         let mut removals = Vec::new();
@@ -157,6 +137,7 @@ mod tests {
     use super::super::common::build_tasks;
     use super::super::edge_par;
     use super::*;
+    use fastbn_data::Layout;
     use fastbn_graph::UGraph;
     use fastbn_network::{generate_network, NetworkSpec};
 

@@ -1,0 +1,147 @@
+//! Per-(variable, state) sample bitmaps — the index behind the bitmap /
+//! popcount counting engine.
+//!
+//! For every variable `v` and every state `s < arity(v)` the index holds a
+//! [`BitSet`] over the samples, with bit `i` set iff `column(v)[i] == s`.
+//! A contingency-table cell count then becomes an AND + `count_ones` sweep
+//! over `⌈m/64⌉` words per involved variable instead of an `m`-element
+//! column scan — the strategy bnlearn's optimised backends use for
+//! low-arity/high-sample regimes.
+//!
+//! Memory cost: one bit per (state, sample), i.e. `Σ_v arity(v) · m / 8`
+//! bytes total ([`BitmapIndex::memory_bytes`]). The index is built lazily
+//! and cached on [`crate::Dataset`] (see `Dataset::bitmap_index`), so
+//! workloads that never select the bitmap engine never pay for it.
+
+use crate::dataset::Dataset;
+use fastbn_graph::BitSet;
+
+/// The per-(variable, state) sample-bitmap index of one dataset.
+///
+/// Because every sample has exactly one state per variable, the state
+/// bitmaps of a variable partition the sample range: bits `>= n_samples`
+/// are zero in every bitmap, so intersections never see trailing garbage.
+#[derive(Clone, Debug)]
+pub struct BitmapIndex {
+    /// All state bitsets, variable-major: variable `v`'s states occupy
+    /// `sets[offsets[v] .. offsets[v] + arity(v)]`.
+    sets: Vec<BitSet>,
+    /// Start of each variable's state run in `sets` (plus a final
+    /// end-sentinel entry).
+    offsets: Vec<usize>,
+    /// Words per bitmap: `⌈n_samples / 64⌉`.
+    n_words: usize,
+}
+
+impl BitmapIndex {
+    /// Build the index in one pass per column.
+    pub fn build(data: &Dataset) -> Self {
+        let m = data.n_samples();
+        let mut offsets = Vec::with_capacity(data.n_vars() + 1);
+        let mut total_states = 0usize;
+        for v in 0..data.n_vars() {
+            offsets.push(total_states);
+            total_states += data.arity(v);
+        }
+        offsets.push(total_states);
+        let mut sets: Vec<BitSet> = (0..total_states).map(|_| BitSet::new(m)).collect();
+        for (v, &base) in offsets.iter().take(data.n_vars()).enumerate() {
+            for (i, &val) in data.column(v).iter().enumerate() {
+                sets[base + val as usize].insert(i);
+            }
+        }
+        Self {
+            sets,
+            offsets,
+            n_words: m.div_ceil(64),
+        }
+    }
+
+    /// Words per bitmap (`⌈n_samples / 64⌉`).
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    /// The sample bitmap of `(variable, state)` as raw `u64` words.
+    ///
+    /// # Panics
+    /// Panics if `v` or `state` is out of range.
+    #[inline]
+    pub fn words(&self, v: usize, state: usize) -> &[u64] {
+        let base = self.offsets[v];
+        assert!(
+            base + state < self.offsets[v + 1],
+            "state {state} out of range for variable {v}"
+        );
+        self.sets[base + state].words()
+    }
+
+    /// Total size of the bitmap payload in bytes: `Σ_v arity(v) · ⌈m/64⌉ · 8`
+    /// (the `n_states × n_samples / 8` cost quoted in the docs, rounded up
+    /// to whole words per bitmap).
+    pub fn memory_bytes(&self) -> usize {
+        self.sets.len() * self.n_words * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_columns(
+            vec![],
+            vec![2, 3],
+            vec![vec![0, 1, 1, 0, 1], vec![2, 0, 1, 2, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bitmaps_match_the_columns() {
+        let d = data();
+        let idx = BitmapIndex::build(&d);
+        assert_eq!(idx.n_words(), 1);
+        for v in 0..d.n_vars() {
+            for s in 0..d.arity(v) {
+                let w = idx.words(v, s);
+                for (i, &val) in d.column(v).iter().enumerate() {
+                    let bit = w[i / 64] >> (i % 64) & 1 == 1;
+                    assert_eq!(bit, val as usize == s, "var {v} state {s} sample {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_bitmaps_partition_the_samples() {
+        let d = data();
+        let idx = BitmapIndex::build(&d);
+        for v in 0..d.n_vars() {
+            let mut union = 0u64;
+            let mut total = 0u32;
+            for s in 0..d.arity(v) {
+                union |= idx.words(v, s)[0];
+                total += idx.words(v, s)[0].count_ones();
+            }
+            assert_eq!(total as usize, d.n_samples(), "var {v} disjoint cover");
+            assert_eq!(union.count_ones() as usize, d.n_samples());
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let d = data();
+        let idx = BitmapIndex::build(&d);
+        // 5 state bitmaps × 1 word × 8 bytes.
+        assert_eq!(idx.memory_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_panics() {
+        let d = data();
+        BitmapIndex::build(&d).words(0, 2);
+    }
+}

@@ -1,6 +1,8 @@
 //! The [`Dataset`] type: a complete discrete sample matrix in both layouts.
 
+use crate::bitmap::BitmapIndex;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Which physical layout a consumer wants to stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -67,7 +69,16 @@ impl std::error::Error for DataError {}
 /// A complete (no missing values) discrete dataset over `n_vars` variables
 /// and `n_samples` samples, materialized in both row- and column-major
 /// layouts.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Two derived views are built lazily on first use and cached for the
+/// dataset's lifetime (thread-safe, built at most once):
+/// * [`Dataset::state_frequencies`] — per-column state counts, one pass;
+/// * [`Dataset::bitmap_index`] — the per-(variable, state) sample bitmaps
+///   behind the bitmap counting engine.
+///
+/// The caches are pure derived data: equality and cloning consider only
+/// the logical contents (a clone starts with cold caches).
+#[derive(Debug)]
 pub struct Dataset {
     n_vars: usize,
     n_samples: usize,
@@ -77,7 +88,46 @@ pub struct Dataset {
     col_major: Vec<u8>,
     /// `row_major[s * n_vars + v]`
     row_major: Vec<u8>,
+    /// Lazily built per-(variable, state) sample bitmaps.
+    bitmaps: OnceLock<BitmapIndex>,
+    /// Lazily counted per-column state frequencies.
+    state_freqs: OnceLock<Vec<Vec<u64>>>,
+    /// Lazily derived per-column observed-state lists.
+    obs_states: OnceLock<Vec<Vec<usize>>>,
 }
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        // Caches are not cloned: they are cheap to rebuild relative to
+        // their memory cost, and most clones (truncations, test fixtures)
+        // never need them.
+        Self {
+            n_vars: self.n_vars,
+            n_samples: self.n_samples,
+            arities: self.arities.clone(),
+            names: self.names.clone(),
+            col_major: self.col_major.clone(),
+            row_major: self.row_major.clone(),
+            bitmaps: OnceLock::new(),
+            state_freqs: OnceLock::new(),
+            obs_states: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical contents only; row_major is redundant with col_major and
+        // the caches are derived data.
+        self.n_vars == other.n_vars
+            && self.n_samples == other.n_samples
+            && self.arities == other.arities
+            && self.names == other.names
+            && self.col_major == other.col_major
+    }
+}
+
+impl Eq for Dataset {}
 
 impl Dataset {
     /// Build from per-variable columns.
@@ -154,6 +204,9 @@ impl Dataset {
             names,
             col_major,
             row_major,
+            bitmaps: OnceLock::new(),
+            state_freqs: OnceLock::new(),
+            obs_states: OnceLock::new(),
         })
     }
 
@@ -229,6 +282,59 @@ impl Dataset {
     #[inline]
     pub fn row(&self, s: usize) -> &[u8] {
         &self.row_major[s * self.n_vars..(s + 1) * self.n_vars]
+    }
+
+    /// Per-column state frequencies: `state_frequencies()[v][s]` is the
+    /// number of samples with `column(v) == s`. Counted in one pass on
+    /// first use and cached — the counting-engine cost model and the
+    /// dataset summary both read these without rescanning columns.
+    pub fn state_frequencies(&self) -> &[Vec<u64>] {
+        self.state_freqs.get_or_init(|| {
+            (0..self.n_vars)
+                .map(|v| {
+                    let mut counts = vec![0u64; self.arity(v)];
+                    for &val in self.column(v) {
+                        counts[val as usize] += 1;
+                    }
+                    counts
+                })
+                .collect()
+        })
+    }
+
+    /// The states of `v` actually observed in the data (nonzero
+    /// frequency), ascending. Derived from the cached frequencies on first
+    /// use and cached — the bitmap counting engine iterates these on every
+    /// fill, so they must not be recomputed per query.
+    pub fn observed_states(&self, v: usize) -> &[usize] {
+        let lists = self.obs_states.get_or_init(|| {
+            self.state_frequencies()
+                .iter()
+                .map(|counts| {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(s, _)| s)
+                        .collect()
+                })
+                .collect()
+        });
+        &lists[v]
+    }
+
+    /// Number of states of `v` actually observed in the data (nonzero
+    /// frequency), at least 1. Declared-but-unseen states contribute
+    /// nothing to a count table, so cost models should size work by this
+    /// rather than the declared arity.
+    pub fn observed_arity(&self, v: usize) -> usize {
+        self.observed_states(v).len().max(1)
+    }
+
+    /// The per-(variable, state) sample-bitmap index, built on first use
+    /// and cached (see [`BitmapIndex`] for the memory cost).
+    pub fn bitmap_index(&self) -> &BitmapIndex {
+        self.bitmaps.get_or_init(|| BitmapIndex::build(self))
     }
 
     /// A view of the first `k` samples (cheap truncation used by the
@@ -328,6 +434,57 @@ mod tests {
     #[should_panic(expected = "cannot truncate")]
     fn over_truncation_panics() {
         small().truncated(5);
+    }
+
+    #[test]
+    fn state_frequencies_count_every_sample_once() {
+        let d = small();
+        let f = d.state_frequencies();
+        assert_eq!(f[0], vec![2, 2]);
+        assert_eq!(f[1], vec![1, 1, 2]);
+        for counts in f {
+            assert_eq!(counts.iter().sum::<u64>(), d.n_samples() as u64);
+        }
+        // Cached: the second call returns the same allocation.
+        assert!(std::ptr::eq(d.state_frequencies(), f));
+    }
+
+    #[test]
+    fn observed_arity_ignores_unseen_states() {
+        // Arity 4 declared, only states 0 and 2 observed.
+        let d = Dataset::from_columns(vec![], vec![4], vec![vec![0, 2, 0, 2]]).unwrap();
+        assert_eq!(d.observed_arity(0), 2);
+        assert_eq!(d.observed_states(0), &[0, 2]);
+        assert_eq!(d.arity(0), 4);
+        // Cached: the second call serves the same allocation.
+        assert!(std::ptr::eq(d.observed_states(0), d.observed_states(0)));
+    }
+
+    #[test]
+    fn bitmap_index_is_cached_and_consistent() {
+        let d = small();
+        let idx = d.bitmap_index();
+        assert!(std::ptr::eq(d.bitmap_index(), idx));
+        // Popcounts of the state bitmaps equal the state frequencies.
+        for v in 0..d.n_vars() {
+            for s in 0..d.arity(v) {
+                let pop: u64 = idx.words(v, s).iter().map(|w| w.count_ones() as u64).sum();
+                assert_eq!(pop, d.state_frequencies()[v][s], "var {v} state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn caches_are_invisible_to_equality_and_cloning() {
+        let a = small();
+        let b = small();
+        let _ = a.bitmap_index();
+        let _ = a.state_frequencies();
+        assert_eq!(a, b, "built caches must not affect equality");
+        let c = a.clone();
+        assert_eq!(c, a);
+        // The clone rebuilds its own caches on demand.
+        assert_eq!(c.observed_arity(0), a.observed_arity(0));
     }
 
     #[test]

@@ -17,10 +17,12 @@
 //! Values are stored as `u8` state codes (`0..arity`); arities up to 255
 //! cover every benchmark network in the paper.
 
+pub mod bitmap;
 pub mod csv;
 pub mod dataset;
 pub mod summary;
 
+pub use bitmap::BitmapIndex;
 pub use csv::{dataset_from_csv, dataset_to_csv, CsvError};
 pub use dataset::{DataError, Dataset, Layout};
 pub use summary::{column_counts, column_entropy, DatasetSummary};

@@ -15,10 +15,8 @@ pub fn column_counts(d: &Dataset, v: usize) -> Vec<u64> {
     counts
 }
 
-/// Empirical entropy (nats) of variable `v`.
-pub fn column_entropy(d: &Dataset, v: usize) -> f64 {
-    let counts = column_counts(d, v);
-    let n = d.n_samples() as f64;
+/// Empirical entropy (nats) of the state counts `counts` over `n` samples.
+fn entropy_of_counts(counts: &[u64], n: f64) -> f64 {
     if n == 0.0 {
         return 0.0;
     }
@@ -30,6 +28,11 @@ pub fn column_entropy(d: &Dataset, v: usize) -> f64 {
             -p * p.ln()
         })
         .sum()
+}
+
+/// Empirical entropy (nats) of variable `v`.
+pub fn column_entropy(d: &Dataset, v: usize) -> f64 {
+    entropy_of_counts(&column_counts(d, v), d.n_samples() as f64)
 }
 
 /// A compact description of a dataset.
@@ -47,14 +50,26 @@ pub struct DatasetSummary {
     pub mean_arity: f64,
     /// Mean per-variable empirical entropy (nats).
     pub mean_entropy: f64,
+    /// Per-column state frequencies: `state_counts[v][s]` is the number of
+    /// samples with `column(v) == s`. Served from the dataset's cached
+    /// single-pass counts ([`Dataset::state_frequencies`]), so consumers
+    /// (the counting-engine cost model, workload reports) never rescan
+    /// columns.
+    pub state_counts: Vec<Vec<u64>>,
 }
 
 impl DatasetSummary {
-    /// Summarize a dataset.
+    /// Summarize a dataset. State counts and entropies come from the
+    /// dataset's cached frequency pass — one column scan total, ever.
     pub fn of(d: &Dataset) -> Self {
         let arities: Vec<usize> = (0..d.n_vars()).map(|v| d.arity(v)).collect();
-        let mean_entropy =
-            (0..d.n_vars()).map(|v| column_entropy(d, v)).sum::<f64>() / d.n_vars() as f64;
+        let state_counts = d.state_frequencies().to_vec();
+        let n = d.n_samples() as f64;
+        let mean_entropy = state_counts
+            .iter()
+            .map(|c| entropy_of_counts(c, n))
+            .sum::<f64>()
+            / d.n_vars() as f64;
         Self {
             n_vars: d.n_vars(),
             n_samples: d.n_samples(),
@@ -62,6 +77,7 @@ impl DatasetSummary {
             max_arity: arities.iter().copied().max().unwrap_or(0),
             mean_arity: arities.iter().sum::<usize>() as f64 / arities.len() as f64,
             mean_entropy,
+            state_counts,
         }
     }
 }
@@ -104,5 +120,15 @@ mod tests {
         assert_eq!((s.min_arity, s.max_arity), (2, 4));
         assert!((s.mean_arity - 3.0).abs() < 1e-12);
         assert!(s.mean_entropy > 0.0);
+    }
+
+    #[test]
+    fn summary_state_counts_match_column_counts() {
+        let d = make();
+        let s = DatasetSummary::of(&d);
+        assert_eq!(s.state_counts.len(), d.n_vars());
+        for v in 0..d.n_vars() {
+            assert_eq!(s.state_counts[v], column_counts(&d, v), "var {v}");
+        }
     }
 }

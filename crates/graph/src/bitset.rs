@@ -124,6 +124,16 @@ impl BitSet {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter_ones().collect()
     }
+
+    /// The backing `u64` words, least-significant bit first.
+    ///
+    /// Exposed so word-at-a-time consumers (the counting engines' AND +
+    /// popcount loops) can stream a set without going through per-element
+    /// iteration. Bits at positions `>= capacity` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +193,21 @@ mod tests {
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.to_vec(), vec![1, 2, 3, 4, 50, 99]);
+    }
+
+    #[test]
+    fn words_expose_the_raw_bits() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 2);
+        let total: u32 = w.iter().map(|x| x.count_ones()).sum();
+        assert_eq!(total as usize, s.count_ones());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! composition — the foundation of the searcher's cross-thread determinism.
 
 use fastbn_data::{Dataset, Layout};
-use fastbn_stats::{ln_gamma, mixed_radix_strides, ContingencyTable, TableArena, FILL_BLOCK};
+use fastbn_stats::{
+    ln_gamma, mixed_radix_strides, ContingencyTable, CountingBackend, EngineSelect, FillSpec,
+    TableArena,
+};
 
 /// Which decomposable score the searcher maximizes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,9 +72,13 @@ pub struct LocalScorer<'d> {
     kind: ScoreKind,
     layout: Layout,
     max_cells: usize,
+    count: CountingBackend,
     arena: TableArena,
     /// Mixed-radix strides, flat `|P|`-strided per batch entry.
     strides_flat: Vec<usize>,
+    /// Parent ids as `usize`, flat alongside `strides_flat` (the fill
+    /// specs borrow conditioning variables in this form).
+    parents_flat: Vec<usize>,
     /// Slot map of the current batch (None = oversized, unscorable).
     slots: Vec<Option<usize>>,
     /// Local scores actually computed (diagnostic).
@@ -84,7 +91,13 @@ pub struct LocalScorer<'d> {
 impl<'d> LocalScorer<'d> {
     /// A scorer over `data` with the given score and table-size cap.
     pub fn new(data: &'d Dataset, kind: ScoreKind, max_cells: usize) -> Self {
-        Self::with_layout(data, kind, max_cells, Layout::ColumnMajor)
+        Self::with_options(
+            data,
+            kind,
+            max_cells,
+            Layout::ColumnMajor,
+            EngineSelect::Auto,
+        )
     }
 
     /// [`LocalScorer::new`] with an explicit dataset layout for the fill.
@@ -94,13 +107,26 @@ impl<'d> LocalScorer<'d> {
         max_cells: usize,
         layout: Layout,
     ) -> Self {
+        Self::with_options(data, kind, max_cells, layout, EngineSelect::Auto)
+    }
+
+    /// Fully explicit constructor: layout and counting backend.
+    pub fn with_options(
+        data: &'d Dataset,
+        kind: ScoreKind,
+        max_cells: usize,
+        layout: Layout,
+        engine: EngineSelect,
+    ) -> Self {
         Self {
             data,
             kind,
             layout,
             max_cells,
+            count: CountingBackend::new(engine),
             arena: TableArena::new(),
             strides_flat: Vec::new(),
+            parents_flat: Vec::new(),
             slots: Vec::new(),
             computed: 0,
             oversized: 0,
@@ -146,6 +172,7 @@ impl<'d> LocalScorer<'d> {
         self.arena.begin();
         self.slots.clear();
         self.strides_flat.clear();
+        self.parents_flat.clear();
         for pset in parent_sets {
             let parents = pset.as_ref();
             debug_assert!(
@@ -159,6 +186,8 @@ impl<'d> LocalScorer<'d> {
             match config_strides(data, parents, rv, self.max_cells, &mut self.strides_flat) {
                 Some(q) => {
                     self.slots.push(Some(self.arena.add_table(rv, 1, q)));
+                    self.parents_flat
+                        .extend(parents.iter().map(|&p| p as usize));
                     self.computed += 1;
                 }
                 None => {
@@ -171,84 +200,28 @@ impl<'d> LocalScorer<'d> {
             }
         }
 
-        // Shared tiled fill: the child column is read once per sample block
-        // and scattered into every table (cf. `CiEngine::run_batch`).
+        // Shared fill through the counting backend: the tiled engine reads
+        // the child column once per sample block and scatters it into
+        // every table (cf. `CiEngine::run_batch`); the bitmap engine
+        // answers each `r_v × 1 × q` table by AND + popcount against the
+        // cached sample-bitmap index. Counts are identical either way.
         if !self.arena.is_empty() {
-            let tables = self.arena.tables_mut();
-            let active: Vec<&[u32]> = self
-                .slots
-                .iter()
-                .zip(parent_sets)
-                .filter_map(|(slot, pset)| slot.map(|_| pset.as_ref()))
-                .collect();
-            match self.layout {
-                Layout::ColumnMajor => {
-                    let vcol = data.column(v);
-                    let pcols: Vec<&[u8]> = active
-                        .iter()
-                        .flat_map(|ps| ps.iter().map(|&p| data.column(p as usize)))
-                        .collect();
-                    // Per-table stride/column windows are contiguous in the
-                    // flat buffers, in slot order (same offsets in both).
-                    let mut windows: Vec<(usize, usize)> = Vec::with_capacity(tables.len());
-                    let mut base = 0usize;
-                    for (i, ps) in active.iter().enumerate() {
-                        windows.push((i, base));
-                        base += ps.len();
-                    }
-                    for start in (0..m).step_by(FILL_BLOCK) {
-                        let end = (start + FILL_BLOCK).min(m);
-                        for &(i, base) in &windows {
-                            let np = active[i].len();
-                            let zm = &self.strides_flat[base..base + np];
-                            let zc = &pcols[base..base + np];
-                            let table = &mut tables[i];
-                            match np {
-                                0 => {
-                                    for &x in &vcol[start..end] {
-                                        table.add(x as usize, 0, 0);
-                                    }
-                                }
-                                1 => {
-                                    let z0 = zc[0];
-                                    for s in start..end {
-                                        table.add(vcol[s] as usize, 0, z0[s] as usize);
-                                    }
-                                }
-                                _ => {
-                                    for s in start..end {
-                                        let mut z = 0usize;
-                                        for (col, &mul) in zc.iter().zip(zm) {
-                                            z += col[s] as usize * mul;
-                                        }
-                                        table.add(vcol[s] as usize, 0, z);
-                                    }
-                                }
-                            }
-                        }
-                    }
+            let mut specs: Vec<FillSpec<'_>> = Vec::with_capacity(self.arena.len());
+            let mut base = 0usize;
+            for (slot, pset) in self.slots.iter().zip(parent_sets) {
+                if slot.is_none() {
+                    continue;
                 }
-                Layout::RowMajor => {
-                    let mut sbase_of: Vec<usize> = Vec::with_capacity(active.len());
-                    let mut sbase = 0usize;
-                    for ps in &active {
-                        sbase_of.push(sbase);
-                        sbase += ps.len();
-                    }
-                    for s in 0..m {
-                        let row = data.row(s);
-                        let x = row[v] as usize;
-                        for (i, ps) in active.iter().enumerate() {
-                            let zm = &self.strides_flat[sbase_of[i]..sbase_of[i] + ps.len()];
-                            let mut z = 0usize;
-                            for (&p, &mul) in ps.iter().zip(zm) {
-                                z += row[p as usize] as usize * mul;
-                            }
-                            tables[i].add(x, 0, z);
-                        }
-                    }
-                }
+                let np = pset.as_ref().len();
+                specs.push(FillSpec {
+                    x: v,
+                    y: None,
+                    cond: &self.parents_flat[base..base + np],
+                    zmul: &self.strides_flat[base..base + np],
+                });
+                base += np;
             }
+            self.arena.fill(&mut self.count, data, self.layout, &specs);
         }
 
         // Evaluation pass, in slot order (fixed summation order per table).

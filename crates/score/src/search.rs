@@ -53,9 +53,10 @@
 
 use crate::cache::ScoreCache;
 use crate::score::{LocalScorer, ScoreKind};
-use fastbn_data::Dataset;
+use fastbn_data::{Dataset, Layout};
 use fastbn_graph::{Dag, UGraph};
 use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, StepResult, Team};
+use fastbn_stats::EngineSelect;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,6 +169,10 @@ pub struct HillClimbConfig {
     /// Count tables larger than this many cells make the parent set
     /// unscorable; such moves are skipped.
     pub max_table_cells: usize,
+    /// Which counting backend fills the count tables (tiled column scan,
+    /// bitmap/popcount, or per-query auto-selection). Any choice produces
+    /// byte-identical counts — and therefore bitwise-identical scores.
+    pub count_engine: EngineSelect,
 }
 
 impl Default for HillClimbConfig {
@@ -186,6 +191,7 @@ impl Default for HillClimbConfig {
             use_cache: true,
             epsilon: 1e-9,
             max_table_cells: 1 << 22,
+            count_engine: EngineSelect::Auto,
         }
     }
 }
@@ -242,6 +248,12 @@ impl HillClimbConfig {
     /// Enable first-ascent move selection.
     pub fn with_first_ascent(mut self, on: bool) -> Self {
         self.first_ascent = on;
+        self
+    }
+
+    /// Set the counting backend (results must not change, only speed).
+    pub fn with_count_engine(mut self, engine: EngineSelect) -> Self {
+        self.count_engine = engine;
         self
     }
 
@@ -356,7 +368,15 @@ impl HillClimb {
             allowed,
             cache: ScoreCache::new(cfg.use_cache),
             scorers: (0..t)
-                .map(|_| Mutex::new(LocalScorer::new(data, cfg.kind, cfg.max_table_cells)))
+                .map(|_| {
+                    Mutex::new(LocalScorer::with_options(
+                        data,
+                        cfg.kind,
+                        cfg.max_table_cells,
+                        Layout::ColumnMajor,
+                        cfg.count_engine,
+                    ))
+                })
                 .collect(),
             stats: Mutex::new(SearchStats::default()),
         };

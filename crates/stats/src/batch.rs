@@ -24,8 +24,10 @@
 
 use crate::citest::{CiOutcome, CiTestKind, DfRule};
 use crate::contingency::ContingencyTable;
+use crate::engine::{CountingBackend, FillSpec};
 use crate::gsq::{g2_degrees_of_freedom_scratch, g2_statistic_scratch};
 use crate::pearson::x2_statistic_scratch;
+use fastbn_data::{Dataset, Layout};
 
 /// Sample-block size for tiled batch fills: every batched counting path
 /// (the CI-test group fill, the depth-0 marginal sweep, the score
@@ -112,6 +114,23 @@ impl TableArena {
         assert!(slot < self.active, "slot {slot} not in the current batch");
         &self.tables[slot]
     }
+
+    /// Fill the whole batch through a counting backend — one spec per slot,
+    /// in slot order. This is the single seam every batched counting path
+    /// (CI-test groups, the depth-0 sweep, score sufficient statistics)
+    /// goes through, so the engine choice covers all of them.
+    ///
+    /// # Panics
+    /// Panics if `specs.len()` differs from the batch size.
+    pub fn fill(
+        &mut self,
+        backend: &mut CountingBackend,
+        data: &Dataset,
+        layout: Layout,
+        specs: &[FillSpec<'_>],
+    ) {
+        backend.fill_batch(data, layout, specs, self.tables_mut());
+    }
 }
 
 /// Table arena plus shared evaluation scratch for running a batch of CI
@@ -167,6 +186,18 @@ impl BatchedCiRunner {
     /// Read a table of the current batch.
     pub fn table(&self, slot: usize) -> &ContingencyTable {
         self.arena.table(slot)
+    }
+
+    /// Fill the whole batch through a counting backend (see
+    /// [`TableArena::fill`]).
+    pub fn fill(
+        &mut self,
+        backend: &mut CountingBackend,
+        data: &Dataset,
+        layout: Layout,
+        specs: &[FillSpec<'_>],
+    ) {
+        self.arena.fill(backend, data, layout, specs);
     }
 
     /// Evaluate every table of the batch with `kind` at level `alpha`,

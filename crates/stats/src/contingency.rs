@@ -54,6 +54,8 @@ pub struct ContingencyTable {
     ry: usize,
     nz: usize,
     counts: Vec<u32>,
+    /// Consecutive much-smaller reshapes seen (see [`Self::reshape`]).
+    shrink_streak: u8,
 }
 
 impl ContingencyTable {
@@ -75,6 +77,7 @@ impl ContingencyTable {
             ry,
             nz,
             counts: vec![0; cells],
+            shrink_streak: 0,
         }
     }
 
@@ -109,9 +112,29 @@ impl ContingencyTable {
         self.counts.fill(0);
     }
 
+    /// A reshape counts toward releasing the allocation only when the new
+    /// shape needs at most `1/SHRINK_DIVISOR` of the current capacity;
+    /// anything larger keeps it — the workhorse-reuse pattern must not
+    /// churn the allocator on ordinary shape wobble.
+    const SHRINK_DIVISOR: usize = 8;
+    /// Allocations below this many cells (256 KiB of `u32`s) are never
+    /// shrunk: they are noise next to the dataset itself.
+    const SHRINK_FLOOR: usize = 1 << 16;
+    /// Consecutive much-smaller reshapes required before the allocation is
+    /// actually released — the hysteresis that keeps a slot alternating
+    /// between one large and many small tables from reallocating the large
+    /// buffer every cycle.
+    const SHRINK_STREAK: u8 = 4;
+
     /// Re-dimension the table in place, reusing the allocation — the
     /// workhorse pattern for a thread that runs thousands of CI tests of
     /// varying shapes. All cells are zeroed.
+    ///
+    /// [`Self::SHRINK_STREAK`] consecutive reshapes to a *much* smaller
+    /// table (see [`Self::SHRINK_DIVISOR`]) release the old allocation:
+    /// without this, a long hill-climb run pins every arena slot's memory
+    /// at the largest table it ever held. A single large reshape resets
+    /// the streak, so alternating large/small workloads keep their buffer.
     ///
     /// # Panics
     /// Panics if any dimension is zero.
@@ -128,7 +151,25 @@ impl ContingencyTable {
         self.ry = ry;
         self.nz = nz;
         self.counts.clear();
+        if self.counts.capacity() >= Self::SHRINK_FLOOR
+            && cells <= self.counts.capacity() / Self::SHRINK_DIVISOR
+        {
+            self.shrink_streak += 1;
+            if self.shrink_streak >= Self::SHRINK_STREAK {
+                self.counts.shrink_to(cells);
+                self.shrink_streak = 0;
+            }
+        } else {
+            self.shrink_streak = 0;
+        }
         self.counts.resize(cells, 0);
+    }
+
+    /// Cells the backing allocation can hold without reallocating — the
+    /// capacity watermark the shrink policy in [`Self::reshape`] manages.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.counts.capacity()
     }
 
     /// Flat index of cell `(x, y, z)`.
@@ -144,6 +185,15 @@ impl ContingencyTable {
     pub fn add(&mut self, x: usize, y: usize, z: usize) {
         let i = self.idx(x, y, z);
         self.counts[i] += 1;
+    }
+
+    /// Add `n` to cell `(x, y, z)` — the whole-cell write path of counting
+    /// engines that produce a cell's count at once (AND + popcount) instead
+    /// of scattering per-sample increments.
+    #[inline(always)]
+    pub fn add_count(&mut self, x: usize, y: usize, z: usize, n: u32) {
+        let i = self.idx(x, y, z);
+        self.counts[i] += n;
     }
 
     /// Read cell `(x, y, z)`.
@@ -251,6 +301,7 @@ impl AtomicContingencyTable {
             ry: self.ry,
             nz: self.nz,
             counts: self.counts.into_iter().map(AtomicU32::into_inner).collect(),
+            shrink_streak: 0,
         }
     }
 }
@@ -286,6 +337,72 @@ mod tests {
         t.reshape(5, 5, 5);
         assert_eq!(t.cells(), 125);
         assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn add_count_matches_repeated_add() {
+        let mut a = ContingencyTable::new(2, 3, 2);
+        let mut b = ContingencyTable::new(2, 3, 2);
+        a.add_count(1, 2, 1, 5);
+        a.add_count(0, 0, 0, 2);
+        for _ in 0..5 {
+            b.add(1, 2, 1);
+        }
+        for _ in 0..2 {
+            b.add(0, 0, 0);
+        }
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn reshape_releases_a_much_smaller_allocation_after_a_streak() {
+        // Grow past the shrink floor, then stay small: the capacity
+        // watermark must come back down instead of staying pinned at the
+        // peak (the long-hill-climb memory fix) — but only after
+        // SHRINK_STREAK consecutive small reshapes.
+        let mut t = ContingencyTable::new(64, 64, 64); // 262144 cells
+        let peak = t.capacity();
+        assert!(peak >= 64 * 64 * 64);
+        for i in 0..ContingencyTable::SHRINK_STREAK - 1 {
+            t.reshape(2, 2, 1);
+            assert_eq!(t.capacity(), peak, "reshape {i} must not yet release");
+        }
+        t.reshape(2, 2, 1); // streak complete
+        assert!(
+            t.capacity() < peak / 4,
+            "capacity {} still pinned near peak {peak}",
+            t.capacity()
+        );
+        assert_eq!(t.cells(), 4);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn reshape_alternation_keeps_the_large_allocation() {
+        // A slot ping-ponging between one large and one small shape must
+        // never release (and re-grow) the large buffer: the large reshape
+        // resets the shrink streak every cycle.
+        let mut t = ContingencyTable::new(64, 64, 64);
+        let peak = t.capacity();
+        for _ in 0..3 * ContingencyTable::SHRINK_STREAK as usize {
+            t.reshape(2, 2, 1);
+            t.reshape(64, 64, 64);
+            assert_eq!(t.capacity(), peak, "alternation must keep the buffer");
+        }
+    }
+
+    #[test]
+    fn reshape_keeps_small_allocations_for_reuse() {
+        // Ordinary shape wobble below the floor must keep the allocation —
+        // that reuse is the whole point of the workhorse pattern.
+        let mut t = ContingencyTable::new(4, 4, 16); // 256 cells
+        let cap = t.capacity();
+        for _ in 0..2 * ContingencyTable::SHRINK_STREAK as usize {
+            t.reshape(2, 2, 1);
+            assert_eq!(t.capacity(), cap, "small reshape must not release");
+            t.reshape(4, 4, 16);
+            assert_eq!(t.capacity(), cap);
+        }
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   plus a [`batch::BatchedCiRunner`] that evaluates a whole group of CI
 //!   tests over a shared table-fill pass (one arena, one marginal-scratch
 //!   allocation) with numerics identical to [`citest`]; the arena is also
-//!   the sufficient-statistics store of the score-based learner.
+//!   the sufficient-statistics store of the score-based learner,
+//! * [`engine`] — the pluggable **counting backends** behind every table
+//!   fill: the [`engine::CountEngine`] trait, the historical
+//!   [`engine::TiledScan`] column scan, the [`engine::BitmapEngine`]
+//!   (AND + popcount over cached per-(variable, state) sample bitmaps),
+//!   and the [`engine::EngineSelect`] policy whose `Auto` mode picks per
+//!   query. Both engines produce byte-identical counts.
 //!
 //! Everything here is pure computation (no I/O, no global state), so the
 //! learner crates can call these kernels from any thread without
@@ -28,6 +34,7 @@ pub mod batch;
 pub mod chi2;
 pub mod citest;
 pub mod contingency;
+pub mod engine;
 pub mod gsq;
 pub mod mi;
 pub mod pearson;
@@ -37,6 +44,7 @@ pub use batch::{BatchedCiRunner, TableArena, FILL_BLOCK};
 pub use chi2::{chi2_cdf, chi2_critical_value, chi2_sf};
 pub use citest::{CiOutcome, CiTestKind, DfRule};
 pub use contingency::{mixed_radix_strides, ContingencyTable};
+pub use engine::{BitmapEngine, CountEngine, CountingBackend, EngineSelect, FillSpec, TiledScan};
 pub use gsq::{g2_statistic, g2_test};
 pub use mi::{conditional_mutual_information, mi_test};
 pub use pearson::{x2_statistic, x2_test};

@@ -26,7 +26,12 @@ fn main() {
     );
 
     // 2. Learn.
-    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
+    let result = PcStable::new(
+        PcConfig::fast_bns()
+            .with_threads(2)
+            .with_count_engine(EngineSelect::Auto.or_env()),
+    )
+    .learn(&data);
     println!(
         "learned skeleton: {} edges ({} CI tests)",
         result.skeleton().edge_count(),

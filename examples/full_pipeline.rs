@@ -17,7 +17,12 @@ fn main() {
     let test = truth.sample_dataset(1000, 21);
 
     // 1. Structure learning (Fast-BNS).
-    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&train);
+    let result = PcStable::new(
+        PcConfig::fast_bns()
+            .with_threads(2)
+            .with_count_engine(EngineSelect::Auto.or_env()),
+    )
+    .learn(&train);
     println!(
         "learned CPDAG: {} compelled + {} reversible edges ({} CI tests)",
         result.cpdag().directed_edges().len(),

@@ -17,18 +17,30 @@ fn main() {
     let data = net.sample_dataset(1000, 42);
     let truth = dag_to_cpdag(net.dag());
     let threads = 4;
+    // FASTBN_COUNT_ENGINE=tiled|bitmap|auto picks the counting backend for
+    // every learner below (identical results, different fill strategy).
+    let engine = EngineSelect::Auto.or_env();
     println!(
-        "workload: alarm replica ({} nodes, {} edges), {} samples, t={threads}\n",
+        "workload: alarm replica ({} nodes, {} edges), {} samples, t={threads}, {} engine\n",
         net.n(),
         net.dag().edge_count(),
-        data.n_samples()
+        data.n_samples(),
+        engine.name()
     );
 
-    let hc = || HillClimbConfig::default().with_threads(threads);
+    let hc = || {
+        HillClimbConfig::default()
+            .with_threads(threads)
+            .with_count_engine(engine)
+    };
     let strategies: Vec<(&str, Strategy)> = vec![
         (
             "pc-stable",
-            Strategy::PcStable(PcConfig::fast_bns_steal().with_threads(threads)),
+            Strategy::PcStable(
+                PcConfig::fast_bns_steal()
+                    .with_threads(threads)
+                    .with_count_engine(engine),
+            ),
         ),
         (
             "hc-full",
@@ -42,12 +54,17 @@ fn main() {
         ),
         (
             "hybrid",
-            Strategy::Hybrid(HybridConfig::fast_bns().with_threads(threads)),
+            Strategy::Hybrid(
+                HybridConfig::fast_bns()
+                    .with_threads(threads)
+                    .with_count_engine(engine),
+            ),
         ),
         (
             "hybrid-aic",
             Strategy::Hybrid(
                 HybridConfig::fast_bns()
+                    .with_count_engine(engine)
                     .with_threads(threads)
                     .with_kind(ScoreKind::Aic),
             ),
@@ -56,6 +73,7 @@ fn main() {
             "hybrid-bds",
             Strategy::Hybrid(
                 HybridConfig::fast_bns()
+                    .with_count_engine(engine)
                     .with_threads(threads)
                     .with_kind(ScoreKind::BDs { ess: 1.0 }),
             ),
@@ -98,8 +116,12 @@ fn main() {
     }
 
     // The hybrid's restriction skeleton is the Fast-BNS skeleton itself.
-    let hybrid = fastbn_core::HybridLearner::new(HybridConfig::fast_bns().with_threads(threads))
-        .learn(&data);
+    let hybrid = fastbn_core::HybridLearner::new(
+        HybridConfig::fast_bns()
+            .with_threads(threads)
+            .with_count_engine(engine),
+    )
+    .learn(&data);
     let m = skeleton_metrics(&net.dag().skeleton(), &hybrid.skeleton);
     println!(
         "\nhybrid restriction skeleton: {} edges, F1 {:.3} vs truth; \

@@ -27,8 +27,15 @@ fn main() {
     );
 
     // 3. Learn with Fast-BNS: CI-level parallelism, endpoint grouping,
-    //    cache-friendly storage, on-the-fly conditioning sets.
-    let config = PcConfig::fast_bns().with_threads(2);
+    //    cache-friendly storage, on-the-fly conditioning sets. The
+    //    counting backend defaults to per-query auto-selection;
+    //    FASTBN_COUNT_ENGINE=tiled|bitmap|auto overrides it (results are
+    //    identical — only the fill strategy changes).
+    let engine = EngineSelect::Auto.or_env();
+    println!("engine:  {} counting backend", engine.name());
+    let config = PcConfig::fast_bns()
+        .with_threads(2)
+        .with_count_engine(engine);
     let result = PcStable::new(config).learn(&data);
     let stats = result.stats();
     println!(

@@ -49,5 +49,5 @@ pub mod prelude {
     pub use fastbn_graph::{Pdag, UGraph};
     pub use fastbn_network::{BayesNet, NetworkSpec};
     pub use fastbn_score::{HillClimb, HillClimbConfig, MoveEval, ScoreKind};
-    pub use fastbn_stats::{CiTestKind, DfRule};
+    pub use fastbn_stats::{CiTestKind, DfRule, EngineSelect};
 }

@@ -111,6 +111,83 @@ fn steal_par_agrees_across_knobs() {
     }
 }
 
+/// The counting backend is a pure implementation detail: every engine
+/// policy (tiled, bitmap, per-query auto) produces identical skeletons,
+/// sepsets and CPDAGs under every scheduler, thread count and layout —
+/// including the batched depth-0 sweep and the batched CI groups, whose
+/// fills all route through the engine seam.
+#[test]
+fn count_engines_agree_across_schedulers() {
+    let data = workload(91);
+    let reference =
+        PcStable::new(PcConfig::fast_bns_seq().with_count_engine(EngineSelect::ForceTiled))
+            .learn(&data);
+    for engine in [
+        EngineSelect::Auto,
+        EngineSelect::ForceTiled,
+        EngineSelect::ForceBitmap,
+    ] {
+        for mode in [
+            ParallelMode::Sequential,
+            ParallelMode::EdgeLevel,
+            ParallelMode::CiLevel,
+            ParallelMode::WorkSteal,
+        ] {
+            for threads in [1usize, 3] {
+                let cfg = PcConfig::fast_bns()
+                    .with_mode(mode)
+                    .with_threads(threads)
+                    .with_count_engine(engine);
+                assert_identical(
+                    &data,
+                    cfg,
+                    &reference,
+                    &format!("{} {mode:?} t={threads}", engine.name()),
+                );
+            }
+        }
+        // The row-major layout under the bitmap-capable steal scheduler:
+        // the bitmap engine ignores layout entirely, the tiled engine must
+        // agree from the other side.
+        let cfg = PcConfig::fast_bns_steal()
+            .with_threads(2)
+            .with_layout(fastbn_data::Layout::RowMajor)
+            .with_count_engine(engine);
+        assert_identical(
+            &data,
+            cfg,
+            &reference,
+            &format!("{} row-major", engine.name()),
+        );
+    }
+}
+
+/// Score-based search under `ForceBitmap` lands on the bitwise-identical
+/// DAG and score as the tiled engine (count tables are byte-identical, so
+/// every local score is too).
+#[test]
+fn count_engines_agree_on_score_search() {
+    let data = workload(92);
+    let reference = HillClimb::new(
+        HillClimbConfig::default()
+            .with_threads(1)
+            .with_count_engine(EngineSelect::ForceTiled),
+    )
+    .learn(&data);
+    for engine in [EngineSelect::Auto, EngineSelect::ForceBitmap] {
+        for threads in [1usize, 3] {
+            let got = HillClimb::new(
+                HillClimbConfig::default()
+                    .with_threads(threads)
+                    .with_count_engine(engine),
+            )
+            .learn(&data);
+            assert_eq!(got.dag, reference.dag, "{} t={threads}", engine.name());
+            assert_eq!(got.score, reference.score, "{} t={threads}", engine.name());
+        }
+    }
+}
+
 #[test]
 fn layouts_and_cond_set_strategies_agree() {
     let data = workload(21);

@@ -163,6 +163,64 @@ fn tabu_search_is_deterministic_and_never_worse_on_alarm() {
     }
 }
 
+/// The counting backend is invisible in the results: under
+/// `EngineSelect::ForceBitmap` every learner family — PC-stable (all
+/// schedulers implicitly, via the seq reference), hill climbing and the
+/// hybrid — reproduces the tiled reference byte-for-byte (skeleton,
+/// CPDAG, DAG and bitwise score) at 1, 2, 4 and 8 threads. This is the
+/// acceptance gate of the pluggable-engine refactor: both engines fill
+/// byte-identical `u32` count tables, so no decision anywhere can move.
+#[test]
+fn bitmap_engine_reproduces_tiled_results_across_thread_counts() {
+    let net = zoo::by_name("alarm", 11).unwrap();
+    let data = net.sample_dataset(2000, 7);
+    let pc_ref =
+        PcStable::new(PcConfig::fast_bns_seq().with_count_engine(EngineSelect::ForceTiled))
+            .learn(&data);
+    let hc_ref = HillClimb::new(
+        HillClimbConfig::default()
+            .with_threads(1)
+            .with_count_engine(EngineSelect::ForceTiled),
+    )
+    .learn(&data);
+    let hy_ref = HybridLearner::new(
+        HybridConfig::fast_bns()
+            .with_threads(1)
+            .with_count_engine(EngineSelect::ForceTiled),
+    )
+    .learn(&data);
+    for threads in [1usize, 2, 4, 8] {
+        let pc = PcStable::new(
+            PcConfig::fast_bns_steal()
+                .with_threads(threads)
+                .with_count_engine(EngineSelect::ForceBitmap),
+        )
+        .learn(&data);
+        assert_eq!(pc.skeleton(), pc_ref.skeleton(), "bitmap pc t={threads}");
+        assert_eq!(pc.cpdag(), pc_ref.cpdag(), "bitmap pc CPDAG t={threads}");
+        let hc = HillClimb::new(
+            HillClimbConfig::default()
+                .with_threads(threads)
+                .with_count_engine(EngineSelect::ForceBitmap),
+        )
+        .learn(&data);
+        assert_eq!(hc.dag, hc_ref.dag, "bitmap hill-climb t={threads}");
+        assert_eq!(
+            hc.score, hc_ref.score,
+            "bitmap hill-climb score t={threads}"
+        );
+        let hy = HybridLearner::new(
+            HybridConfig::fast_bns()
+                .with_threads(threads)
+                .with_count_engine(EngineSelect::ForceBitmap),
+        )
+        .learn(&data);
+        assert_eq!(hy.dag, hy_ref.dag, "bitmap hybrid t={threads}");
+        assert_eq!(hy.cpdag, hy_ref.cpdag, "bitmap hybrid CPDAG t={threads}");
+        assert_eq!(hy.score, hy_ref.score, "bitmap hybrid score t={threads}");
+    }
+}
+
 /// Repeated score-based runs on the same dataset are identical — the
 /// shared score cache and steal timing are pure implementation detail.
 #[test]
