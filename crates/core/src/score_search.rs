@@ -130,6 +130,44 @@ pub struct StructureResult {
     pub search_stats: Option<SearchStats>,
 }
 
+impl StructureResult {
+    /// A DAG consistent with the learned structure: score-based and hybrid
+    /// strategies return the DAG they searched over; constraint-based
+    /// strategies extend the CPDAG (compelled edges first, then each
+    /// undirected edge oriented in whichever direction keeps the graph
+    /// acyclic). Every caller that wants to *parameterize* a learned
+    /// structure needs this step, so it lives here instead of being
+    /// re-implemented per example.
+    pub fn consistent_dag(&self) -> Dag {
+        if let Some(dag) = &self.dag {
+            return dag.clone();
+        }
+        let mut dag = Dag::empty(self.cpdag.n());
+        for (u, v) in self.cpdag.directed_edges() {
+            dag.try_add_edge(u, v);
+        }
+        for (u, v) in self.cpdag.undirected_edges() {
+            if !dag.try_add_edge(u, v) {
+                dag.try_add_edge(v, u);
+            }
+        }
+        dag
+    }
+
+    /// Fit CPTs for [`StructureResult::consistent_dag`] from `data`: the
+    /// one-call bridge from a learned structure to a queryable
+    /// [`fastbn_network::BayesNet`] (hand the result to
+    /// [`fastbn_network::JoinTree::build`] or
+    /// [`fastbn_network::variable_elimination`]).
+    ///
+    /// # Panics
+    /// Panics if `data` does not have one column per learned variable or
+    /// `smoothing < 0`.
+    pub fn fit(&self, data: &Dataset, smoothing: f64, name: &str) -> fastbn_network::BayesNet {
+        fastbn_network::fit_cpts(&self.consistent_dag(), data, smoothing, name)
+    }
+}
+
 /// Learn a structure from `data` with the given strategy.
 ///
 /// # Panics
@@ -327,6 +365,45 @@ mod tests {
         let result = HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
         assert_eq!(result.cpdag, fastbn_graph::dag_to_cpdag(&result.dag));
         assert_eq!(result.cpdag.skeleton(), result.dag.skeleton());
+    }
+
+    #[test]
+    fn consistent_dag_extends_every_strategy_acyclically() {
+        let (net, data) = workload();
+        for strategy in [
+            Strategy::PcStable(PcConfig::fast_bns_seq()),
+            Strategy::HillClimb(HillClimbConfig::default()),
+            Strategy::Hybrid(HybridConfig::fast_bns()),
+        ] {
+            let result = learn_structure(&data, &strategy);
+            let dag = result.consistent_dag();
+            assert_eq!(dag.n(), net.n(), "{}", strategy.name());
+            // Every compelled edge of the CPDAG must appear as-is.
+            for (u, v) in result.cpdag.directed_edges() {
+                assert!(
+                    dag.children(u).contains(v),
+                    "{}: compelled {u}→{v} missing",
+                    strategy.name()
+                );
+            }
+            // Score-based strategies hand back exactly their searched DAG.
+            if let Some(searched) = &result.dag {
+                assert_eq!(dag.edges(), searched.edges(), "{}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_produces_a_queryable_network() {
+        let (_, data) = workload();
+        let result = learn_structure(&data, &Strategy::Hybrid(HybridConfig::fast_bns()));
+        let model = result.fit(&data, 0.5, "fitted");
+        assert_eq!(model.n(), data.n_vars());
+        assert!(model.log_likelihood(&data).is_finite());
+        // The fitted model is immediately queryable end to end.
+        let jt = fastbn_network::JoinTree::build(&model, 2);
+        let posterior = jt.posterior(0, &[]).unwrap();
+        assert!((posterior.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -35,10 +35,19 @@ pub fn fit_cpts(dag: &Dag, data: &Dataset, smoothing: f64, name: &str) -> BayesN
             .map(|&p| data.arity(p as usize) as u8)
             .collect();
         let k = data.arity(v);
-        let n_configs: usize = parent_arities.iter().map(|&a| a as usize).product();
+        // Checked size arithmetic: a node with very many / very wide parents
+        // must fail with a clear panic, not wrap into a tiny allocation that
+        // the counting loop then indexes out of shape.
+        let n_configs: usize = parent_arities
+            .iter()
+            .try_fold(1usize, |acc, &a| acc.checked_mul(a as usize))
+            .expect("parent configuration count overflows usize");
+        let table_cells = n_configs
+            .checked_mul(k)
+            .expect("CPT table size overflows usize");
 
         // Count joint (config, state) frequencies.
-        let mut counts = vec![0u64; n_configs * k];
+        let mut counts = vec![0u64; table_cells];
         let vcol = data.column(v);
         let pcols: Vec<&[u8]> = parents.iter().map(|&p| data.column(p as usize)).collect();
         for s in 0..m {
@@ -50,7 +59,7 @@ pub fn fit_cpts(dag: &Dag, data: &Dataset, smoothing: f64, name: &str) -> BayesN
         }
 
         // Normalize with smoothing; empty unsmoothed rows become uniform.
-        let mut table = Vec::with_capacity(n_configs * k);
+        let mut table = Vec::with_capacity(table_cells);
         for c in 0..n_configs {
             let row = &counts[c * k..(c + 1) * k];
             let total: u64 = row.iter().sum();

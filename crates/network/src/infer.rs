@@ -9,31 +9,81 @@
 //!   product / marginalization / evidence-reduction operations,
 //! * [`variable_elimination`] — greedy min-width elimination answering
 //!   single-variable posterior queries.
+//!
+//! For high-throughput batched queries against one fitted network, see
+//! [`crate::jointree`]: it calibrates a junction tree once and amortizes
+//! the factor products across thousands of queries.
+//!
+//! ## Error model
+//!
+//! Conditioning on an event of probability zero has no well-defined
+//! posterior, so [`variable_elimination`] and [`brute_force_posterior`]
+//! return [`InferenceError::ImpossibleEvidence`] instead of silently
+//! emitting an all-zero (or arbitrarily normalized) vector. Out-of-range
+//! indices and a query that is itself evidence are programmer errors and
+//! panic, matching the rest of the workspace.
 
 use crate::bayesnet::BayesNet;
+use std::fmt;
+
+/// Why an exact-inference query could not produce a posterior.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InferenceError {
+    /// The evidence has probability zero under the model (including
+    /// self-contradictory evidence that assigns one variable two values):
+    /// `P(X | E)` is undefined when `P(E) = 0`.
+    ImpossibleEvidence,
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::ImpossibleEvidence => {
+                write!(f, "evidence has probability zero under the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+/// Multiply the arities of a factor scope, panicking cleanly on overflow
+/// (a wide clique whose table exceeds the address space must not wrap
+/// around into a small — and silently wrong — allocation).
+pub(crate) fn checked_cells(arities: &[usize]) -> usize {
+    arities
+        .iter()
+        .try_fold(1usize, |acc, &a| acc.checked_mul(a))
+        .expect("factor table size overflows usize")
+}
 
 /// A nonnegative table over a set of discrete variables (sorted by id),
 /// stored mixed-radix with the **first variable most significant**.
+///
+/// Arities are kept as `usize`: a variable may legitimately have more than
+/// 255 states, and a narrower type would silently truncate the mixed-radix
+/// layout (cell values/evidence stay `u8` because datasets store states as
+/// bytes, but the *shape* must never truncate).
 #[derive(Clone, Debug)]
 pub struct Factor {
-    vars: Vec<u32>,
-    arities: Vec<u8>,
-    values: Vec<f64>,
+    pub(crate) vars: Vec<u32>,
+    pub(crate) arities: Vec<usize>,
+    pub(crate) values: Vec<f64>,
 }
 
 impl Factor {
     /// Build a factor from explicit parts.
     ///
     /// # Panics
-    /// Panics if `vars` is not strictly increasing, lengths mismatch, or
-    /// `values.len() != ∏ arities`.
-    pub fn new(vars: Vec<u32>, arities: Vec<u8>, values: Vec<f64>) -> Self {
+    /// Panics if `vars` is not strictly increasing, lengths mismatch,
+    /// `values.len() != ∏ arities`, or the cell count overflows `usize`.
+    pub fn new(vars: Vec<u32>, arities: Vec<usize>, values: Vec<f64>) -> Self {
         assert_eq!(vars.len(), arities.len(), "vars/arities mismatch");
         assert!(
             vars.windows(2).all(|w| w[0] < w[1]),
             "vars must be strictly increasing"
         );
-        let cells: usize = arities.iter().map(|&a| a as usize).product();
+        let cells = checked_cells(&arities);
         assert_eq!(values.len(), cells, "value count mismatch");
         Self {
             vars,
@@ -50,15 +100,16 @@ impl Factor {
         let mut order: Vec<usize> = (0..vars.len()).collect();
         order.sort_by_key(|&i| vars[i]);
         let sorted_vars: Vec<u32> = order.iter().map(|&i| vars[i]).collect();
-        let sorted_arities: Vec<u8> = sorted_vars
-            .iter()
-            .map(|&x| net.arity(x as usize) as u8)
-            .collect();
+        // No narrowing cast here: `net.arity` is usize and stays usize, so a
+        // wide variable can never silently truncate the mixed-radix layout.
+        let sorted_arities: Vec<usize> =
+            sorted_vars.iter().map(|&x| net.arity(x as usize)).collect();
 
+        let cells = checked_cells(&sorted_arities);
         let mut out = Factor {
             vars: sorted_vars,
             arities: sorted_arities,
-            values: vec![0.0; cpt.n_configs() * cpt.arity()],
+            values: vec![0.0; cells],
         };
         // Enumerate all assignments of (parents..., v) and place the CPT
         // entries at the sorted index.
@@ -70,7 +121,7 @@ impl Factor {
             // Sorted-index of this assignment.
             let mut idx = 0usize;
             for (slot, &orig_pos) in order.iter().enumerate() {
-                idx = idx * out.arities[slot] as usize + assignment[orig_pos] as usize;
+                idx = idx * out.arities[slot] + assignment[orig_pos] as usize;
             }
             out.values[idx] = p;
             // Odometer over the unsorted assignment.
@@ -81,12 +132,12 @@ impl Factor {
                 }
                 k -= 1;
                 let arity = if k == vars.len() - 1 {
-                    cpt.arity() as u8
+                    cpt.arity()
                 } else {
-                    net.arity(cpt.parents()[k] as usize) as u8
+                    net.arity(cpt.parents()[k] as usize)
                 };
                 assignment[k] += 1;
-                if assignment[k] < arity {
+                if (assignment[k] as usize) < arity {
                     break;
                 }
                 assignment[k] = 0;
@@ -102,6 +153,11 @@ impl Factor {
         &self.vars
     }
 
+    /// Arities aligned with [`Factor::vars`].
+    pub fn arities(&self) -> &[usize] {
+        &self.arities
+    }
+
     /// Number of table cells.
     pub fn cells(&self) -> usize {
         self.values.len()
@@ -109,12 +165,12 @@ impl Factor {
 
     /// Value at a full assignment of this factor's variables (aligned with
     /// [`Factor::vars`]).
-    pub fn value_at(&self, assignment: &[u8]) -> f64 {
+    pub fn value_at(&self, assignment: &[usize]) -> f64 {
         assert_eq!(assignment.len(), self.vars.len());
         let mut idx = 0usize;
         for (i, &v) in assignment.iter().enumerate() {
             debug_assert!(v < self.arities[i]);
-            idx = idx * self.arities[i] as usize + v as usize;
+            idx = idx * self.arities[i] + v;
         }
         self.values[idx]
     }
@@ -141,37 +197,8 @@ impl Factor {
                 j += 1;
             }
         }
-        // Positions of each operand's vars within the union.
-        let pos = |f: &Factor| -> Vec<usize> {
-            f.vars
-                .iter()
-                .map(|v| vars.binary_search(v).expect("var in union"))
-                .collect()
-        };
-        let pos_a = pos(self);
-        let pos_b = pos(other);
-        let cells: usize = arities.iter().map(|&a| a as usize).product();
-        let mut values = Vec::with_capacity(cells);
-        let mut assignment = vec![0u8; vars.len()];
-        for _ in 0..cells {
-            let a_val = {
-                let asg: Vec<u8> = pos_a.iter().map(|&p| assignment[p]).collect();
-                self.value_at(&asg)
-            };
-            let b_val = {
-                let asg: Vec<u8> = pos_b.iter().map(|&p| assignment[p]).collect();
-                other.value_at(&asg)
-            };
-            values.push(a_val * b_val);
-            // Odometer (last variable least significant).
-            for k in (0..vars.len()).rev() {
-                assignment[k] += 1;
-                if assignment[k] < arities[k] {
-                    break;
-                }
-                assignment[k] = 0;
-            }
-        }
+        let mut values = Vec::new();
+        product_into(&vars, &arities, &[self, other], &mut values);
         Factor {
             vars,
             arities,
@@ -185,11 +212,8 @@ impl Factor {
     /// Panics if `var` is not in the factor.
     pub fn marginalize(&self, var: u32) -> Factor {
         let pos = self.vars.binary_search(&var).expect("var must be in scope");
-        let arity = self.arities[pos] as usize;
-        let right: usize = self.arities[pos + 1..]
-            .iter()
-            .map(|&a| a as usize)
-            .product();
+        let arity = self.arities[pos];
+        let right: usize = self.arities[pos + 1..].iter().product();
         let left_cells = self.values.len() / (arity * right);
         let mut vars = self.vars.clone();
         let mut arities = self.arities.clone();
@@ -218,12 +242,9 @@ impl Factor {
     /// Panics if `var` is not in the factor or `value` out of range.
     pub fn reduce(&self, var: u32, value: u8) -> Factor {
         let pos = self.vars.binary_search(&var).expect("var must be in scope");
-        let arity = self.arities[pos] as usize;
+        let arity = self.arities[pos];
         assert!((value as usize) < arity, "evidence value out of range");
-        let right: usize = self.arities[pos + 1..]
-            .iter()
-            .map(|&a| a as usize)
-            .product();
+        let right: usize = self.arities[pos + 1..].iter().product();
         let left_cells = self.values.len() / (arity * right);
         let mut vars = self.vars.clone();
         let mut arities = self.arities.clone();
@@ -241,15 +262,20 @@ impl Factor {
         }
     }
 
-    /// Normalize to total mass 1 (no-op on an all-zero factor).
-    pub fn normalized(mut self) -> Factor {
+    /// Normalize to total mass 1.
+    ///
+    /// An all-zero factor has no normalization — that is exactly the
+    /// impossible-evidence situation — so the zero (or non-finite) total is
+    /// reported instead of being silently passed through.
+    pub fn normalized(mut self) -> Result<Factor, InferenceError> {
         let total: f64 = self.values.iter().sum();
-        if total > 0.0 {
-            for v in &mut self.values {
-                *v /= total;
-            }
+        if !(total > 0.0 && total.is_finite()) {
+            return Err(InferenceError::ImpossibleEvidence);
         }
-        self
+        for v in &mut self.values {
+            *v /= total;
+        }
+        Ok(self)
     }
 
     /// Raw values (mixed-radix, first var most significant).
@@ -258,31 +284,176 @@ impl Factor {
     }
 }
 
+/// Fill `out` with the pointwise product of `srcs` over the destination
+/// scope `(dst_vars, dst_arities)`: `out[cell] = ∏ src(cell↓scope(src))`.
+///
+/// Every source's scope must be a subset of the destination scope. The walk
+/// is a single mixed-radix odometer per source with incrementally
+/// maintained source indices — no per-cell allocation — and sources are
+/// folded in slice order, so the result is bitwise deterministic for a
+/// fixed `srcs` order regardless of calling thread or schedule.
+pub(crate) fn product_into(
+    dst_vars: &[u32],
+    dst_arities: &[usize],
+    srcs: &[&Factor],
+    out: &mut Vec<f64>,
+) {
+    let cells = checked_cells(dst_arities);
+    out.clear();
+    out.resize(cells, 1.0);
+    product_into_slice(dst_vars, dst_arities, srcs, out);
+}
+
+/// [`product_into`] over a pre-sized buffer already filled with ones.
+pub(crate) fn product_into_slice(
+    dst_vars: &[u32],
+    dst_arities: &[usize],
+    srcs: &[&Factor],
+    out: &mut [f64],
+) {
+    let k = dst_vars.len();
+    let mut digits = vec![0usize; k];
+    for src in srcs {
+        // Stride of each destination digit within the source table (0 when
+        // the source does not contain that variable).
+        let mut steps = vec![0usize; k];
+        {
+            let mut stride = 1usize;
+            for (i, &v) in src.vars.iter().enumerate().rev() {
+                let d = dst_vars
+                    .binary_search(&v)
+                    .expect("source scope must be a subset of the destination scope");
+                debug_assert_eq!(dst_arities[d], src.arities[i], "arity mismatch in product");
+                steps[d] = stride;
+                stride *= src.arities[i];
+            }
+        }
+        digits.iter_mut().for_each(|d| *d = 0);
+        let mut si = 0usize;
+        for cell in out.iter_mut() {
+            *cell *= src.values[si];
+            // Odometer, last destination digit least significant.
+            for d in (0..k).rev() {
+                digits[d] += 1;
+                if digits[d] < dst_arities[d] {
+                    si += steps[d];
+                    break;
+                }
+                digits[d] = 0;
+                si -= steps[d] * (dst_arities[d] - 1);
+            }
+        }
+    }
+}
+
+/// Sum `src` (a table over `(src_vars, src_arities)`) onto the subset
+/// scope `keep`, writing the marginal into a [`Factor`].
+///
+/// # Panics
+/// Panics if `keep` is not a subset of `src_vars`.
+pub(crate) fn marginalize_onto(
+    src_vars: &[u32],
+    src_arities: &[usize],
+    src: &[f64],
+    keep: &[u32],
+) -> Factor {
+    let keep_arities: Vec<usize> = keep
+        .iter()
+        .map(|v| {
+            let p = src_vars
+                .binary_search(v)
+                .expect("keep scope must be a subset of the source scope");
+            src_arities[p]
+        })
+        .collect();
+    let dst_cells = checked_cells(&keep_arities);
+    let mut values = vec![0.0; dst_cells];
+    // Stride of each source digit within the destination (0 if summed out).
+    let k = src_vars.len();
+    let mut steps = vec![0usize; k];
+    {
+        let mut stride = 1usize;
+        for (i, &v) in keep.iter().enumerate().rev() {
+            let p = src_vars.binary_search(&v).expect("subset checked above");
+            steps[p] = stride;
+            stride *= keep_arities[i];
+        }
+    }
+    let mut digits = vec![0usize; k];
+    let mut di = 0usize;
+    for &x in src {
+        values[di] += x;
+        for d in (0..k).rev() {
+            digits[d] += 1;
+            if digits[d] < src_arities[d] {
+                di += steps[d];
+                break;
+            }
+            digits[d] = 0;
+            di -= steps[d] * (src_arities[d] - 1);
+        }
+    }
+    Factor {
+        vars: keep.to_vec(),
+        arities: keep_arities,
+        values,
+    }
+}
+
+/// Canonicalize an evidence list: sort by variable, drop exact duplicates,
+/// and reject contradictions (one variable assigned two different values —
+/// an event of probability zero).
+pub(crate) fn canonical_evidence(
+    evidence: &[(usize, u8)],
+) -> Result<Vec<(usize, u8)>, InferenceError> {
+    let mut ev = evidence.to_vec();
+    ev.sort_unstable();
+    ev.dedup();
+    if ev.windows(2).any(|w| w[0].0 == w[1].0) {
+        return Err(InferenceError::ImpossibleEvidence);
+    }
+    Ok(ev)
+}
+
 /// Exact posterior `P(query | evidence)` by variable elimination with a
-/// greedy min-resulting-factor-size ordering.
+/// greedy min-resulting-factor-size ordering (ties broken towards the
+/// lowest variable id, so the elimination order — and hence the exact
+/// floating-point result — is platform- and schedule-invariant).
+///
+/// # Errors
+/// [`InferenceError::ImpossibleEvidence`] when the evidence has probability
+/// zero under the model (including contradictory evidence).
 ///
 /// # Panics
 /// Panics if `query` appears in the evidence, or any index/value is out of
 /// range.
-pub fn variable_elimination(net: &BayesNet, query: usize, evidence: &[(usize, u8)]) -> Vec<f64> {
+pub fn variable_elimination(
+    net: &BayesNet,
+    query: usize,
+    evidence: &[(usize, u8)],
+) -> Result<Vec<f64>, InferenceError> {
     assert!(query < net.n(), "query variable out of range");
     assert!(
         evidence.iter().all(|&(v, _)| v != query),
         "query cannot also be evidence"
     );
+    for &(v, val) in evidence {
+        assert!(v < net.n(), "evidence variable out of range");
+        assert!((val as usize) < net.arity(v), "evidence value out of range");
+    }
+    let evidence = canonical_evidence(evidence)?;
 
     // CPT factors, reduced by evidence.
     let mut factors: Vec<Factor> = (0..net.n())
         .map(|v| {
             let mut f = Factor::from_cpt(net, v);
-            for &(ev, val) in evidence {
+            for &(ev, val) in &evidence {
                 if f.vars().contains(&(ev as u32)) {
                     f = f.reduce(ev as u32, val);
                 }
             }
             f
         })
-        .filter(|f| !f.vars().is_empty() || f.cells() > 0)
         .collect();
 
     // Eliminate every non-query, non-evidence variable.
@@ -291,7 +462,8 @@ pub fn variable_elimination(net: &BayesNet, query: usize, evidence: &[(usize, u8
         .collect();
 
     while !to_eliminate.is_empty() {
-        // Greedy: eliminate the variable whose combined factor is smallest.
+        // Greedy: eliminate the variable whose combined factor is smallest;
+        // ties go to the lowest variable id (canonical order).
         let (best_idx, _) = to_eliminate
             .iter()
             .enumerate()
@@ -302,13 +474,13 @@ pub fn variable_elimination(net: &BayesNet, query: usize, evidence: &[(usize, u8
                     for (&fv, &fa) in f.vars.iter().zip(&f.arities) {
                         if fv != v && !seen.contains(&fv) {
                             seen.push(fv);
-                            cells = cells.saturating_mul(fa as usize);
+                            cells = cells.saturating_mul(fa);
                         }
                     }
                 }
-                (i, cells)
+                (i, (cells, v))
             })
-            .min_by_key(|&(_, cells)| cells)
+            .min_by_key(|&(_, key)| key)
             .expect("nonempty elimination set");
         let var = to_eliminate.swap_remove(best_idx);
 
@@ -325,28 +497,47 @@ pub fn variable_elimination(net: &BayesNet, query: usize, evidence: &[(usize, u8
         factors.push(combined.marginalize(var));
     }
 
-    // Multiply what remains (all scoped over {query} or empty).
+    // Multiply what remains: factors scoped over {query}, plus constant
+    // (empty-scope) factors left by fully reduced evidence families. The
+    // constants matter — a zero constant means the evidence configuration
+    // is impossible within some family, and the posterior must report
+    // that, not renormalize it away.
     let mut result = Factor::new(
         vec![query as u32],
-        vec![net.arity(query) as u8],
+        vec![net.arity(query)],
         vec![1.0; net.arity(query)],
     );
     for f in &factors {
         if f.vars().is_empty() {
-            continue; // constant factors cancel in normalization
+            for v in &mut result.values {
+                *v *= f.values[0];
+            }
+        } else {
+            result = result.product(f);
         }
-        result = result.product(f);
     }
-    result.normalized().values().to_vec()
+    Ok(result.normalized()?.values().to_vec())
 }
 
 /// Brute-force posterior by full joint enumeration — the test oracle for
 /// [`variable_elimination`] (exponential; small nets only).
-pub fn brute_force_posterior(net: &BayesNet, query: usize, evidence: &[(usize, u8)]) -> Vec<f64> {
+///
+/// # Errors
+/// [`InferenceError::ImpossibleEvidence`] when the evidence has probability
+/// zero under the model (including contradictory evidence).
+pub fn brute_force_posterior(
+    net: &BayesNet,
+    query: usize,
+    evidence: &[(usize, u8)],
+) -> Result<Vec<f64>, InferenceError> {
     let n = net.n();
+    // A contradictory evidence list matches no assignment, so the loop
+    // below would naturally yield zero mass — but canonicalize anyway so
+    // the error surface matches `variable_elimination` exactly.
+    let evidence = canonical_evidence(evidence)?;
     let mut posterior = vec![0.0; net.arity(query)];
     let mut assignment = vec![0u8; n];
-    loop {
+    'outer: loop {
         if evidence.iter().all(|&(v, val)| assignment[v] == val) {
             posterior[assignment[query] as usize] += net.joint_probability(&assignment);
         }
@@ -354,13 +545,7 @@ pub fn brute_force_posterior(net: &BayesNet, query: usize, evidence: &[(usize, u
         let mut k = n;
         loop {
             if k == 0 {
-                let total: f64 = posterior.iter().sum();
-                if total > 0.0 {
-                    for p in &mut posterior {
-                        *p /= total;
-                    }
-                }
-                return posterior;
+                break 'outer;
             }
             k -= 1;
             assignment[k] += 1;
@@ -369,16 +554,18 @@ pub fn brute_force_posterior(net: &BayesNet, query: usize, evidence: &[(usize, u
             }
             assignment[k] = 0;
             if k == 0 {
-                let total: f64 = posterior.iter().sum();
-                if total > 0.0 {
-                    for p in &mut posterior {
-                        *p /= total;
-                    }
-                }
-                return posterior;
+                break 'outer;
             }
         }
     }
+    let total: f64 = posterior.iter().sum();
+    if !(total > 0.0 && total.is_finite()) {
+        return Err(InferenceError::ImpossibleEvidence);
+    }
+    for p in &mut posterior {
+        *p /= total;
+    }
+    Ok(posterior)
 }
 
 #[cfg(test)]
@@ -390,7 +577,7 @@ mod tests {
 
     /// Classic sprinkler network: cloudy → sprinkler, cloudy → rain,
     /// sprinkler/rain → wet.
-    fn sprinkler() -> BayesNet {
+    pub(crate) fn sprinkler() -> BayesNet {
         let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let cloudy = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
         let sprinkler = Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap();
@@ -426,8 +613,8 @@ mod tests {
     fn prior_marginal_matches_brute_force() {
         let net = sprinkler();
         for q in 0..4 {
-            let ve = variable_elimination(&net, q, &[]);
-            let bf = brute_force_posterior(&net, q, &[]);
+            let ve = variable_elimination(&net, q, &[]).unwrap();
+            let bf = brute_force_posterior(&net, q, &[]).unwrap();
             assert_dist_close(&ve, &bf, 1e-12);
         }
     }
@@ -436,11 +623,11 @@ mod tests {
     fn classic_explaining_away() {
         let net = sprinkler();
         // P(rain=1 | wet=1) — raised above prior.
-        let prior = variable_elimination(&net, 2, &[]);
-        let posterior = variable_elimination(&net, 2, &[(3, 1)]);
+        let prior = variable_elimination(&net, 2, &[]).unwrap();
+        let posterior = variable_elimination(&net, 2, &[(3, 1)]).unwrap();
         assert!(posterior[1] > prior[1], "wet grass raises rain belief");
         // Also seeing the sprinkler on explains the wet grass away.
-        let explained = variable_elimination(&net, 2, &[(3, 1), (1, 1)]);
+        let explained = variable_elimination(&net, 2, &[(3, 1), (1, 1)]).unwrap();
         assert!(
             explained[1] < posterior[1],
             "sprinkler evidence must lower rain belief: {explained:?} vs {posterior:?}"
@@ -448,12 +635,12 @@ mod tests {
         // All match brute force.
         assert_dist_close(
             &posterior,
-            &brute_force_posterior(&net, 2, &[(3, 1)]),
+            &brute_force_posterior(&net, 2, &[(3, 1)]).unwrap(),
             1e-12,
         );
         assert_dist_close(
             &explained,
-            &brute_force_posterior(&net, 2, &[(3, 1), (1, 1)]),
+            &brute_force_posterior(&net, 2, &[(3, 1), (1, 1)]).unwrap(),
             1e-12,
         );
     }
@@ -464,8 +651,8 @@ mod tests {
             let net = generate_network(&NetworkSpec::small("ve", 7, 8), seed);
             let evidence = vec![(0usize, 0u8), (3usize, 1u8.min(net.arity(3) as u8 - 1))];
             for q in [1usize, 5] {
-                let ve = variable_elimination(&net, q, &evidence);
-                let bf = brute_force_posterior(&net, q, &evidence);
+                let ve = variable_elimination(&net, q, &evidence).unwrap();
+                let bf = brute_force_posterior(&net, q, &evidence).unwrap();
                 assert_dist_close(&ve, &bf, 1e-9);
             }
         }
@@ -474,10 +661,63 @@ mod tests {
     #[test]
     fn posterior_is_a_distribution() {
         let net = sprinkler();
-        let p = variable_elimination(&net, 0, &[(3, 1)]);
+        let p = variable_elimination(&net, 0, &[(3, 1)]).unwrap();
         let total: f64 = p.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
         assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn impossible_evidence_is_an_error_not_a_zero_vector() {
+        // Sprinkler: P(wet=1 | sprinkler=0, rain=0) = 0, so conditioning on
+        // {sprinkler=0, rain=0, wet=1} is conditioning on a null event.
+        let net = sprinkler();
+        let ev = [(1usize, 0u8), (2, 0), (3, 1)];
+        assert_eq!(
+            variable_elimination(&net, 0, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        assert_eq!(
+            brute_force_posterior(&net, 0, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+    }
+
+    #[test]
+    fn zero_constant_factor_poisons_disconnected_query() {
+        // A root whose observed state has probability zero must make *any*
+        // query impossible — even one d-separated from the evidence. The
+        // old code dropped constant factors before normalizing and returned
+        // a clean-looking posterior.
+        let dag = Dag::empty(2);
+        let a = Cpt::new(2, vec![], vec![], vec![1.0, 0.0]).unwrap();
+        let b = Cpt::new(2, vec![], vec![], vec![0.3, 0.7]).unwrap();
+        let net = BayesNet::new("zero-root", dag, vec![a, b], vec!["A".into(), "B".into()]);
+        assert_eq!(
+            variable_elimination(&net, 1, &[(0, 1)]),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        assert_eq!(
+            brute_force_posterior(&net, 1, &[(0, 1)]),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+    }
+
+    #[test]
+    fn contradictory_evidence_is_impossible() {
+        let net = sprinkler();
+        let ev = [(1usize, 0u8), (1, 1)];
+        assert_eq!(
+            variable_elimination(&net, 0, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        assert_eq!(
+            brute_force_posterior(&net, 0, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        // Duplicate-but-consistent evidence is fine (and bitwise equal).
+        let ok = variable_elimination(&net, 0, &[(1, 1), (1, 1)]).unwrap();
+        assert_eq!(ok, variable_elimination(&net, 0, &[(1, 1)]).unwrap());
     }
 
     #[test]
@@ -508,9 +748,60 @@ mod tests {
     }
 
     #[test]
+    fn factor_supports_arities_beyond_u8() {
+        // Regression for the old `net.arity(x) as u8` truncation: a
+        // 300-state variable must keep its full mixed-radix layout.
+        let wide = Factor::new(vec![3], vec![300], (0..300).map(|i| i as f64).collect());
+        assert_eq!(wide.cells(), 300);
+        assert_eq!(wide.value_at(&[256]), 256.0);
+        let pair = Factor::new(vec![7], vec![2], vec![10.0, 100.0]);
+        let prod = wide.product(&pair);
+        assert_eq!(prod.cells(), 600);
+        assert!((prod.value_at(&[256, 1]) - 25600.0).abs() < 1e-9);
+        let marg = prod.marginalize(7);
+        assert!((marg.value_at(&[299]) - 299.0 * 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_cpt_preserves_every_arity_exactly() {
+        let net = generate_network(&NetworkSpec::small("arity", 8, 10), 2);
+        for v in 0..net.n() {
+            let f = Factor::from_cpt(&net, v);
+            for (&fv, &fa) in f.vars().iter().zip(f.arities()) {
+                assert_eq!(fa, net.arity(fv as usize), "arity truncated at {fv}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn factor_cell_overflow_is_a_clean_panic() {
+        // A clique wide enough to overflow the cell count must panic with a
+        // clear message instead of wrapping into a tiny allocation.
+        let _ = Factor::new(
+            vec![0, 1, 2],
+            vec![usize::MAX / 2, 4, 4],
+            vec![], // never reached
+        );
+    }
+
+    #[test]
+    fn normalized_rejects_zero_mass() {
+        let zero = Factor::new(vec![0], vec![2], vec![0.0, 0.0]);
+        assert!(matches!(
+            zero.normalized(),
+            Err(InferenceError::ImpossibleEvidence)
+        ));
+        let ok = Factor::new(vec![0], vec![2], vec![1.0, 3.0])
+            .normalized()
+            .unwrap();
+        assert_dist_close(ok.values(), &[0.25, 0.75], 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "query cannot also be evidence")]
     fn query_as_evidence_panics() {
-        variable_elimination(&sprinkler(), 0, &[(0, 1)]);
+        let _ = variable_elimination(&sprinkler(), 0, &[(0, 1)]);
     }
 
     #[test]
@@ -521,5 +812,38 @@ mod tests {
         assert_eq!(f.vars(), &[1, 2, 3]);
         // P(wet=1 | sprinkler=1, rain=0) = 0.9
         assert!((f.value_at(&[1, 0, 1]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_into_matches_pairwise_products() {
+        let f1 = Factor::new(vec![0, 2], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let f2 = Factor::new(vec![1, 2], vec![2, 3], vec![0.5, 1., 1.5, 2., 2.5, 3.]);
+        let f3 = Factor::new(vec![2], vec![3], vec![2.0, 0.5, 1.0]);
+        let reference = f1.product(&f2).product(&f3);
+        let vars = vec![0u32, 1, 2];
+        let arities = vec![2usize, 2, 3];
+        let mut out = Vec::new();
+        product_into(&vars, &arities, &[&f1, &f2, &f3], &mut out);
+        assert_eq!(out.len(), reference.cells());
+        for (a, b) in out.iter().zip(reference.values()) {
+            assert!((a - b).abs() < 1e-12, "{out:?} vs {:?}", reference.values());
+        }
+    }
+
+    #[test]
+    fn marginalize_onto_matches_repeated_marginalize() {
+        let f1 = Factor::new(vec![0, 1], vec![2, 2], vec![0.3, 0.7, 0.9, 0.1]);
+        let f2 = Factor::new(vec![1, 2], vec![2, 2], vec![0.2, 0.8, 0.6, 0.4]);
+        let prod = f1.product(&f2);
+        let reference = prod.marginalize(1); // keep {0, 2}
+        let m = marginalize_onto(prod.vars(), prod.arities(), prod.values(), &[0, 2]);
+        assert_eq!(m.vars(), reference.vars());
+        for (a, b) in m.values().iter().zip(reference.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Marginalizing onto the empty scope gives the total mass.
+        let total = marginalize_onto(prod.vars(), prod.arities(), prod.values(), &[]);
+        let expected: f64 = prod.values().iter().sum();
+        assert!((total.values()[0] - expected).abs() < 1e-12);
     }
 }

@@ -1,0 +1,1029 @@
+//! Junction-tree exact inference at serving speed.
+//!
+//! [`crate::infer::variable_elimination`] re-runs the whole elimination for
+//! every query: on a fitted network answering thousands of posterior
+//! queries (the hot loop a serving daemon sits on — ROADMAP "parallel
+//! exact inference at serving speed", and the Fast-BNS authors' follow-up
+//! poster *Fast Parallel Exact Inference on Bayesian Networks*), that
+//! repeats the same clique products over and over. A [`JoinTree`] pays the
+//! elimination cost **once**:
+//!
+//! 1. **moralize** the fitted DAG (marry parents, drop directions),
+//! 2. **triangulate** with greedy min-fill (ties to the lowest variable
+//!    id, so the tree — and every downstream float — is platform- and
+//!    thread-count-invariant),
+//! 3. collect the maximal **cliques** and connect them into a junction
+//!    tree (maximum-sepset-weight spanning tree, canonical tie-breaks),
+//! 4. **calibrate** with two-pass belief propagation — clique-potential
+//!    products and sepset marginalizations fanned over the existing
+//!    [`fastbn_parallel::StealPool`], with every per-clique reduction in a
+//!    fixed structural order so the calibrated beliefs are **bitwise
+//!    identical at 1, 2, 4 and 8 threads**.
+//!
+//! Queries then amortize: [`JoinTree::posteriors`] answers a whole batch
+//! against the calibrated tree in one pass. Evidence-free queries are a
+//! single sepset-sized marginalization; queries with evidence are grouped
+//! by evidence set and answered by **local re-propagation** — only the
+//! messages on the paths between the evidence cliques, the root and the
+//! target are recomputed, every other message is reused from the base
+//! calibration. Distinct evidence groups are independent, so the batch
+//! fans over the `StealPool` with one [`fastbn_stats::FactorArena`] of
+//! reusable product tables per worker.
+//!
+//! ## Memory cost
+//!
+//! Calibration stores one belief table per clique: the resident cost is
+//! `Σ_C ∏ arities(C)` cells — exponential in the clique width, which is
+//! why [`JoinTreeStats::max_clique_cells`] is worth checking before
+//! calibrating a dense network (variable elimination never materializes
+//! more than one elimination frontier at a time and stays the better tool
+//! for one-off queries on wide models).
+
+use crate::bayesnet::BayesNet;
+use crate::infer::{
+    canonical_evidence, checked_cells, marginalize_onto, product_into_slice, Factor, InferenceError,
+};
+use fastbn_graph::{BitSet, UGraph};
+use fastbn_parallel::{run_steal_pool, StealPool, StepResult, Team};
+use fastbn_stats::FactorArena;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// One posterior request: `P(target | evidence)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The query variable.
+    pub target: usize,
+    /// Observed `(variable, state)` pairs (any order; duplicates allowed,
+    /// contradictions are [`InferenceError::ImpossibleEvidence`]).
+    pub evidence: Vec<(usize, u8)>,
+}
+
+impl Query {
+    /// An evidence-free marginal query.
+    pub fn marginal(target: usize) -> Self {
+        Self {
+            target,
+            evidence: Vec::new(),
+        }
+    }
+
+    /// A conditional query.
+    pub fn with_evidence(target: usize, evidence: Vec<(usize, u8)>) -> Self {
+        Self { target, evidence }
+    }
+}
+
+/// One answered query: the normalized distribution over `target`'s states.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Posterior {
+    /// The query variable this distribution is over.
+    pub target: usize,
+    /// `P(target = s | evidence)` for each state `s`.
+    pub probs: Vec<f64>,
+}
+
+/// Structural statistics of a built [`JoinTree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTreeStats {
+    /// Number of cliques (nodes of the junction tree).
+    pub n_cliques: usize,
+    /// Largest clique size in *variables* (treewidth + 1 of the
+    /// triangulation found).
+    pub width: usize,
+    /// Largest clique table in *cells* — the dominant per-message cost.
+    pub max_clique_cells: usize,
+    /// Total cells across all calibrated belief tables — the resident
+    /// memory cost of keeping the tree calibrated.
+    pub total_belief_cells: usize,
+}
+
+/// One clique of the junction tree.
+struct Clique {
+    /// Member variables (sorted by id).
+    vars: Vec<u32>,
+    /// Arities aligned with `vars`.
+    arities: Vec<usize>,
+    /// Table cells (`∏ arities`, checked).
+    cells: usize,
+    /// Parent clique in the rooted tree (`None` for the root).
+    parent: Option<usize>,
+    /// Child cliques (sorted — this order is the fixed reduction order).
+    children: Vec<usize>,
+    /// Variables shared with the parent (sorted; empty for the root and
+    /// across disconnected components).
+    sepset: Vec<u32>,
+}
+
+/// A calibrated junction tree over one fitted [`BayesNet`].
+pub struct JoinTree {
+    n_vars: usize,
+    arities: Vec<usize>,
+    cliques: Vec<Clique>,
+    /// Clique ids grouped by depth from the root (level 0 = root). Within
+    /// a level all messages are independent — the parallel wavefront.
+    levels: Vec<Vec<usize>>,
+    /// For each variable, the lowest-indexed clique containing it.
+    home: Vec<usize>,
+    /// Evidence-free clique potentials (products of assigned CPT factors).
+    potentials: Vec<Factor>,
+    /// Base upward messages from the evidence-free calibration (`None`
+    /// only at the root). Reused by local re-propagation for every clique
+    /// whose subtree holds no evidence.
+    base_up: Vec<Option<Factor>>,
+    /// Calibrated evidence-free beliefs, one full table per clique.
+    beliefs: Vec<Factor>,
+    threads: usize,
+    stats: JoinTreeStats,
+}
+
+impl JoinTree {
+    /// Build and calibrate a junction tree for `net`, fanning clique work
+    /// over `threads` workers (0 is promoted to 1). Results are bitwise
+    /// identical for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `net` has no nodes, or a clique table would overflow
+    /// `usize` (astronomically wide cliques).
+    pub fn build(net: &BayesNet, threads: usize) -> Self {
+        assert!(net.n() > 0, "cannot build a join tree over zero variables");
+        let threads = threads.max(1);
+        let n = net.n();
+        let arities: Vec<usize> = (0..n).map(|v| net.arity(v)).collect();
+
+        // 1. Moral graph: skeleton plus married parents.
+        let moral = moralize(net);
+        // 2–3. Min-fill triangulation → maximal cliques → spanning tree.
+        let clique_sets = maximal_cliques(&moral);
+        let parent = max_sepset_spanning_tree(&clique_sets);
+
+        let k = clique_sets.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (j, &p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p].push(j);
+            }
+        }
+        // Child lists are pushed in ascending j — already the canonical
+        // (sorted) reduction order.
+        let mut cliques: Vec<Clique> = Vec::with_capacity(k);
+        for (j, vars) in clique_sets.iter().enumerate() {
+            let c_arities: Vec<usize> = vars.iter().map(|&v| arities[v as usize]).collect();
+            let cells = checked_cells(&c_arities);
+            let sepset = match parent[j] {
+                Some(p) => intersect_sorted(vars, &clique_sets[p]),
+                None => Vec::new(),
+            };
+            cliques.push(Clique {
+                vars: vars.clone(),
+                arities: c_arities,
+                cells,
+                parent: parent[j],
+                children: std::mem::take(&mut children[j]),
+                sepset,
+            });
+        }
+
+        // BFS levels from the root.
+        let mut levels: Vec<Vec<usize>> = vec![vec![0]];
+        loop {
+            let next: Vec<usize> = levels
+                .last()
+                .unwrap()
+                .iter()
+                .flat_map(|&c| cliques[c].children.iter().copied())
+                .collect();
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
+        }
+
+        // Home cliques and family assignment.
+        let home: Vec<usize> = (0..n as u32)
+            .map(|v| {
+                cliques
+                    .iter()
+                    .position(|c| c.vars.binary_search(&v).is_ok())
+                    .expect("every variable appears in some clique")
+            })
+            .collect();
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for v in 0..n {
+            let mut family: Vec<u32> = net.cpt(v).parents().to_vec();
+            family.push(v as u32);
+            family.sort_unstable();
+            let c = cliques
+                .iter()
+                .position(|c| is_subset(&family, &c.vars))
+                .expect("moralization guarantees a clique containing each family");
+            assigned[c].push(v);
+        }
+
+        let stats = JoinTreeStats {
+            n_cliques: k,
+            width: cliques.iter().map(|c| c.vars.len()).max().unwrap_or(0),
+            max_clique_cells: cliques.iter().map(|c| c.cells).max().unwrap_or(0),
+            total_belief_cells: cliques.iter().map(|c| c.cells).sum(),
+        };
+
+        let mut tree = JoinTree {
+            n_vars: n,
+            arities,
+            cliques,
+            levels,
+            home,
+            potentials: Vec::new(),
+            base_up: Vec::new(),
+            beliefs: Vec::new(),
+            threads,
+            stats,
+        };
+        tree.calibrate(net, &assigned);
+        tree
+    }
+
+    /// Structural statistics (clique count, width, table sizes).
+    pub fn stats(&self) -> &JoinTreeStats {
+        &self.stats
+    }
+
+    /// Worker-thread count used for calibration and batched queries.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evidence-free potential construction plus the two-pass calibration,
+    /// both fanned over a [`StealPool`] level by level.
+    fn calibrate(&mut self, net: &BayesNet, assigned: &[Vec<usize>]) {
+        let k = self.cliques.len();
+        let cpt_factors: Vec<Factor> = (0..self.n_vars).map(|v| Factor::from_cpt(net, v)).collect();
+
+        // Clique potentials: each clique's assigned CPT factors multiplied
+        // (in node-id order) into a full clique-scope table.
+        let potentials = self.par_map(k, &(0..k).collect::<Vec<_>>(), &|c, arena| {
+            let srcs: Vec<&Factor> = assigned[c].iter().map(|&v| &cpt_factors[v]).collect();
+            self.scope_product(c, &srcs, arena)
+        });
+        self.potentials = potentials.into_iter().map(Option::unwrap).collect();
+
+        // Upward pass: deepest level first; every clique's message to its
+        // parent depends only on the previous (deeper) levels.
+        let mut up: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        for depth in (1..self.levels.len()).rev() {
+            let ids = self.levels[depth].clone();
+            let mut computed =
+                self.par_map(k, &ids, &|c, arena| self.up_message(c, None, &up, arena));
+            for &c in &ids {
+                up[c] = computed[c].take();
+            }
+        }
+        // Downward pass: root level first; each clique computes its own
+        // inbound message from its parent's data.
+        let mut down: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        for depth in 1..self.levels.len() {
+            let ids = self.levels[depth].clone();
+            let mut computed = self.par_map(k, &ids, &|c, arena| {
+                self.down_message(c, None, &down, &up, arena)
+            });
+            for &c in &ids {
+                down[c] = computed[c].take();
+            }
+        }
+        // Beliefs: potential × inbound message × child messages, full scope.
+        let beliefs = self.par_map(k, &(0..k).collect::<Vec<_>>(), &|c, arena| {
+            let srcs = self.belief_sources(c, None, &down, &up);
+            self.scope_product(c, &srcs, arena)
+        });
+        self.beliefs = beliefs.into_iter().map(Option::unwrap).collect();
+        self.base_up = up;
+    }
+
+    /// Run `f` over `ids`, fanned over the `StealPool` when it pays, and
+    /// collect the results into an id-indexed vector (length `slots`).
+    /// Each id is processed by exactly one worker with a fixed-order
+    /// closure, so the output is schedule-invariant.
+    fn par_map(
+        &self,
+        slots: usize,
+        ids: &[usize],
+        f: &(dyn Fn(usize, &mut FactorArena) -> Factor + Sync),
+    ) -> Vec<Option<Factor>> {
+        let mut out: Vec<Option<Factor>> = (0..slots).map(|_| None).collect();
+        if self.threads <= 1 || ids.len() <= 1 {
+            let mut arena = FactorArena::new();
+            for &id in ids {
+                out[id] = Some(f(id, &mut arena));
+            }
+            return out;
+        }
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); self.threads];
+        for (i, &id) in ids.iter().enumerate() {
+            shards[i % self.threads].push(id);
+        }
+        let pool = StealPool::from_shards(shards);
+        let scratch: Vec<Mutex<FactorArena>> = (0..self.threads)
+            .map(|_| Mutex::new(FactorArena::new()))
+            .collect();
+        let results = Mutex::new(Vec::with_capacity(ids.len()));
+        Team::scoped(self.threads, |team| {
+            run_steal_pool(team, &pool, |tid, id| {
+                let msg = f(id, &mut scratch[tid].lock());
+                results.lock().push((id, msg));
+                StepResult::Done
+            });
+        });
+        for (id, msg) in results.into_inner() {
+            out[id] = Some(msg);
+        }
+        out
+    }
+
+    /// The potential of clique `c` under an evidence overlay (`None` means
+    /// the base, evidence-free potential).
+    fn pot<'a>(&'a self, c: usize, overlay: Option<&'a [Option<Factor>]>) -> &'a Factor {
+        overlay
+            .and_then(|o| o[c].as_ref())
+            .unwrap_or(&self.potentials[c])
+    }
+
+    /// Upward message of clique `c` to its parent: the clique product
+    /// (potential × child messages, fixed order) marginalized onto the
+    /// parent sepset.
+    fn up_message(
+        &self,
+        c: usize,
+        overlay: Option<&[Option<Factor>]>,
+        up: &[Option<Factor>],
+        arena: &mut FactorArena,
+    ) -> Factor {
+        let cl = &self.cliques[c];
+        let mut srcs: Vec<&Factor> = Vec::with_capacity(cl.children.len() + 1);
+        srcs.push(self.pot(c, overlay));
+        for &ch in &cl.children {
+            srcs.push(up[ch].as_ref().expect("child message computed first"));
+        }
+        self.message(c, &srcs, &cl.sepset, arena)
+    }
+
+    /// Downward message into clique `c` from its parent: the parent's
+    /// product with `c`'s own contribution left out, marginalized onto
+    /// `c`'s sepset.
+    fn down_message(
+        &self,
+        c: usize,
+        overlay: Option<&[Option<Factor>]>,
+        down: &[Option<Factor>],
+        up: &[Option<Factor>],
+        arena: &mut FactorArena,
+    ) -> Factor {
+        let p = self.cliques[c].parent.expect("root has no inbound message");
+        let pc = &self.cliques[p];
+        let mut srcs: Vec<&Factor> = Vec::with_capacity(pc.children.len() + 1);
+        srcs.push(self.pot(p, overlay));
+        if let Some(d) = down[p].as_ref() {
+            srcs.push(d);
+        }
+        for &sib in &pc.children {
+            if sib != c {
+                srcs.push(up[sib].as_ref().expect("sibling message computed first"));
+            }
+        }
+        self.message(p, &srcs, &self.cliques[c].sepset, arena)
+    }
+
+    /// The fixed-order source list whose product is clique `c`'s belief.
+    fn belief_sources<'a>(
+        &'a self,
+        c: usize,
+        overlay: Option<&'a [Option<Factor>]>,
+        down: &'a [Option<Factor>],
+        up: &'a [Option<Factor>],
+    ) -> Vec<&'a Factor> {
+        let cl = &self.cliques[c];
+        let mut srcs: Vec<&Factor> = Vec::with_capacity(cl.children.len() + 2);
+        srcs.push(self.pot(c, overlay));
+        if let Some(d) = down[c].as_ref() {
+            srcs.push(d);
+        }
+        for &ch in &cl.children {
+            srcs.push(up[ch].as_ref().expect("child message computed first"));
+        }
+        srcs
+    }
+
+    /// Product of `srcs` over clique `c`'s scope, marginalized onto `keep`.
+    /// The clique-scope table lives in an arena slot, so repeated messages
+    /// reuse one allocation per worker.
+    fn message(&self, c: usize, srcs: &[&Factor], keep: &[u32], arena: &mut FactorArena) -> Factor {
+        let cl = &self.cliques[c];
+        arena.begin();
+        let slot = arena.alloc(cl.cells, 1.0);
+        let mut buf = arena.take(slot);
+        product_into_slice(&cl.vars, &cl.arities, srcs, &mut buf);
+        let out = marginalize_onto(&cl.vars, &cl.arities, &buf, keep);
+        arena.restore(slot, buf);
+        out
+    }
+
+    /// Product of `srcs` over clique `c`'s full scope, as an owned factor.
+    fn scope_product(&self, c: usize, srcs: &[&Factor], arena: &mut FactorArena) -> Factor {
+        // The arena keeps per-worker scratch alive for the message path;
+        // full-scope products are the tables we intend to keep, so they
+        // allocate their own storage.
+        let _ = arena;
+        let cl = &self.cliques[c];
+        let mut values = vec![1.0; cl.cells];
+        product_into_slice(&cl.vars, &cl.arities, srcs, &mut values);
+        Factor::new(cl.vars.clone(), cl.arities.clone(), values)
+    }
+
+    /// Posterior of a single variable (see [`JoinTree::posteriors`] for
+    /// the batched form this delegates to).
+    ///
+    /// # Errors
+    /// [`InferenceError::ImpossibleEvidence`] when the evidence has
+    /// probability zero under the model.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or a target that is also evidence.
+    pub fn posterior(
+        &self,
+        target: usize,
+        evidence: &[(usize, u8)],
+    ) -> Result<Vec<f64>, InferenceError> {
+        let mut out = self.posteriors(&[Query::with_evidence(target, evidence.to_vec())]);
+        out.pop()
+            .expect("one query in, one answer out")
+            .map(|p| p.probs)
+    }
+
+    /// Answer a batch of posterior queries against the calibrated tree.
+    ///
+    /// Queries are grouped by (canonicalized) evidence set; each distinct
+    /// set is answered by local re-propagation and the groups fan over the
+    /// `StealPool`. Answers come back in query order. Per-query failures
+    /// (impossible evidence) are reported per slot — one bad query never
+    /// poisons the batch.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or a target that is also evidence.
+    pub fn posteriors(&self, queries: &[Query]) -> Vec<Result<Posterior, InferenceError>> {
+        // Validate (programmer errors panic, as in variable_elimination)
+        // and canonicalize; contradictions become per-query errors.
+        let mut results: Vec<Option<Result<Posterior, InferenceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut groups: BTreeMap<Vec<(usize, u8)>, Vec<usize>> = BTreeMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            assert!(q.target < self.n_vars, "query variable out of range");
+            assert!(
+                q.evidence.iter().all(|&(v, _)| v != q.target),
+                "query cannot also be evidence"
+            );
+            for &(v, val) in &q.evidence {
+                assert!(v < self.n_vars, "evidence variable out of range");
+                assert!(
+                    (val as usize) < self.arities[v],
+                    "evidence value out of range"
+                );
+            }
+            match canonical_evidence(&q.evidence) {
+                Ok(ev) => groups.entry(ev).or_default().push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        // (canonical evidence, indices of the queries sharing it).
+        type EvidenceGroup = (Vec<(usize, u8)>, Vec<usize>);
+        let groups: Vec<EvidenceGroup> = groups.into_iter().collect();
+
+        let solve = |gi: usize, arena: &mut FactorArena| {
+            let (ev, idxs) = &groups[gi];
+            let targets: Vec<usize> = idxs.iter().map(|&i| queries[i].target).collect();
+            let answers = self.group_posteriors(ev, &targets, arena);
+            let out: Vec<(usize, Result<Posterior, InferenceError>)> = idxs
+                .iter()
+                .zip(answers)
+                .map(|(&i, r)| {
+                    (
+                        i,
+                        r.map(|probs| Posterior {
+                            target: queries[i].target,
+                            probs,
+                        }),
+                    )
+                })
+                .collect();
+            out
+        };
+
+        if self.threads <= 1 || groups.len() <= 1 {
+            let mut arena = FactorArena::new();
+            for gi in 0..groups.len() {
+                for (i, r) in solve(gi, &mut arena) {
+                    results[i] = Some(r);
+                }
+            }
+        } else {
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); self.threads];
+            for gi in 0..groups.len() {
+                shards[gi % self.threads].push(gi);
+            }
+            let pool = StealPool::from_shards(shards);
+            let scratch: Vec<Mutex<FactorArena>> = (0..self.threads)
+                .map(|_| Mutex::new(FactorArena::new()))
+                .collect();
+            let answered = Mutex::new(Vec::with_capacity(queries.len()));
+            Team::scoped(self.threads, |team| {
+                run_steal_pool(team, &pool, |tid, gi| {
+                    let out = solve(gi, &mut scratch[tid].lock());
+                    answered.lock().extend(out);
+                    StepResult::Done
+                });
+            });
+            for (i, r) in answered.into_inner() {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// Answer all `targets` under one canonical evidence set by local
+    /// re-propagation: recompute upward messages only on the paths from
+    /// evidence cliques to the root, downward messages only on the paths
+    /// from the root to each target's home clique, and reuse every base
+    /// message elsewhere.
+    fn group_posteriors(
+        &self,
+        evidence: &[(usize, u8)],
+        targets: &[usize],
+        arena: &mut FactorArena,
+    ) -> Vec<Result<Vec<f64>, InferenceError>> {
+        // Fast path: no evidence — read the calibrated beliefs directly.
+        if evidence.is_empty() {
+            return targets
+                .iter()
+                .map(|&t| {
+                    let hc = self.home[t];
+                    let b = &self.beliefs[hc];
+                    let m = marginalize_onto(b.vars(), b.arities(), b.values(), &[t as u32]);
+                    m.normalized().map(|f| f.values().to_vec())
+                })
+                .collect();
+        }
+
+        let k = self.cliques.len();
+        // Evidence overlay: clone the hosting cliques' potentials and zero
+        // out every disagreeing row.
+        let mut overlay: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        for &(v, val) in evidence {
+            let hc = self.home[v];
+            let f = overlay[hc].get_or_insert_with(|| self.potentials[hc].clone());
+            zero_out(f, v as u32, val);
+        }
+
+        // Dirty = cliques whose subtree contains evidence: exactly the
+        // cliques whose upward message must be recomputed.
+        let mut dirty = vec![false; k];
+        for &(v, _) in evidence {
+            let mut c = self.home[v];
+            loop {
+                if dirty[c] {
+                    break;
+                }
+                dirty[c] = true;
+                match self.cliques[c].parent {
+                    Some(p) => c = p,
+                    None => break,
+                }
+            }
+        }
+
+        // Recompute dirty upward messages, deepest level first; clean
+        // children keep their base message.
+        let mut up: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        for depth in (1..self.levels.len()).rev() {
+            for &c in &self.levels[depth] {
+                if dirty[c] {
+                    let merged = self.merged_up(&up);
+                    up[c] = Some(self.up_message(c, Some(&overlay), &merged, arena));
+                }
+            }
+        }
+        let up = self.merged_up(&up);
+
+        // Downward messages, computed lazily along each target's
+        // root-path and memoized across the group's targets.
+        let mut down: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        let mut down_done = vec![false; k];
+        down_done[0] = true; // the root has no inbound message
+        let mut answers = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let hc = self.home[t];
+            // Walk up until a memoized clique, then fill downwards.
+            let mut chain = Vec::new();
+            let mut x = hc;
+            while !down_done[x] {
+                chain.push(x);
+                x = self.cliques[x].parent.expect("root is always memoized");
+            }
+            for &c in chain.iter().rev() {
+                down[c] = Some(self.down_message(c, Some(&overlay), &down, &up, arena));
+                down_done[c] = true;
+            }
+            let srcs = self.belief_sources(hc, Some(&overlay), &down, &up);
+            let posterior = {
+                let cl = &self.cliques[hc];
+                arena.begin();
+                let slot = arena.alloc(cl.cells, 1.0);
+                let mut buf = arena.take(slot);
+                product_into_slice(&cl.vars, &cl.arities, &srcs, &mut buf);
+                let m = marginalize_onto(&cl.vars, &cl.arities, &buf, &[t as u32]);
+                arena.restore(slot, buf);
+                m.normalized().map(|f| f.values().to_vec())
+            };
+            answers.push(posterior);
+        }
+        answers
+    }
+
+    /// Overlay per-group upward messages onto the base calibration: a
+    /// clique's recomputed message wins, every clean clique reuses base.
+    fn merged_up(&self, group_up: &[Option<Factor>]) -> Vec<Option<Factor>> {
+        group_up
+            .iter()
+            .zip(&self.base_up)
+            .map(|(g, b)| g.clone().or_else(|| b.clone()))
+            .collect()
+    }
+}
+
+/// Moral graph of a fitted network: the skeleton plus an edge between
+/// every pair of co-parents.
+fn moralize(net: &BayesNet) -> UGraph {
+    let n = net.n();
+    let mut moral = UGraph::empty(n);
+    for v in 0..n {
+        let parents: Vec<usize> = net.dag().parents(v).iter_ones().collect();
+        for &p in &parents {
+            moral.add_edge(p, v);
+        }
+        for i in 0..parents.len() {
+            for j in i + 1..parents.len() {
+                moral.add_edge(parents[i], parents[j]);
+            }
+        }
+    }
+    moral
+}
+
+/// Greedy min-fill triangulation: repeatedly eliminate the vertex whose
+/// elimination adds the fewest fill edges (ties to the lowest id), and
+/// return the elimination cliques reduced to the maximal ones.
+fn maximal_cliques(moral: &UGraph) -> Vec<Vec<u32>> {
+    let n = moral.n();
+    let mut adj: Vec<BitSet> = (0..n).map(|v| moral.neighbors(v).clone()).collect();
+    let mut alive = vec![true; n];
+    let mut elim: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(usize, usize)> = None; // (fill, v): min, lowest id
+        for (v, &is_alive) in alive.iter().enumerate() {
+            if !is_alive {
+                continue;
+            }
+            let nbrs: Vec<usize> = adj[v].iter_ones().collect();
+            let mut fill = 0usize;
+            for i in 0..nbrs.len() {
+                for j in i + 1..nbrs.len() {
+                    if !adj[nbrs[i]].contains(nbrs[j]) {
+                        fill += 1;
+                    }
+                }
+            }
+            if best.is_none_or(|b| (fill, v) < b) {
+                best = Some((fill, v));
+            }
+        }
+        let (_, v) = best.expect("an alive vertex remains");
+        let nbrs: Vec<usize> = adj[v].iter_ones().collect();
+        let mut clique: Vec<u32> = nbrs.iter().map(|&u| u as u32).collect();
+        clique.push(v as u32);
+        clique.sort_unstable();
+        elim.push(clique);
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                adj[nbrs[i]].insert(nbrs[j]);
+                adj[nbrs[j]].insert(nbrs[i]);
+            }
+        }
+        for &u in &nbrs {
+            adj[u].remove(v);
+        }
+        adj[v].clear();
+        alive[v] = false;
+    }
+    // Keep only maximal cliques; among duplicates keep the first.
+    let keep: Vec<bool> = (0..elim.len())
+        .map(|i| {
+            !elim.iter().enumerate().any(|(j, other)| {
+                j != i && is_subset(&elim[i], other) && (elim[i].len() < other.len() || j < i)
+            })
+        })
+        .collect();
+    elim.into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+/// Maximum-sepset-weight spanning tree over the clique graph (Prim from
+/// clique 0, canonical tie-breaks), returned as parent pointers. Any
+/// maximum-weight spanning tree of the clique graph of a chordal graph is
+/// a junction tree (satisfies the running-intersection property);
+/// zero-weight edges bridge disconnected components harmlessly (their
+/// sepset messages are scalars).
+fn max_sepset_spanning_tree(cliques: &[Vec<u32>]) -> Vec<Option<usize>> {
+    let k = cliques.len();
+    let mut parent: Vec<Option<usize>> = vec![None; k];
+    let mut in_tree = vec![false; k];
+    in_tree[0] = true;
+    for _ in 1..k {
+        let mut best: Option<(usize, usize, usize)> = None; // (weight, j, i)
+        for (j, &jt) in in_tree.iter().enumerate() {
+            if jt {
+                continue;
+            }
+            for (i, &it) in in_tree.iter().enumerate() {
+                if !it {
+                    continue;
+                }
+                let w = intersect_sorted(&cliques[i], &cliques[j]).len();
+                let better = match best {
+                    None => true,
+                    Some((bw, bj, bi)) => w > bw || (w == bw && (j, i) < (bj, bi)),
+                };
+                if better {
+                    best = Some((w, j, i));
+                }
+            }
+        }
+        let (_, j, i) = best.expect("a clique remains outside the tree");
+        parent[j] = Some(i);
+        in_tree[j] = true;
+    }
+    parent
+}
+
+/// Intersection of two sorted id lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Zero every cell of `f` that disagrees with `var = val` (evidence entry
+/// that keeps the scope — and hence all stride bookkeeping — intact).
+fn zero_out(f: &mut Factor, var: u32, val: u8) {
+    let pos = f
+        .vars
+        .binary_search(&var)
+        .expect("evidence variable must be in the clique");
+    let arity = f.arities[pos];
+    let right: usize = f.arities[pos + 1..].iter().product();
+    let left = f.values.len() / (arity * right);
+    for l in 0..left {
+        for a in 0..arity {
+            if a == val as usize {
+                continue;
+            }
+            let s = (l * arity + a) * right;
+            f.values[s..s + right].fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpt::Cpt;
+    use crate::generator::{generate_network, NetworkSpec};
+    use crate::infer::{brute_force_posterior, variable_elimination};
+    use fastbn_graph::Dag;
+
+    fn sprinkler() -> BayesNet {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cloudy = Cpt::new(2, vec![], vec![], vec![0.5, 0.5]).unwrap();
+        let sprinkler = Cpt::new(2, vec![0], vec![2], vec![0.5, 0.5, 0.9, 0.1]).unwrap();
+        let rain = Cpt::new(2, vec![0], vec![2], vec![0.8, 0.2, 0.2, 0.8]).unwrap();
+        let wet = Cpt::new(
+            2,
+            vec![1, 2],
+            vec![2, 2],
+            vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+        )
+        .unwrap();
+        BayesNet::new(
+            "sprinkler",
+            dag,
+            vec![cloudy, sprinkler, rain, wet],
+            vec!["c".into(), "s".into(), "r".into(), "w".into()],
+        )
+    }
+
+    fn assert_dist_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn junction_tree_matches_ve_and_brute_force_on_sprinkler() {
+        let net = sprinkler();
+        let jt = JoinTree::build(&net, 1);
+        for q in 0..4 {
+            let m = jt.posterior(q, &[]).unwrap();
+            assert_dist_close(&m, &brute_force_posterior(&net, q, &[]).unwrap(), 1e-12);
+        }
+        for (q, ev) in [
+            (2usize, vec![(3usize, 1u8)]),
+            (2, vec![(3, 1), (1, 1)]),
+            (0, vec![(3, 0)]),
+            (1, vec![(0, 1), (3, 1)]),
+        ] {
+            let jtp = jt.posterior(q, &ev).unwrap();
+            assert_dist_close(&jtp, &variable_elimination(&net, q, &ev).unwrap(), 1e-12);
+            assert_dist_close(&jtp, &brute_force_posterior(&net, q, &ev).unwrap(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_answers_come_back_in_query_order() {
+        let net = sprinkler();
+        let jt = JoinTree::build(&net, 2);
+        let queries = vec![
+            Query::with_evidence(2, vec![(3, 1)]),
+            Query::marginal(0),
+            Query::with_evidence(1, vec![(3, 1)]),
+            Query::with_evidence(2, vec![(3, 1), (1, 1)]),
+            Query::marginal(3),
+        ];
+        let answers = jt.posteriors(&queries);
+        assert_eq!(answers.len(), queries.len());
+        for (q, a) in queries.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            assert_eq!(a.target, q.target);
+            let reference = variable_elimination(&net, q.target, &q.evidence).unwrap();
+            assert_dist_close(&a.probs, &reference, 1e-12);
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_fails_only_its_own_queries() {
+        let net = sprinkler();
+        let jt = JoinTree::build(&net, 2);
+        let queries = vec![
+            Query::marginal(2),
+            // P(wet=1 | sprinkler=0, rain=0) = 0 — a null event.
+            Query::with_evidence(0, vec![(1, 0), (2, 0), (3, 1)]),
+            // Contradictory evidence.
+            Query::with_evidence(0, vec![(1, 0), (1, 1)]),
+            Query::with_evidence(2, vec![(3, 1)]),
+        ];
+        let answers = jt.posteriors(&queries);
+        assert!(answers[0].is_ok());
+        assert_eq!(answers[1], Err(InferenceError::ImpossibleEvidence));
+        assert_eq!(answers[2], Err(InferenceError::ImpossibleEvidence));
+        assert!(answers[3].is_ok());
+    }
+
+    #[test]
+    fn agrees_with_ve_on_random_networks() {
+        for seed in [2u64, 6, 11] {
+            let net = generate_network(&NetworkSpec::small("jt", 9, 11), seed);
+            let jt = JoinTree::build(&net, 2);
+            let ev = vec![(0usize, 0u8), (4usize, 0u8)];
+            for q in [1usize, 3, 7] {
+                let jtp = jt.posterior(q, &ev).unwrap();
+                let ve = variable_elimination(&net, q, &ev).unwrap();
+                assert_dist_close(&jtp, &ve, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let net = generate_network(&NetworkSpec::small("det", 12, 16), 21);
+        let queries: Vec<Query> = (0..net.n())
+            .map(|t| {
+                let ev_var = (t + 1) % net.n();
+                Query::with_evidence(t, vec![(ev_var, 0)])
+            })
+            .collect();
+        let reference = JoinTree::build(&net, 1).posteriors(&queries);
+        for threads in [2usize, 4, 8] {
+            let jt = JoinTree::build(&net, threads);
+            let answers = jt.posteriors(&queries);
+            for (a, b) in answers.iter().zip(&reference) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.probs.len(), b.probs.len());
+                for (x, y) in a.probs.iter().zip(&b.probs) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_disconnected_network_builds_singleton_cliques() {
+        // No edges at all: every clique is a single node, sepsets are
+        // empty, and the tree still answers exact marginals.
+        let dag = Dag::empty(3);
+        let cpts = vec![
+            Cpt::new(2, vec![], vec![], vec![0.3, 0.7]).unwrap(),
+            Cpt::new(3, vec![], vec![], vec![0.2, 0.3, 0.5]).unwrap(),
+            Cpt::new(2, vec![], vec![], vec![0.9, 0.1]).unwrap(),
+        ];
+        let net = BayesNet::new("indep", dag, cpts, vec!["a".into(), "b".into(), "c".into()]);
+        let jt = JoinTree::build(&net, 2);
+        assert_eq!(jt.stats().n_cliques, 3);
+        assert_eq!(jt.stats().width, 1);
+        assert_dist_close(&jt.posterior(1, &[]).unwrap(), &[0.2, 0.3, 0.5], 1e-12);
+        // Evidence on a different component leaves the marginal unchanged.
+        assert_dist_close(
+            &jt.posterior(1, &[(0, 1)]).unwrap(),
+            &[0.2, 0.3, 0.5],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn stats_report_tree_shape() {
+        let net = sprinkler();
+        let jt = JoinTree::build(&net, 1);
+        let s = jt.stats();
+        // Sprinkler triangulates into two 3-cliques: {c,s,r} and {s,r,w}.
+        assert_eq!(s.n_cliques, 2);
+        assert_eq!(s.width, 3);
+        assert_eq!(s.max_clique_cells, 8);
+        assert_eq!(s.total_belief_cells, 16);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let dag = Dag::empty(1);
+        let net = BayesNet::new(
+            "one",
+            dag,
+            vec![Cpt::new(4, vec![], vec![], vec![0.1, 0.2, 0.3, 0.4]).unwrap()],
+            vec!["x".into()],
+        );
+        let jt = JoinTree::build(&net, 1);
+        assert_dist_close(&jt.posterior(0, &[]).unwrap(), &[0.1, 0.2, 0.3, 0.4], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "query cannot also be evidence")]
+    fn target_as_evidence_panics() {
+        let net = sprinkler();
+        let jt = JoinTree::build(&net, 1);
+        let _ = jt.posterior(0, &[(0, 1)]);
+    }
+
+    #[test]
+    fn subset_and_intersection_helpers() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert_eq!(intersect_sorted(&[1, 2, 4], &[2, 3, 4]), vec![2, 4]);
+        assert_eq!(intersect_sorted(&[1], &[2]), Vec::<u32>::new());
+    }
+}

@@ -18,7 +18,12 @@
 //!   modes see identical inputs),
 //! * [`format`] — a small plain-text serialization (`.bnet`) with a parser
 //!   and writer, so examples can save and reload networks without a
-//!   serialization dependency.
+//!   serialization dependency,
+//! * [`infer`] — exact inference by variable elimination (per-query) with
+//!   a brute-force joint-enumeration oracle for testing,
+//! * [`jointree`] — junction-tree exact inference: calibrate once with
+//!   parallel two-pass belief propagation, then answer whole batches of
+//!   posterior queries at serving speed ([`JoinTree::posteriors`]).
 
 pub mod bayesnet;
 pub mod cpt;
@@ -26,6 +31,7 @@ pub mod fit;
 pub mod format;
 pub mod generator;
 pub mod infer;
+pub mod jointree;
 pub mod sampling;
 pub mod zoo;
 
@@ -34,5 +40,6 @@ pub use cpt::Cpt;
 pub use fit::fit_cpts;
 pub use format::{bnet_from_str, bnet_to_string, FormatError};
 pub use generator::{generate_network, NetworkSpec};
-pub use infer::{brute_force_posterior, variable_elimination, Factor};
+pub use infer::{brute_force_posterior, variable_elimination, Factor, InferenceError};
+pub use jointree::{JoinTree, JoinTreeStats, Posterior, Query};
 pub use zoo::{by_name, table2_specs};

@@ -1,0 +1,188 @@
+//! Property-based agreement between the three exact-inference engines:
+//! on random networks and random evidence, the [`JoinTree`] (calibrate
+//! once, local re-propagation per query), [`variable_elimination`]
+//! (per-query greedy elimination) and [`brute_force_posterior`] (full
+//! joint enumeration) must produce the same posterior to 1e-9 — and the
+//! junction tree must be **bitwise identical** at 1, 2, 4 and 8 threads.
+
+use fastbn_network::{
+    brute_force_posterior, generate_network, variable_elimination, BayesNet, Cpt, InferenceError,
+    JoinTree, NetworkSpec, Query,
+};
+use proptest::prelude::*;
+
+/// A random small network (4–8 nodes, sparse to moderately dense) with a
+/// random query variable and 0–2 evidence assignments on other variables.
+fn workload_strategy() -> impl Strategy<Value = (BayesNet, usize, Vec<(usize, u8)>)> {
+    (4usize..=8, 0usize..=4, 1u64..500, 0usize..=2, 0u64..1 << 20).prop_map(
+        |(n, extra, seed, n_ev, pick)| {
+            let edges = (n - 1 + extra).min(n * (n - 1) / 2);
+            let net = generate_network(&NetworkSpec::small("prop", n, edges), seed);
+            // Derive query/evidence deterministically from `pick`.
+            let mut bits = pick;
+            let mut draw = |bound: usize| {
+                let v = (bits % bound as u64) as usize;
+                bits /= bound.max(2) as u64;
+                v
+            };
+            let query = draw(n);
+            let mut evidence = Vec::new();
+            for _ in 0..n_ev {
+                let v = draw(n);
+                if v == query || evidence.iter().any(|&(e, _)| e == v) {
+                    continue;
+                }
+                let val = draw(net.arity(v)) as u8;
+                evidence.push((v, val));
+            }
+            (net, query, evidence)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+    /// The tentpole agreement property: junction tree, variable
+    /// elimination and brute-force enumeration answer every query
+    /// identically (to 1e-9), including the error case.
+    #[test]
+    fn jointree_ve_and_brute_force_agree((net, query, evidence) in workload_strategy()) {
+        let jt = JoinTree::build(&net, 2);
+        let jt_ans = jt.posterior(query, &evidence);
+        let ve_ans = variable_elimination(&net, query, &evidence);
+        let bf_ans = brute_force_posterior(&net, query, &evidence);
+        match (&jt_ans, &ve_ans, &bf_ans) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert_eq!(a.len(), c.len());
+                for i in 0..a.len() {
+                    prop_assert!((a[i] - b[i]).abs() < 1e-9, "JT vs VE: {:?} vs {:?}", a, b);
+                    prop_assert!((a[i] - c[i]).abs() < 1e-9, "JT vs BF: {:?} vs {:?}", a, c);
+                }
+                let total: f64 = a.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+            // All three must agree that the evidence is impossible.
+            (Err(_), Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "engines disagree on feasibility: jt={:?} ve={:?} bf={:?}",
+                jt_ans, ve_ans, bf_ans
+            ),
+        }
+    }
+
+    /// Batched junction-tree answers are bitwise identical across 1, 2, 4
+    /// and 8 worker threads — calibration and query fan-out must not let
+    /// the schedule touch a single bit of any float.
+    #[test]
+    fn thread_count_never_changes_a_bit((net, query, evidence) in workload_strategy()) {
+        let mut queries: Vec<Query> = (0..net.n()).map(Query::marginal).collect();
+        if evidence.iter().all(|&(v, _)| v != query) {
+            queries.push(Query::with_evidence(query, evidence));
+        }
+        let reference = JoinTree::build(&net, 1).posteriors(&queries);
+        for threads in [2usize, 4, 8] {
+            let answers = JoinTree::build(&net, threads).posteriors(&queries);
+            prop_assert_eq!(answers.len(), reference.len());
+            for (a, r) in answers.iter().zip(&reference) {
+                match (a, r) {
+                    (Ok(a), Ok(r)) => {
+                        let a_bits: Vec<u64> = a.probs.iter().map(|p| p.to_bits()).collect();
+                        let r_bits: Vec<u64> = r.probs.iter().map(|p| p.to_bits()).collect();
+                        prop_assert_eq!(a_bits, r_bits, "threads={} diverged", threads);
+                    }
+                    (Err(a), Err(r)) => prop_assert_eq!(a, r),
+                    _ => prop_assert!(false, "feasibility diverged at threads={}", threads),
+                }
+            }
+        }
+    }
+
+    /// Edgeless networks triangulate into single-node cliques; inference
+    /// must still be exact and evidence on one component must not perturb
+    /// another beyond normalization noise.
+    #[test]
+    fn edgeless_networks_use_singleton_cliques(
+        (n, seed) in (2usize..=6, 1u64..100)
+    ) {
+        let net = generate_network(&NetworkSpec::small("edgeless", n, 0), seed);
+        let jt = JoinTree::build(&net, 2);
+        prop_assert_eq!(jt.stats().n_cliques, n);
+        prop_assert_eq!(jt.stats().width, 1);
+        for q in 0..n {
+            let marginal = jt.posterior(q, &[]).unwrap();
+            let bf = brute_force_posterior(&net, q, &[]).unwrap();
+            for i in 0..marginal.len() {
+                prop_assert!((marginal[i] - bf[i]).abs() < 1e-12);
+            }
+            // Evidence on a d-separated variable leaves the marginal alone.
+            let other = (q + 1) % n;
+            let conditioned = jt.posterior(q, &[(other, 0)]).unwrap();
+            for i in 0..marginal.len() {
+                prop_assert!((conditioned[i] - marginal[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Contradictory evidence (one variable, two values) is an error from
+    /// every engine, never a silently normalized vector.
+    #[test]
+    fn contradictions_error_everywhere((net, query, _ev) in workload_strategy()) {
+        let v = (query + 1) % net.n();
+        let contradiction = vec![(v, 0u8), (v, 1u8)];
+        let jt = JoinTree::build(&net, 1);
+        prop_assert_eq!(
+            jt.posterior(query, &contradiction),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        prop_assert_eq!(
+            variable_elimination(&net, query, &contradiction),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        prop_assert_eq!(
+            brute_force_posterior(&net, query, &contradiction),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+    }
+}
+
+/// A 3-chain with a deterministic middle link: conditioning on the state
+/// the link forbids must surface as [`InferenceError::ImpossibleEvidence`]
+/// from all three engines (the generator's CPTs are strictly positive, so
+/// this model-level zero needs a hand-built network).
+#[test]
+fn model_level_zero_probability_evidence_errors_everywhere() {
+    let dag = fastbn_graph::Dag::from_edges(3, &[(0, 1), (1, 2)]);
+    let a = Cpt::new(2, vec![], vec![], vec![1.0, 0.0]).unwrap();
+    // b == a deterministically, so (a=0, b=1) is a null event.
+    let b = Cpt::new(2, vec![0], vec![2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+    let c = Cpt::new(2, vec![1], vec![2], vec![0.7, 0.3, 0.4, 0.6]).unwrap();
+    let net = BayesNet::new(
+        "det-chain",
+        dag,
+        vec![a, b, c],
+        vec!["a".into(), "b".into(), "c".into()],
+    );
+    // P(a=1) = 0, so evidence {a=1} alone is already impossible.
+    for ev in [vec![(0usize, 1u8)], vec![(0, 0), (1, 1)]] {
+        let jt = JoinTree::build(&net, 2);
+        assert_eq!(
+            jt.posterior(2, &ev),
+            Err(InferenceError::ImpossibleEvidence),
+            "jointree accepted null evidence {ev:?}"
+        );
+        assert_eq!(
+            variable_elimination(&net, 2, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+        assert_eq!(
+            brute_force_posterior(&net, 2, &ev),
+            Err(InferenceError::ImpossibleEvidence)
+        );
+    }
+    // The possible configuration still has a posterior.
+    let ok = JoinTree::build(&net, 2).posterior(2, &[(1, 0)]).unwrap();
+    assert!((ok[0] - 0.7).abs() < 1e-12 && (ok[1] - 0.3).abs() < 1e-12);
+}

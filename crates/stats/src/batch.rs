@@ -133,6 +133,102 @@ impl TableArena {
     }
 }
 
+/// A reusable arena of `f64` tables — the floating-point sibling of
+/// [`TableArena`] on the same reshape-in-place substrate.
+///
+/// Where [`TableArena`] holds integer count tables for CI tests and score
+/// sufficient statistics, this arena holds *value* tables: factor/potential
+/// products in exact inference (`fastbn-network`'s junction tree routes
+/// every transient clique-scope product through one of these, so a batch of
+/// thousands of posterior queries reuses a handful of allocations instead
+/// of allocating one table per message). Slots are resized in place and
+/// never dropped, so capacity ratchets up to the largest table seen and
+/// stays there.
+#[derive(Default)]
+pub struct FactorArena {
+    /// Value-table slots; only the first `active` belong to the current
+    /// batch. Allocations persist across `begin` calls.
+    slots: Vec<Vec<f64>>,
+    active: usize,
+}
+
+impl FactorArena {
+    /// An empty arena (no tables allocated yet).
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            active: 0,
+        }
+    }
+
+    /// Start a new batch, invalidating the previous batch's tables
+    /// (allocations are kept).
+    pub fn begin(&mut self) {
+        self.active = 0;
+    }
+
+    /// Add a `cells`-sized table filled with `init` and return its slot
+    /// index. Reuses a retired slot's allocation when one is available.
+    pub fn alloc(&mut self, cells: usize, init: f64) -> usize {
+        let slot = self.active;
+        if slot < self.slots.len() {
+            let t = &mut self.slots[slot];
+            t.clear();
+            t.resize(cells, init);
+        } else {
+            self.slots.push(vec![init; cells]);
+        }
+        self.active += 1;
+        slot
+    }
+
+    /// Number of tables in the current batch.
+    pub fn len(&self) -> usize {
+        self.active
+    }
+
+    /// True when the current batch holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Read a table of the current batch.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not part of the current batch.
+    pub fn table(&self, slot: usize) -> &[f64] {
+        assert!(slot < self.active, "slot {slot} not in the current batch");
+        &self.slots[slot]
+    }
+
+    /// A table of the current batch, mutably.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not part of the current batch.
+    pub fn table_mut(&mut self, slot: usize) -> &mut [f64] {
+        assert!(slot < self.active, "slot {slot} not in the current batch");
+        &mut self.slots[slot]
+    }
+
+    /// Move a slot's buffer out of the arena, leaving an empty placeholder.
+    /// Pair with [`FactorArena::restore`] so the allocation returns to the
+    /// pool — the escape hatch for writing into a slot while *reading*
+    /// other borrowed data the borrow checker cannot prove disjoint.
+    ///
+    /// # Panics
+    /// Panics if `slot` is not part of the current batch.
+    pub fn take(&mut self, slot: usize) -> Vec<f64> {
+        assert!(slot < self.active, "slot {slot} not in the current batch");
+        std::mem::take(&mut self.slots[slot])
+    }
+
+    /// Return a buffer previously [`FactorArena::take`]n from `slot`.
+    pub fn restore(&mut self, slot: usize, buf: Vec<f64>) {
+        assert!(slot < self.active, "slot {slot} not in the current batch");
+        self.slots[slot] = buf;
+    }
+}
+
 /// Table arena plus shared evaluation scratch for running a batch of CI
 /// tests in one table-fill pass and one evaluation pass.
 pub struct BatchedCiRunner {
@@ -362,6 +458,45 @@ mod tests {
         let out = runner.run(CiTestKind::GSquared, 0.05, DfRule::Classic);
         assert!(out[1].statistic.abs() < 1e-9, "stale scratch leaked");
         assert!(out[1].independent);
+    }
+
+    #[test]
+    fn factor_arena_reuses_slots_across_batches() {
+        let mut arena = FactorArena::new();
+        arena.begin();
+        let s0 = arena.alloc(8, 1.0);
+        let s1 = arena.alloc(3, 0.0);
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.table(0), &[1.0; 8]);
+        arena.table_mut(1)[2] = 9.0;
+        // New batch: slot 0 comes back reshaped and re-initialized.
+        arena.begin();
+        assert!(arena.is_empty());
+        let s = arena.alloc(4, 0.5);
+        assert_eq!(s, 0);
+        assert_eq!(arena.table(0), &[0.5; 4]);
+    }
+
+    #[test]
+    fn factor_arena_take_restore_round_trip() {
+        let mut arena = FactorArena::new();
+        arena.begin();
+        let slot = arena.alloc(4, 2.0);
+        let mut buf = arena.take(slot);
+        buf[0] = 7.0;
+        arena.restore(slot, buf);
+        assert_eq!(arena.table(slot), &[7.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the current batch")]
+    fn factor_arena_retired_slot_panics() {
+        let mut arena = FactorArena::new();
+        arena.begin();
+        arena.alloc(2, 0.0);
+        arena.begin();
+        arena.table(0);
     }
 
     #[test]

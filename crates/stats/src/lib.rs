@@ -40,7 +40,7 @@ pub mod mi;
 pub mod pearson;
 pub mod special;
 
-pub use batch::{BatchedCiRunner, TableArena, FILL_BLOCK};
+pub use batch::{BatchedCiRunner, FactorArena, TableArena, FILL_BLOCK};
 pub use chi2::{chi2_cdf, chi2_critical_value, chi2_sf};
 pub use citest::{CiOutcome, CiTestKind, DfRule};
 pub use contingency::{mixed_radix_strides, ContingencyTable};

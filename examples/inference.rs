@@ -5,9 +5,11 @@
 //! ```sh
 //! cargo run --release --example inference
 //! ```
+//!
+//! For batched queries against one fitted network (calibrate once, answer
+//! thousands), see `examples/infer.rs` and [`fastbn::network::JoinTree`].
 
-use fastbn::graph::Dag;
-use fastbn::network::{fit_cpts, variable_elimination};
+use fastbn::network::{variable_elimination, InferenceError};
 use fastbn::prelude::*;
 
 fn main() {
@@ -15,18 +17,11 @@ fn main() {
     let truth = fastbn::network::zoo::by_name("alarm", 31).expect("zoo network");
     let data = truth.sample_dataset(5000, 32);
 
-    // Learn structure, extend to a DAG, fit parameters.
-    let result = PcStable::new(PcConfig::fast_bns().with_threads(2)).learn(&data);
-    let mut dag = Dag::empty(data.n_vars());
-    for (u, v) in result.cpdag().directed_edges() {
-        dag.try_add_edge(u, v);
-    }
-    for (u, v) in result.cpdag().undirected_edges() {
-        if !dag.try_add_edge(u, v) {
-            dag.try_add_edge(v, u);
-        }
-    }
-    let model = fit_cpts(&dag, &data, 0.5, "alarm-learned");
+    // Learn structure, extend to a DAG and fit parameters in one step.
+    let strategy = Strategy::PcStable(PcConfig::fast_bns().with_threads(2));
+    let result = learn_structure(&data, &strategy);
+    let dag = result.consistent_dag();
+    let model = result.fit(&data, 0.5, "alarm-learned");
     println!(
         "model: {} nodes, {} edges learned from {} samples",
         model.n(),
@@ -41,7 +36,7 @@ fn main() {
         .unwrap();
     let query_var = dag.children(evidence_var).iter_ones().next().unwrap();
 
-    let prior = variable_elimination(&model, query_var, &[]);
+    let prior = variable_elimination(&model, query_var, &[]).expect("no evidence");
     println!(
         "\nP({}) prior            = {:?}",
         data.names()[query_var],
@@ -51,7 +46,20 @@ fn main() {
             .collect::<Vec<_>>()
     );
     for val in 0..model.arity(evidence_var).min(2) {
-        let posterior = variable_elimination(&model, query_var, &[(evidence_var, val as u8)]);
+        let posterior = match variable_elimination(&model, query_var, &[(evidence_var, val as u8)])
+        {
+            Ok(p) => p,
+            // A fitted state can have probability zero (unseen, unsmoothed):
+            // conditioning on it has no posterior, and the API says so.
+            Err(InferenceError::ImpossibleEvidence) => {
+                println!(
+                    "P({} | {}={val}) undefined: evidence has probability zero",
+                    data.names()[query_var],
+                    data.names()[evidence_var],
+                );
+                continue;
+            }
+        };
         println!(
             "P({} | {}={val}) = {:?}",
             data.names()[query_var],

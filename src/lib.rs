@@ -47,7 +47,7 @@ pub mod prelude {
     pub use fastbn_data::Dataset;
     pub use fastbn_graph::metrics::{shd_cpdag, skeleton_metrics};
     pub use fastbn_graph::{Pdag, UGraph};
-    pub use fastbn_network::{BayesNet, NetworkSpec};
+    pub use fastbn_network::{BayesNet, InferenceError, JoinTree, NetworkSpec, Query};
     pub use fastbn_score::{HillClimb, HillClimbConfig, MoveEval, ScoreKind};
     pub use fastbn_stats::{CiTestKind, DfRule, EngineSelect};
 }
