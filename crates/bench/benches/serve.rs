@@ -1,0 +1,91 @@
+//! Microbench: the serving daemon's wire overhead — a posterior batch
+//! answered over a loopback TCP round-trip vs. straight against the
+//! in-process junction tree, plus a cache-hit `Learn` round-trip (the
+//! full request cost when the answer is already cached: dataset upload,
+//! fingerprinting, cached-reply encode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_network::{zoo, JoinTree, Query};
+use fastbn_serve::{Client, ServeConfig, Server, StrategySpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A mixed 64-query serving batch: marginals plus single-variable
+/// evidence, round-robined over the network's variables.
+fn query_batch(n: usize) -> Vec<Query> {
+    (0..64)
+        .map(|i| {
+            let target = i % n;
+            let ev = (target + 7) % n;
+            if i % 2 == 0 || ev == target {
+                Query::marginal(target)
+            } else {
+                Query::with_evidence(target, vec![(ev, 0)])
+            }
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let net = zoo::by_name("alarm", 3).expect("zoo network");
+    let data = net.sample_dataset(1000, 9);
+    let queries = query_batch(net.n());
+
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = StrategySpec::pc(2);
+    let fitted = client.fit(spec.clone(), &data, 1.0, 2).expect("fit");
+    // Warm the structure cache for the cached-learn kernel.
+    let learned = client.learn(spec.clone(), &data).expect("learn");
+    assert!(learned.cache_hit);
+
+    // The full wire loop per batch: encode 64 queries, TCP round trip,
+    // queue + job dispatch, posterior batch, encode + decode the reply.
+    group.bench_function(BenchmarkId::new("infer_rt64", "alarm"), |b| {
+        b.iter(|| {
+            let answers = client
+                .infer(fitted.model_id, queries.clone())
+                .expect("infer");
+            black_box(answers.results.iter().filter(|r| r.is_ok()).count())
+        })
+    });
+
+    // The same batch without the daemon: the floor the wire path is
+    // measured against (difference = framing + TCP + scheduling).
+    let ref_net = {
+        let reference = fastbn_core::learn_structure(&data, &spec.to_strategy());
+        reference.fit(&data, 1.0, "bench")
+    };
+    let jt = JoinTree::build(&ref_net, 2);
+    group.bench_function(BenchmarkId::new("inprocess64", "alarm"), |b| {
+        b.iter(|| {
+            let answers = jt.posteriors(&queries);
+            black_box(answers.iter().filter(|r| r.is_ok()).count())
+        })
+    });
+
+    // A cache-hit Learn round trip: the dominant cost is shipping the
+    // dataset and fingerprinting it server-side.
+    group.bench_function(BenchmarkId::new("learn_cached", "alarm"), |b| {
+        b.iter(|| {
+            let reply = client.learn(spec.clone(), &data).expect("cached learn");
+            assert!(reply.cache_hit);
+            black_box(reply.structure_key)
+        })
+    });
+
+    group.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

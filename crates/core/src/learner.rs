@@ -2,7 +2,8 @@
 
 use crate::config::PcConfig;
 use crate::orient::orient;
-use crate::skeleton::learn_skeleton;
+use crate::progress::{LearnPhase, NoProgress, ProgressSink};
+use crate::skeleton::{learn_skeleton, learn_skeleton_progress};
 use crate::stats_run::RunStats;
 use fastbn_data::Dataset;
 use fastbn_graph::{Pdag, SepSets, UGraph};
@@ -77,15 +78,29 @@ impl PcStable {
     /// # Panics
     /// Panics if `data` has fewer than 2 variables.
     pub fn learn(&self, data: &Dataset) -> LearnResult {
+        self.learn_with_progress(data, &NoProgress)
+    }
+
+    /// [`PcStable::learn`] with a [`ProgressSink`] receiving phase changes
+    /// and per-depth skeleton statistics. A sink that always continues
+    /// leaves the result byte-identical to [`PcStable::learn`]; one that
+    /// stops ends the depth loop early and orients the partially pruned
+    /// skeleton (still a valid CPDAG, just less refined).
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer than 2 variables.
+    pub fn learn_with_progress(&self, data: &Dataset, progress: &dyn ProgressSink) -> LearnResult {
         assert!(
             data.n_vars() >= 2,
             "structure learning needs at least 2 variables"
         );
         let t0 = Instant::now();
-        let (skeleton, sepsets, depths) = learn_skeleton(data, &self.config);
+        progress.on_phase(LearnPhase::Skeleton);
+        let (skeleton, sepsets, depths) = learn_skeleton_progress(data, &self.config, progress);
         let skeleton_duration = t0.elapsed();
 
         let t1 = Instant::now();
+        progress.on_phase(LearnPhase::Orientation);
         let oriented = orient(&skeleton, &sepsets);
         let orientation_duration = t1.elapsed();
 

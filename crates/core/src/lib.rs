@@ -72,6 +72,7 @@ pub mod learner;
 pub mod oracle;
 pub mod orient;
 pub mod perf_model;
+pub mod progress;
 pub mod score_search;
 pub mod skeleton;
 pub mod stats_run;
@@ -80,8 +81,10 @@ pub mod trace;
 pub use config::{CondSetGen, ParallelMode, PcConfig, SampleFill};
 pub use fastbn_stats::EngineSelect;
 pub use learner::{LearnResult, PcStable};
+pub use progress::{LearnPhase, NoProgress, ProgressSink};
 pub use score_search::{
-    learn_structure, HybridConfig, HybridLearner, HybridResult, Strategy, StructureResult,
+    learn_structure, learn_structure_observed, HybridConfig, HybridLearner, HybridResult, Strategy,
+    StructureResult,
 };
 pub use stats_run::{DepthStats, RunStats};
 pub use trace::{record_ci_trace, CiTestRecord};

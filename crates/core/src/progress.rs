@@ -1,0 +1,110 @@
+//! Learning-progress callbacks — the seam a long-running caller (a
+//! serving daemon, a TUI, a notebook) watches a structure-learning run
+//! through, and cancels it through.
+//!
+//! Every hook is invoked from the coordinating thread at coarse,
+//! deterministic points — after each completed skeleton depth, after each
+//! applied search move, at phase boundaries — never from inside the
+//! parallel fan-out. A sink that always returns `true` therefore cannot
+//! perturb the run: the learned structure is byte-identical to an
+//! unobserved run at any thread count. Returning `false` requests a
+//! **cooperative early stop**: the current phase winds down at its next
+//! safe point and the learner returns a valid (but less refined)
+//! structure — a partially pruned skeleton, or the best DAG seen so far.
+//!
+//! The entry point is [`crate::learn_structure_observed`]; the underlying
+//! per-phase hooks are also reachable directly via
+//! [`crate::learner::PcStable::learn_with_progress`] and
+//! [`fastbn_score::HillClimb::learn_observed`].
+
+use crate::stats_run::DepthStats;
+
+/// The phase a learning run is currently in, as reported to
+/// [`ProgressSink::on_phase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LearnPhase {
+    /// Constraint-based skeleton discovery (PC-stable depth loop).
+    Skeleton,
+    /// V-structure identification + Meek rules.
+    Orientation,
+    /// Score-based search (hill climbing / tabu).
+    Search,
+}
+
+impl LearnPhase {
+    /// Short stable name (used in logs and on the serve wire).
+    pub fn name(self) -> &'static str {
+        match self {
+            LearnPhase::Skeleton => "skeleton",
+            LearnPhase::Orientation => "orientation",
+            LearnPhase::Search => "search",
+        }
+    }
+}
+
+/// Receiver of learning-progress callbacks. All methods have no-op
+/// defaults, so a sink implements only what it cares about.
+///
+/// `Sync` is required because the learners hold the sink across their
+/// scoped parallel regions (the callbacks themselves always run on the
+/// coordinating thread).
+pub trait ProgressSink: Sync {
+    /// A new phase began. Purely informational.
+    fn on_phase(&self, phase: LearnPhase) {
+        let _ = phase;
+    }
+
+    /// One skeleton depth completed, with its final per-depth counters.
+    /// Return `false` to stop refining: deeper conditioning sets are
+    /// skipped and the current (consistent, less-pruned) skeleton is kept.
+    fn on_skeleton_depth(&self, stats: &DepthStats) -> bool {
+        let _ = stats;
+        true
+    }
+
+    /// One search move was applied; `iteration` is cumulative across
+    /// restarts, `score` the current DAG's total score. Return `false` to
+    /// stop the search with the best DAG seen so far.
+    fn on_search_iteration(&self, iteration: u64, score: f64) -> bool {
+        let _ = (iteration, score);
+        true
+    }
+}
+
+/// The do-nothing sink behind the unobserved entry points.
+pub struct NoProgress;
+
+impl ProgressSink for NoProgress {}
+
+/// Adapts a [`ProgressSink`] to the score crate's
+/// [`fastbn_score::SearchObserver`] so one sink can watch both learner
+/// families.
+pub struct SearchSink<'a>(pub &'a dyn ProgressSink);
+
+impl fastbn_score::SearchObserver for SearchSink<'_> {
+    fn on_iteration(&self, iteration: u64, score: f64) -> bool {
+        self.0.on_search_iteration(iteration, score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(LearnPhase::Skeleton.name(), "skeleton");
+        assert_eq!(LearnPhase::Orientation.name(), "orientation");
+        assert_eq!(LearnPhase::Search.name(), "search");
+    }
+
+    #[test]
+    fn default_sink_continues_everything() {
+        let sink = NoProgress;
+        sink.on_phase(LearnPhase::Skeleton);
+        assert!(sink.on_skeleton_depth(&DepthStats::default()));
+        assert!(sink.on_search_iteration(3, -1.0));
+        use fastbn_score::SearchObserver;
+        assert!(SearchSink(&sink).on_iteration(1, 0.0));
+    }
+}

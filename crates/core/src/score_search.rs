@@ -18,10 +18,13 @@
 
 use crate::config::PcConfig;
 use crate::learner::PcStable;
+use crate::progress::{LearnPhase, NoProgress, ProgressSink, SearchSink};
+use crate::skeleton::learn_skeleton_progress;
 use crate::stats_run::RunStats;
 use fastbn_data::Dataset;
 use fastbn_graph::{dag_to_cpdag, Dag, Pdag, UGraph};
 use fastbn_score::{HillClimb, HillClimbConfig, SearchStats};
+use std::time::Instant;
 
 /// Configuration of the hybrid (skeleton-restricted) learner.
 #[derive(Clone, Debug)]
@@ -173,13 +176,30 @@ impl StructureResult {
 /// # Panics
 /// Panics if `data` has fewer than 2 variables.
 pub fn learn_structure(data: &Dataset, strategy: &Strategy) -> StructureResult {
+    learn_structure_observed(data, strategy, &NoProgress)
+}
+
+/// [`learn_structure`] with a [`ProgressSink`] receiving phase changes,
+/// per-depth skeleton statistics and per-move search updates — whichever
+/// apply to the chosen strategy. A sink that always continues leaves the
+/// result byte-identical to [`learn_structure`]; a sink that stops ends
+/// the run early at the next safe point with a valid, less-refined
+/// structure (see [`crate::progress`]).
+///
+/// # Panics
+/// Panics if `data` has fewer than 2 variables.
+pub fn learn_structure_observed(
+    data: &Dataset,
+    strategy: &Strategy,
+    progress: &dyn ProgressSink,
+) -> StructureResult {
     assert!(
         data.n_vars() >= 2,
         "structure learning needs at least 2 variables"
     );
     match strategy {
         Strategy::PcStable(cfg) => {
-            let result = PcStable::new(cfg.clone()).learn(data);
+            let result = PcStable::new(cfg.clone()).learn_with_progress(data, progress);
             let (skeleton, _sepsets, cpdag, stats) = result.into_parts();
             StructureResult {
                 cpdag,
@@ -191,7 +211,9 @@ pub fn learn_structure(data: &Dataset, strategy: &Strategy) -> StructureResult {
             }
         }
         Strategy::HillClimb(cfg) => {
-            let result = HillClimb::new(cfg.clone()).learn(data);
+            progress.on_phase(LearnPhase::Search);
+            let result =
+                HillClimb::new(cfg.clone()).learn_observed(data, None, &SearchSink(progress));
             StructureResult {
                 cpdag: dag_to_cpdag(&result.dag),
                 dag: Some(result.dag),
@@ -202,7 +224,7 @@ pub fn learn_structure(data: &Dataset, strategy: &Strategy) -> StructureResult {
             }
         }
         Strategy::Hybrid(cfg) => {
-            let result = HybridLearner::new(cfg.clone()).learn(data);
+            let result = HybridLearner::new(cfg.clone()).learn_observed(data, progress);
             StructureResult {
                 cpdag: result.cpdag,
                 dag: Some(result.dag),
@@ -265,15 +287,36 @@ impl HybridLearner {
     /// # Panics
     /// Panics if `data` has fewer than 2 variables.
     pub fn learn(&self, data: &Dataset) -> HybridResult {
+        self.learn_observed(data, &NoProgress)
+    }
+
+    /// [`HybridLearner::learn`] with a [`ProgressSink`]: the skeleton
+    /// stage reports per-depth statistics, the search stage per-move
+    /// updates. A sink that stops during the skeleton stage ends the
+    /// depth loop early; the search stage then starts on the partially
+    /// pruned skeleton but consults the same sink, so a sink that keeps
+    /// refusing (a cancellation token) stops it at its first applied
+    /// move. Stopping during the search returns the best DAG seen.
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer than 2 variables.
+    pub fn learn_observed(&self, data: &Dataset, progress: &dyn ProgressSink) -> HybridResult {
         assert!(
             data.n_vars() >= 2,
             "structure learning needs at least 2 variables"
         );
-        let (skeleton, _sepsets, pc_stats) =
-            PcStable::new(self.config.pc.clone()).learn_skeleton(data);
+        let t0 = Instant::now();
+        progress.on_phase(LearnPhase::Skeleton);
+        let (skeleton, _sepsets, depths) = learn_skeleton_progress(data, &self.config.pc, progress);
+        let pc_stats = RunStats {
+            depths,
+            skeleton_duration: t0.elapsed(),
+            ..RunStats::default()
+        };
 
+        progress.on_phase(LearnPhase::Search);
         let search = HillClimb::new(self.config.hc.clone());
-        let result = search.learn_restricted(data, Some(&skeleton));
+        let result = search.learn_observed(data, Some(&skeleton), &SearchSink(progress));
         HybridResult {
             cpdag: dag_to_cpdag(&result.dag),
             dag: result.dag,
@@ -411,5 +454,112 @@ mod tests {
     fn single_variable_rejected() {
         let data = Dataset::from_columns(vec![], vec![2], vec![vec![0, 1]]).unwrap();
         HybridLearner::new(HybridConfig::fast_bns()).learn(&data);
+    }
+
+    /// Counts every progress callback; optionally refuses to continue.
+    struct CountingSink {
+        phases: std::sync::Mutex<Vec<crate::progress::LearnPhase>>,
+        depths: std::sync::atomic::AtomicU64,
+        iterations: std::sync::atomic::AtomicU64,
+        keep_going: bool,
+    }
+
+    impl CountingSink {
+        fn new(keep_going: bool) -> Self {
+            Self {
+                phases: std::sync::Mutex::new(Vec::new()),
+                depths: std::sync::atomic::AtomicU64::new(0),
+                iterations: std::sync::atomic::AtomicU64::new(0),
+                keep_going,
+            }
+        }
+    }
+
+    impl crate::progress::ProgressSink for CountingSink {
+        fn on_phase(&self, phase: crate::progress::LearnPhase) {
+            self.phases.lock().unwrap().push(phase);
+        }
+        fn on_skeleton_depth(&self, _stats: &crate::stats_run::DepthStats) -> bool {
+            self.depths
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.keep_going
+        }
+        fn on_search_iteration(&self, _iteration: u64, _score: f64) -> bool {
+            self.iterations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.keep_going
+        }
+    }
+
+    #[test]
+    fn passive_sink_leaves_every_strategy_byte_identical() {
+        use crate::progress::LearnPhase;
+        use std::sync::atomic::Ordering;
+        let (_, data) = workload();
+        for strategy in [
+            Strategy::PcStable(PcConfig::fast_bns_steal()),
+            Strategy::HillClimb(HillClimbConfig::default()),
+            Strategy::Hybrid(HybridConfig::fast_bns()),
+        ] {
+            let plain = learn_structure(&data, &strategy);
+            let sink = CountingSink::new(true);
+            let observed = learn_structure_observed(&data, &strategy, &sink);
+            assert_eq!(observed.cpdag, plain.cpdag, "{}", strategy.name());
+            assert_eq!(observed.dag, plain.dag, "{}", strategy.name());
+            assert_eq!(
+                observed.score.map(f64::to_bits),
+                plain.score.map(f64::to_bits),
+                "{}",
+                strategy.name()
+            );
+            let phases = sink.phases.lock().unwrap().clone();
+            match strategy {
+                Strategy::PcStable(_) => {
+                    assert_eq!(phases, vec![LearnPhase::Skeleton, LearnPhase::Orientation]);
+                    assert!(sink.depths.load(Ordering::Relaxed) >= 1);
+                }
+                Strategy::HillClimb(_) => {
+                    assert_eq!(phases, vec![LearnPhase::Search]);
+                    assert!(sink.iterations.load(Ordering::Relaxed) >= 1);
+                }
+                Strategy::Hybrid(_) => {
+                    assert_eq!(phases, vec![LearnPhase::Skeleton, LearnPhase::Search]);
+                    assert!(sink.depths.load(Ordering::Relaxed) >= 1);
+                    assert!(sink.iterations.load(Ordering::Relaxed) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refusing_sink_stops_early_with_valid_results() {
+        use std::sync::atomic::Ordering;
+        let (_, data) = workload();
+        // PC-stable: only depth 0 runs.
+        let sink = CountingSink::new(false);
+        let result =
+            learn_structure_observed(&data, &Strategy::PcStable(PcConfig::fast_bns_seq()), &sink);
+        assert_eq!(sink.depths.load(Ordering::Relaxed), 1);
+        assert_eq!(result.pc_stats.as_ref().unwrap().depths.len(), 1);
+        assert_eq!(result.cpdag.n(), data.n_vars());
+
+        // Hill climb: exactly one move applies.
+        let sink = CountingSink::new(false);
+        let result = learn_structure_observed(
+            &data,
+            &Strategy::HillClimb(HillClimbConfig::default()),
+            &sink,
+        );
+        assert_eq!(sink.iterations.load(Ordering::Relaxed), 1);
+        assert_eq!(result.search_stats.as_ref().unwrap().iterations, 1);
+        assert!(result.score.unwrap().is_finite());
+
+        // Hybrid: one skeleton depth, then the search stops immediately.
+        let sink = CountingSink::new(false);
+        let result =
+            learn_structure_observed(&data, &Strategy::Hybrid(HybridConfig::fast_bns()), &sink);
+        assert_eq!(sink.depths.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.iterations.load(Ordering::Relaxed), 1);
+        assert!(result.score.unwrap().is_finite());
     }
 }

@@ -29,6 +29,7 @@ pub mod seq;
 pub mod steal_par;
 
 use crate::config::{ParallelMode, PcConfig};
+use crate::progress::{NoProgress, ProgressSink};
 use crate::stats_run::DepthStats;
 use common::{apply_removals, build_tasks, CiEngine, CiObserver, NoObserver};
 use fastbn_data::Dataset;
@@ -44,6 +45,20 @@ pub fn learn_skeleton(data: &Dataset, cfg: &PcConfig) -> (UGraph, SepSets, Vec<D
     learn_skeleton_observed(data, cfg, NoObserver)
 }
 
+/// [`learn_skeleton`] with a per-depth [`ProgressSink`]: after every
+/// completed depth the sink receives that depth's [`DepthStats`]; a
+/// `false` return stops the depth loop early (deeper conditioning sets
+/// are skipped, the current — consistent but less pruned — skeleton is
+/// returned). A sink that always returns `true` leaves the result
+/// byte-identical to [`learn_skeleton`] under every scheduler.
+pub fn learn_skeleton_progress(
+    data: &Dataset,
+    cfg: &PcConfig,
+    progress: &dyn ProgressSink,
+) -> (UGraph, SepSets, Vec<DepthStats>) {
+    learn_skeleton_inner(data, cfg, NoObserver, progress)
+}
+
 /// [`learn_skeleton`] with a CI-test observer. The observer is invoked
 /// only under [`ParallelMode::Sequential`] (recorded traces are only
 /// meaningful, and only deterministic, sequentially); parallel modes run
@@ -52,6 +67,16 @@ pub fn learn_skeleton_observed<O: CiObserver>(
     data: &Dataset,
     cfg: &PcConfig,
     observer: O,
+) -> (UGraph, SepSets, Vec<DepthStats>) {
+    learn_skeleton_inner(data, cfg, observer, &NoProgress)
+}
+
+/// Shared implementation behind the three public entry points.
+fn learn_skeleton_inner<O: CiObserver>(
+    data: &Dataset,
+    cfg: &PcConfig,
+    observer: O,
+    progress: &dyn ProgressSink,
 ) -> (UGraph, SepSets, Vec<DepthStats>) {
     let n = data.n_vars();
     let mut graph = UGraph::complete(n);
@@ -63,6 +88,7 @@ pub fn learn_skeleton_observed<O: CiObserver>(
             let mut engine = CiEngine::with_observer(data, cfg, observer);
             run_depth_loop(
                 cfg,
+                progress,
                 &mut graph,
                 &mut sepsets,
                 &mut depth_stats,
@@ -75,6 +101,7 @@ pub fn learn_skeleton_observed<O: CiObserver>(
             Team::scoped(cfg.effective_threads(), |team| {
                 run_depth_loop(
                     cfg,
+                    progress,
                     &mut graph,
                     &mut sepsets,
                     &mut depth_stats,
@@ -118,6 +145,7 @@ pub fn learn_skeleton_observed<O: CiObserver>(
 /// admits a conditioning set of the current size.
 fn run_depth_loop(
     cfg: &PcConfig,
+    progress: &dyn ProgressSink,
     graph: &mut UGraph,
     sepsets: &mut SepSets,
     depth_stats: &mut Vec<DepthStats>,
@@ -144,6 +172,11 @@ fn run_depth_loop(
             ci_tests,
             duration: started.elapsed(),
         });
+        // Progress/cancellation seam: runs between depths, on the
+        // coordinating thread — a `true` return cannot perturb the run.
+        if !progress.on_skeleton_depth(depth_stats.last().expect("just pushed")) {
+            break;
+        }
         d += 1;
     }
 }

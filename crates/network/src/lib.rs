@@ -16,7 +16,7 @@
 //!   so seeded generators matched on node count, edge count and realistic
 //!   arities stand in; every algorithmic comparison is internal, so all
 //!   modes see identical inputs),
-//! * [`format`] — a small plain-text serialization (`.bnet`) with a parser
+//! * [`mod@format`] — a small plain-text serialization (`.bnet`) with a parser
 //!   and writer, so examples can save and reload networks without a
 //!   serialization dependency,
 //! * [`infer`] — exact inference by variable elimination (per-query) with

@@ -1,0 +1,463 @@
+//! Long-lived job execution: a bounded FIFO queue of cancellable jobs
+//! drained by a fixed team of runner threads.
+//!
+//! The worker [`crate::Team`] is *scoped*: it exists for one parallel
+//! region and cannot outlive the closure that spawned it. A serving
+//! process needs the opposite shape — a queue that outlives every request
+//! and a stable set of runners that execute jobs submitted from many
+//! connection threads. [`JobPool`] provides that shape while staying
+//! compatible with the scoped substrate: each job runs *on one runner
+//! thread* and is free to open its own `Team::scoped` region internally
+//! (which is exactly what the structure learners do), so a pool of `r`
+//! runners with `t`-thread jobs uses up to `r·t` worker threads at peak.
+//!
+//! Three properties the serving layer builds on:
+//!
+//! * **Bounded admission.** [`JobPool::submit`] never blocks: when the
+//!   queue is at capacity it returns [`QueueFull`] immediately, which the
+//!   daemon translates into an explicit `Busy` rejection instead of
+//!   unbounded buffering.
+//! * **FIFO fairness.** A single shared queue drained in arrival order —
+//!   jobs from many clients interleave in the order they were admitted,
+//!   never starved by a chatty connection.
+//! * **Cooperative cancellation.** Every job receives a [`CancelToken`];
+//!   the matching [`JobHandle`] can flip it at any time. Cancellation is
+//!   advisory — the job observes the token at its own safe points (the
+//!   learners poll it from their progress callbacks) and winds down with
+//!   a consistent partial result.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A cloneable cooperative-cancellation flag shared between a job and its
+/// [`JobHandle`]. Flipping it never interrupts anything by force; code
+/// that wants to be cancellable polls [`CancelToken::is_cancelled`] at
+/// its own safe points.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent, races harmlessly).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Error returned by [`JobPool::submit`] when the bounded queue is at
+/// capacity — the caller's signal to reject the work explicitly rather
+/// than buffer it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue is at capacity")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Completion latch shared by a job and its handle.
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        *self.done.lock()
+    }
+}
+
+/// The caller's view of one submitted job: its queue-assigned id, a way
+/// to request cancellation, and a completion latch to poll or block on.
+pub struct JobHandle {
+    id: u64,
+    cancel: CancelToken,
+    latch: Arc<Latch>,
+}
+
+impl JobHandle {
+    /// The pool-unique id assigned at submission (monotonically
+    /// increasing in admission order — comparing ids recovers FIFO
+    /// position).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The job's cancellation token (cloneable; the job received the same
+    /// one as its argument).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Request cooperative cancellation of the job.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Has the job finished running (normally or after cancellation)?
+    pub fn is_finished(&self) -> bool {
+        self.latch.is_open()
+    }
+
+    /// Block until the job has finished running.
+    pub fn wait(&self) {
+        self.latch.wait();
+    }
+}
+
+/// One queued unit of work.
+struct QueuedJob {
+    cancel: CancelToken,
+    latch: Arc<Latch>,
+    work: Box<dyn FnOnce(&CancelToken) + Send>,
+}
+
+/// Shared pool state.
+struct PoolInner {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    /// Wakes idle runners on submit and on shutdown.
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_cap: usize,
+    next_id: AtomicU64,
+    running: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A fixed team of runner threads draining a bounded FIFO job queue.
+///
+/// Dropping the pool initiates shutdown: already-queued jobs still run to
+/// completion (with their cancellation tokens flipped so cooperative jobs
+/// finish fast), then the runners exit and are joined.
+///
+/// ```
+/// use fastbn_parallel::JobPool;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = JobPool::new(2, 8);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let hits = hits.clone();
+///         pool.submit(move |_cancel| {
+///             hits.fetch_add(1, Ordering::Relaxed);
+///         })
+///         .unwrap()
+///     })
+///     .collect();
+/// for h in &handles {
+///     h.wait();
+/// }
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct JobPool {
+    inner: Arc<PoolInner>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl JobPool {
+    /// A pool with `runners` runner threads (min 1) and room for
+    /// `queue_cap` *queued* jobs (min 1; jobs already picked up by a
+    /// runner no longer count against the cap).
+    pub fn new(runners: usize, queue_cap: usize) -> Self {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_cap: queue_cap.max(1),
+            next_id: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let runners = (0..runners.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fastbn-job-runner-{i}"))
+                    .spawn(move || runner_loop(&inner))
+                    .expect("spawn job runner")
+            })
+            .collect();
+        Self { inner, runners }
+    }
+
+    /// Admit `work` at the back of the queue, or reject it with
+    /// [`QueueFull`] when the queue is at capacity. Never blocks.
+    ///
+    /// The job runs on one runner thread with its [`CancelToken`] as the
+    /// argument; it should poll the token at its safe points.
+    pub fn submit(
+        &self,
+        work: impl FnOnce(&CancelToken) + Send + 'static,
+    ) -> Result<JobHandle, QueueFull> {
+        let cancel = CancelToken::new();
+        let latch = Arc::new(Latch::new());
+        {
+            let mut queue = self.inner.queue.lock();
+            if queue.len() >= self.inner.queue_cap {
+                return Err(QueueFull);
+            }
+            queue.push_back(QueuedJob {
+                cancel: cancel.clone(),
+                latch: Arc::clone(&latch),
+                work: Box::new(work),
+            });
+        }
+        self.inner.available.notify_one();
+        Ok(JobHandle {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            cancel,
+            latch,
+        })
+    }
+
+    /// Jobs admitted but not yet picked up by a runner.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Jobs currently executing on a runner.
+    pub fn running(&self) -> u64 {
+        self.inner.running.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that have finished executing (normally or cancelled).
+    pub fn completed(&self) -> u64 {
+        self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of runner threads.
+    pub fn n_runners(&self) -> usize {
+        self.runners.len()
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Flip every still-queued job's token so cooperative jobs exit
+        // their work quickly; they still run (their handles' latches must
+        // open) but observe cancellation at their first safe point.
+        for job in self.inner.queue.lock().iter() {
+            job.cancel.cancel();
+        }
+        self.inner.available.notify_all();
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
+        }
+    }
+}
+
+fn runner_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.available.wait(&mut queue);
+            }
+        };
+        inner.running.fetch_add(1, Ordering::Relaxed);
+        (job.work)(&job.cancel);
+        inner.running.fetch_sub(1, Ordering::Relaxed);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        job.latch.open();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_handles_complete() {
+        let pool = JobPool::new(2, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                pool.submit(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap()
+            })
+            .collect();
+        for h in &handles {
+            h.wait();
+            assert!(h.is_finished());
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.completed(), 8);
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn queue_capacity_rejects_with_queue_full() {
+        let pool = JobPool::new(1, 1);
+        // Occupy the single runner until released.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let running = pool
+            .submit(move |_| {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        // One job fits in the queue; the next is rejected.
+        let queued = pool.submit(|_| {}).unwrap();
+        assert_eq!(pool.submit(|_| {}).err(), Some(QueueFull));
+        assert_eq!(pool.queued(), 1);
+        release_tx.send(()).unwrap();
+        running.wait();
+        queued.wait();
+        // Capacity freed: submission succeeds again.
+        pool.submit(|_| {}).unwrap().wait();
+    }
+
+    #[test]
+    fn fifo_order_across_submitters() {
+        let pool = JobPool::new(1, 64);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let gate = pool
+            .submit(move |_| {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        // With the runner blocked, queue jobs from several "clients".
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                pool.submit(move |_| order.lock().push(i)).unwrap()
+            })
+            .collect();
+        // Ids are assigned in admission order.
+        for pair in handles.windows(2) {
+            assert!(pair[0].id() < pair[1].id());
+        }
+        release_tx.send(()).unwrap();
+        gate.wait();
+        for h in &handles {
+            h.wait();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cancellation_is_observable_inside_the_job() {
+        let pool = JobPool::new(1, 4);
+        let (observed_tx, observed_rx) = mpsc::channel::<bool>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (cancelled_tx, cancelled_rx) = mpsc::channel::<()>();
+        let handle = pool
+            .submit(move |cancel| {
+                started_tx.send(()).unwrap();
+                // Wait for the handle side to flip the token.
+                cancelled_rx.recv().unwrap();
+                observed_tx.send(cancel.is_cancelled()).unwrap();
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        handle.cancel();
+        cancelled_tx.send(()).unwrap();
+        assert!(observed_rx.recv().unwrap(), "job saw the cancelled token");
+        handle.wait();
+    }
+
+    #[test]
+    fn drop_cancels_queued_jobs_but_still_runs_them() {
+        let pool = JobPool::new(1, 8);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let _gate = pool
+            .submit(move |_| {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            })
+            .unwrap();
+        started_rx.recv().unwrap();
+        let saw_cancel = Arc::new(AtomicBool::new(false));
+        let queued = {
+            let saw_cancel = Arc::clone(&saw_cancel);
+            pool.submit(move |cancel| {
+                saw_cancel.store(cancel.is_cancelled(), Ordering::Relaxed);
+            })
+            .unwrap()
+        };
+        // Release the gate only after drop() has started: drop first flips
+        // the queued job's token (it is still in the queue because the
+        // runner is blocked in the gate job), then joins the runners.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            release_tx.send(()).unwrap();
+        });
+        drop(pool); // shutdown: queued job still runs, token flipped
+        releaser.join().unwrap();
+        assert!(queued.is_finished());
+        assert!(saw_cancel.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn wait_blocks_until_done() {
+        let pool = JobPool::new(1, 4);
+        let handle = pool
+            .submit(|_| std::thread::sleep(Duration::from_millis(20)))
+            .unwrap();
+        handle.wait();
+        assert!(handle.is_finished());
+    }
+
+    #[test]
+    fn zero_sizes_promote_to_one() {
+        let pool = JobPool::new(0, 0);
+        assert_eq!(pool.n_runners(), 1);
+        pool.submit(|_| {}).unwrap().wait();
+    }
+}

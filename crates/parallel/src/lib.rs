@@ -24,15 +24,21 @@
 //! * [`counters`] — per-thread accumulator slots (cache-padded) so workers
 //!   can count CI tests without sharing cache lines, merged after a join;
 //!   this is how Fast-BNS collects statistics while staying atomic-free on
-//!   the hot path.
+//!   the hot path,
+//! * [`jobs`] — the **serving-side job layer**: a bounded FIFO
+//!   [`jobs::JobPool`] of cancellable jobs drained by long-lived runner
+//!   threads, each job free to open its own scoped [`Team`] region. This
+//!   is what `fastbn-serve` multiplexes client requests onto.
 
 pub mod counters;
+pub mod jobs;
 pub mod partition;
 pub mod stealpool;
 pub mod team;
 pub mod workpool;
 
 pub use counters::PerThread;
+pub use jobs::{CancelToken, JobHandle, JobPool, QueueFull};
 pub use partition::{chunk_ranges, shard_by_key};
 pub use stealpool::{run_steal_pool, StealPool};
 pub use team::Team;

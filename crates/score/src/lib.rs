@@ -35,4 +35,7 @@ pub mod search;
 
 pub use cache::ScoreCache;
 pub use score::{LocalScorer, ScoreKind};
-pub use search::{HillClimb, HillClimbConfig, HillClimbResult, Move, MoveEval, SearchStats};
+pub use search::{
+    HillClimb, HillClimbConfig, HillClimbResult, Move, MoveEval, NoSearchObserver, SearchObserver,
+    SearchStats,
+};

@@ -61,7 +61,35 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Observer of a running search — the progress/cancellation seam a serving
+/// process hooks the climber through.
+///
+/// Called from the coordinating thread at iteration granularity (after
+/// every applied move), *outside* the parallel delta fan-out, so an
+/// observer that always returns `true` cannot perturb the search: the
+/// learned DAG stays byte-identical to an unobserved run. Returning
+/// `false` requests a cooperative early stop — the search winds down
+/// immediately and returns the **best DAG seen so far** (remaining
+/// restarts are skipped too).
+pub trait SearchObserver: Sync {
+    /// One move was applied. `iteration` is the cumulative applied-move
+    /// count across all climbs and restarts of this run; `score` is the
+    /// current DAG's total score (which tabu exploration may hold below
+    /// the incumbent). Return `false` to stop the search early.
+    fn on_iteration(&self, iteration: u64, score: f64) -> bool {
+        let _ = (iteration, score);
+        true
+    }
+}
+
+/// The do-nothing observer behind [`HillClimb::learn`] /
+/// [`HillClimb::learn_restricted`].
+pub struct NoSearchObserver;
+
+impl SearchObserver for NoSearchObserver {}
 
 /// One atomic modification of the current DAG.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -357,6 +385,23 @@ impl HillClimb {
     /// # Panics
     /// Panics if `allowed` has a different node count than `data`.
     pub fn learn_restricted(&self, data: &Dataset, allowed: Option<&UGraph>) -> HillClimbResult {
+        self.learn_observed(data, allowed, &NoSearchObserver)
+    }
+
+    /// [`HillClimb::learn_restricted`] with a [`SearchObserver`] watching
+    /// (and optionally stopping) the search. An observer that always
+    /// returns `true` leaves the result byte-identical to the unobserved
+    /// run; one that returns `false` stops the search early with the best
+    /// DAG seen so far.
+    ///
+    /// # Panics
+    /// Panics if `allowed` has a different node count than `data`.
+    pub fn learn_observed(
+        &self,
+        data: &Dataset,
+        allowed: Option<&UGraph>,
+        observer: &dyn SearchObserver,
+    ) -> HillClimbResult {
         if let Some(g) = allowed {
             assert_eq!(g.n(), data.n_vars(), "restriction graph node count");
         }
@@ -379,6 +424,8 @@ impl HillClimb {
                 })
                 .collect(),
             stats: Mutex::new(SearchStats::default()),
+            observer,
+            stopped: AtomicBool::new(false),
         };
 
         // One worker team lives for the whole search (all climbs and
@@ -393,6 +440,10 @@ impl HillClimb {
 
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             for _ in 0..cfg.restarts {
+                // The observer asked for a stop: skip remaining restarts.
+                if searcher.stopped.load(Ordering::Relaxed) {
+                    break;
+                }
                 let mut cand = best.0.clone();
                 searcher.perturb(&mut cand, &mut rng);
                 score = searcher.climb(&mut cand, team);
@@ -434,6 +485,10 @@ struct Searcher<'d, 'c> {
     cache: ScoreCache,
     scorers: Vec<Mutex<LocalScorer<'d>>>,
     stats: Mutex<SearchStats>,
+    observer: &'c dyn SearchObserver,
+    /// Latched when `observer` returns `false`: stops the current climb
+    /// and skips remaining restarts.
+    stopped: AtomicBool,
 }
 
 impl Searcher<'_, '_> {
@@ -535,7 +590,11 @@ impl Searcher<'_, '_> {
                     tabu.pop_front();
                 }
             }
-            self.stats.lock().iterations += 1;
+            let iteration = {
+                let mut stats = self.stats.lock();
+                stats.iterations += 1;
+                stats.iterations
+            };
             if cur_total > best_total + self.cfg.epsilon {
                 best_total = cur_total;
                 if let Some(b) = best_dag.as_mut() {
@@ -544,6 +603,13 @@ impl Searcher<'_, '_> {
                 stall = 0;
             } else {
                 stall += 1;
+            }
+            // Progress/cancellation seam: the observer runs after the move
+            // is fully applied, outside the parallel fan-out, so a `true`
+            // return cannot perturb the search.
+            if !self.observer.on_iteration(iteration, cur_total) {
+                self.stopped.store(true, Ordering::Relaxed);
+                break;
             }
         }
         match best_dag {
@@ -1115,5 +1181,55 @@ mod tests {
         let mut d = dag.clone();
         apply_move(&mut d, Move::Reverse(1, 2));
         assert!(d.has_edge(2, 1));
+    }
+
+    /// Records every observer call; optionally stops after a cutoff.
+    struct RecordingObserver {
+        seen: Mutex<Vec<(u64, f64)>>,
+        stop_after: Option<u64>,
+    }
+
+    impl SearchObserver for RecordingObserver {
+        fn on_iteration(&self, iteration: u64, score: f64) -> bool {
+            self.seen.lock().push((iteration, score));
+            self.stop_after.is_none_or(|cut| iteration < cut)
+        }
+    }
+
+    #[test]
+    fn passive_observer_leaves_result_byte_identical() {
+        let data = chain_data();
+        let plain = HillClimb::new(HillClimbConfig::default().with_threads(2)).learn(&data);
+        let obs = RecordingObserver {
+            seen: Mutex::new(Vec::new()),
+            stop_after: None,
+        };
+        let observed = HillClimb::new(HillClimbConfig::default().with_threads(2))
+            .learn_observed(&data, None, &obs);
+        assert_eq!(observed.dag, plain.dag);
+        assert_eq!(observed.score.to_bits(), plain.score.to_bits());
+        let seen = obs.seen.into_inner();
+        assert_eq!(seen.len() as u64, plain.stats.iterations);
+        // Iteration counts are cumulative and the last score is the final
+        // greedy score (greedy mode: every applied move improved).
+        assert_eq!(seen.last().unwrap().0, plain.stats.iterations);
+        assert_eq!(seen.last().unwrap().1.to_bits(), plain.score.to_bits());
+    }
+
+    #[test]
+    fn observer_stop_ends_search_early_with_valid_result() {
+        let data = chain_data();
+        let obs = RecordingObserver {
+            seen: Mutex::new(Vec::new()),
+            stop_after: Some(1),
+        };
+        let result = HillClimb::new(HillClimbConfig::default().with_threads(1).with_restarts(3))
+            .learn_observed(&data, None, &obs);
+        // Stopped after the first applied move: no further iterations and
+        // no restarts ran.
+        assert_eq!(result.stats.iterations, 1);
+        assert_eq!(result.stats.restarts, 0);
+        assert!(result.score.is_finite());
+        assert_eq!(obs.seen.into_inner().len(), 1);
     }
 }

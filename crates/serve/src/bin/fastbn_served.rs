@@ -1,0 +1,59 @@
+//! The `fastbn-served` daemon binary.
+//!
+//! ```text
+//! fastbn-served [--addr HOST:PORT] [--runners N] [--queue N] [--cache N]
+//! ```
+//!
+//! Serves the protocol in `docs/PROTOCOL.md` until a client sends a
+//! `Shutdown` frame. Prints the bound address on stdout (useful with
+//! `--addr 127.0.0.1:0`).
+
+use std::process::exit;
+
+use fastbn_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!("usage: fastbn-served [--addr HOST:PORT] [--runners N] [--queue N] [--cache N]");
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("fastbn-served: bad or missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7733".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(args.next(), "--addr"),
+            "--runners" => cfg.runners = parse(args.next(), "--runners"),
+            "--queue" => cfg.queue_capacity = parse(args.next(), "--queue"),
+            "--cache" => cfg.cache_capacity = parse(args.next(), "--cache"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fastbn-served: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let server = match Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fastbn-served: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("fastbn-served listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("fastbn-served: {e}");
+        exit(1);
+    }
+}

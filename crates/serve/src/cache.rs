@@ -1,0 +1,348 @@
+//! Deterministic caching of learned structures and fitted models.
+//!
+//! Every cache key is a 64-bit FNV-1a hash assembled from two halves:
+//! the **dataset fingerprint** (dims, arities, names, raw column bytes)
+//! and the **canonical strategy encoding** from
+//! [`crate::protocol::StrategySpec::canonical_bytes`]. Because both
+//! halves are pure functions of the request, a client resending an
+//! identical request always hits, and the returned `structure_key` /
+//! `model_id` values are stable across daemon restarts.
+//!
+//! Calibration thread count is deliberately *excluded* from the model
+//! key: junction-tree posteriors are bitwise thread-invariant (a
+//! repo-wide invariant enforced by `fastbn-network`'s tests), so fitted
+//! models learned at different thread counts are interchangeable.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fastbn_core::StructureResult;
+use fastbn_data::Dataset;
+use fastbn_network::{BayesNet, JoinTree};
+
+use crate::protocol::{FitReply, LearnReply};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher (dependency-free, stable).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the standard offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The dataset half of every cache key: a hash of dims, per-variable
+/// names and arities, and the raw column-major values.
+pub fn dataset_fingerprint(data: &Dataset) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(data.n_vars() as u64).u64(data.n_samples() as u64);
+    for v in 0..data.n_vars() {
+        h.bytes(data.names()[v].as_bytes())
+            .u64(data.arity(v) as u64)
+            .bytes(data.column(v));
+    }
+    h.finish()
+}
+
+/// Cache key of a learned structure: dataset fingerprint ⊕-folded with
+/// the canonical strategy encoding.
+pub fn structure_key(dataset_fp: u64, strategy_bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(dataset_fp).bytes(strategy_bytes);
+    h.finish()
+}
+
+/// Cache key of a fitted model: the structure key plus the smoothing
+/// pseudo-count (as IEEE-754 bits). Calibration threads are excluded —
+/// posteriors are thread-invariant.
+pub fn model_key(structure_key: u64, smoothing: f64) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(structure_key).u64(smoothing.to_bits());
+    h.finish()
+}
+
+/// A cached learned structure: the wire reply to replay plus the full
+/// in-process result (so `Fit` can parameterize it without relearning).
+pub struct StructureEntry {
+    /// The reply sent for the original miss (`cache_hit` rewritten on
+    /// replay).
+    pub reply: LearnReply,
+    /// The learner's full output.
+    pub result: StructureResult,
+}
+
+/// A cached fitted model: the network, its calibrated junction tree,
+/// and the reply to replay.
+pub struct ModelEntry {
+    /// The fitted network.
+    pub net: BayesNet,
+    /// The calibrated junction tree answering `Infer` batches.
+    pub tree: JoinTree,
+    /// The reply sent for the original miss (`cache_hit` rewritten on
+    /// replay).
+    pub reply: FitReply,
+}
+
+/// A bounded FIFO map: at most `capacity` entries, oldest evicted first.
+struct BoundedMap<V> {
+    map: HashMap<u64, Arc<V>>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl<V> BoundedMap<V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<V>> {
+        self.map.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<V>) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Snapshot of cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Structure-cache hits.
+    pub structure_hits: u64,
+    /// Structure-cache misses.
+    pub structure_misses: u64,
+    /// Model-cache hits.
+    pub model_hits: u64,
+    /// Model-cache misses.
+    pub model_misses: u64,
+}
+
+/// The server's shared structure + model cache, with hit/miss counters.
+pub struct ServeCache {
+    structures: Mutex<BoundedMap<StructureEntry>>,
+    models: Mutex<BoundedMap<ModelEntry>>,
+    structure_hits: AtomicU64,
+    structure_misses: AtomicU64,
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
+}
+
+impl ServeCache {
+    /// An empty cache holding at most `capacity` structures and
+    /// `capacity` models (oldest-first eviction).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            structures: Mutex::new(BoundedMap::new(capacity)),
+            models: Mutex::new(BoundedMap::new(capacity)),
+            structure_hits: AtomicU64::new(0),
+            structure_misses: AtomicU64::new(0),
+            model_hits: AtomicU64::new(0),
+            model_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a learned structure, counting the hit or miss.
+    pub fn get_structure(&self, key: u64) -> Option<Arc<StructureEntry>> {
+        let found = self.structures.lock().unwrap().get(key);
+        match &found {
+            Some(_) => self.structure_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.structure_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a freshly learned structure.
+    pub fn put_structure(&self, key: u64, entry: StructureEntry) -> Arc<StructureEntry> {
+        let entry = Arc::new(entry);
+        self.structures.lock().unwrap().insert(key, entry.clone());
+        entry
+    }
+
+    /// Look up a fitted model, counting the hit or miss.
+    pub fn get_model(&self, key: u64) -> Option<Arc<ModelEntry>> {
+        let found = self.models.lock().unwrap().get(key);
+        match &found {
+            Some(_) => self.model_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.model_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Look up a fitted model *without* touching the hit/miss counters
+    /// (used by `Infer`, which is a handle lookup, not a cache probe).
+    pub fn peek_model(&self, key: u64) -> Option<Arc<ModelEntry>> {
+        self.models.lock().unwrap().get(key)
+    }
+
+    /// Store a freshly fitted model.
+    pub fn put_model(&self, key: u64, entry: ModelEntry) -> Arc<ModelEntry> {
+        let entry = Arc::new(entry);
+        self.models.lock().unwrap().insert(key, entry.clone());
+        entry
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            structure_hits: self.structure_hits.load(Ordering::Relaxed),
+            structure_misses: self.structure_misses.load(Ordering::Relaxed),
+            model_hits: self.model_hits.load(Ordering::Relaxed),
+            model_misses: self.model_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entry counts `(structures, models)` currently resident.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.structures.lock().unwrap().len(),
+            self.models.lock().unwrap().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::StrategySpec;
+
+    fn tiny_dataset(first: u8) -> Dataset {
+        Dataset::from_columns(
+            vec![],
+            vec![2, 2],
+            vec![vec![first, 1, 0, 1], vec![1, 1, 0, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = dataset_fingerprint(&tiny_dataset(0));
+        let b = dataset_fingerprint(&tiny_dataset(0));
+        let c = dataset_fingerprint(&tiny_dataset(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn keys_separate_configs_and_smoothing() {
+        let fp = dataset_fingerprint(&tiny_dataset(0));
+        let k_pc = structure_key(fp, &StrategySpec::pc(1).canonical_bytes());
+        let k_hc = structure_key(fp, &StrategySpec::hill_climb(1).canonical_bytes());
+        assert_ne!(k_pc, k_hc);
+        assert_ne!(model_key(k_pc, 1.0), model_key(k_pc, 0.5));
+        assert_eq!(model_key(k_pc, 1.0), model_key(k_pc, 1.0));
+    }
+
+    #[test]
+    fn bounded_map_evicts_oldest_first() {
+        let mut m = BoundedMap::new(2);
+        m.insert(1, Arc::new("a"));
+        m.insert(2, Arc::new("b"));
+        m.insert(3, Arc::new("c"));
+        assert_eq!(m.len(), 2);
+        assert!(m.get(1).is_none());
+        assert!(m.get(2).is_some());
+        assert!(m.get(3).is_some());
+        // Re-inserting an existing key must not grow the order queue.
+        m.insert(3, Arc::new("c2"));
+        m.insert(4, Arc::new("d"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(*m.get(3).unwrap(), "c2");
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = ServeCache::new(4);
+        assert!(cache.get_model(7).is_none());
+        cache.put_model(
+            7,
+            ModelEntry {
+                net: sample_net(),
+                tree: sample_tree(),
+                reply: sample_fit_reply(),
+            },
+        );
+        assert!(cache.get_model(7).is_some());
+        assert!(cache.peek_model(7).is_some()); // does not count
+        let c = cache.counters();
+        assert_eq!(c.model_hits, 1);
+        assert_eq!(c.model_misses, 1);
+        assert_eq!(cache.sizes(), (0, 1));
+    }
+
+    fn sample_net() -> BayesNet {
+        let data = tiny_dataset(0);
+        let learned = fastbn_core::learn_structure(
+            &data,
+            &fastbn_core::Strategy::PcStable(fastbn_core::PcConfig::fast_bns().with_threads(1)),
+        );
+        learned.fit(&data, 1.0, "t")
+    }
+
+    fn sample_tree() -> JoinTree {
+        JoinTree::build(&sample_net(), 1)
+    }
+
+    fn sample_fit_reply() -> FitReply {
+        FitReply {
+            model_id: 7,
+            cache_hit: false,
+            n_vars: 2,
+            n_edges: 0,
+            n_cliques: 1,
+            width: 1,
+            max_clique_cells: 2,
+            fit_micros: 0,
+            calibrate_micros: 0,
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! A blocking client for the daemon.
+//!
+//! One [`Client`] owns one connection and runs one request at a time
+//! (the protocol itself multiplexes; this client keeps the simple
+//! synchronous shape). Progress-streaming variants take a callback;
+//! returning `false` from it sends a `Cancel` frame for the in-flight
+//! job and then waits for the server's final answer (usually a
+//! [`ErrorCode::Cancelled`] error, but the job may win the race and
+//! complete).
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fastbn_data::Dataset;
+use fastbn_network::Query;
+
+use crate::protocol::{
+    kind, CancelRequest, ErrorCode, ErrorReply, FitReply, FitRequest, HealthReply, InferReply,
+    InferRequest, LearnReply, LearnRequest, ProgressEvent, StatsReply, StrategySpec,
+};
+use crate::wire::{encode_frame, read_frame, WireError};
+
+/// Everything a request can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or unexpected EOF).
+    Io(io::Error),
+    /// A frame or payload failed to decode.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server(ErrorReply),
+    /// The server answered with a frame kind this request cannot accept.
+    Unexpected(u8),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(e) => write!(f, "server error {:?}: {}", e.code, e.message),
+            ClientError::Unexpected(k) => write!(f, "unexpected frame kind 0x{k:02X}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// Is this a server-side error with the given code?
+    pub fn is_code(&self, code: ErrorCode) -> bool {
+        matches!(self, ClientError::Server(e) if e.code == code)
+    }
+}
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, next_id: 1 })
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// Send one request and block until its final reply, feeding
+    /// progress events to `on_event` along the way.
+    fn roundtrip(
+        &mut self,
+        req_kind: u8,
+        reply_kind: u8,
+        payload: &[u8],
+        mut on_event: impl FnMut(&ProgressEvent) -> bool,
+    ) -> Result<Vec<u8>, ClientError> {
+        let id = self.fresh_id();
+        self.stream
+            .write_all(&encode_frame(req_kind, id, payload))?;
+        let mut cancel_sent = false;
+        loop {
+            let frame = read_frame(&mut self.stream)?
+                .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+            if frame.kind == kind::EVENT_PROGRESS && frame.request_id == id {
+                let ev = ProgressEvent::decode(&frame.payload)?;
+                if !on_event(&ev) && !cancel_sent {
+                    let cancel_id = self.fresh_id();
+                    let req = CancelRequest {
+                        target_request_id: id,
+                    };
+                    self.stream
+                        .write_all(&encode_frame(kind::CANCEL, cancel_id, &req.encode()))?;
+                    cancel_sent = true;
+                }
+                continue;
+            }
+            // Absorb the acknowledgement of our own Cancel frame.
+            if frame.kind == kind::CANCEL_OK && frame.request_id != id {
+                continue;
+            }
+            if frame.request_id != id {
+                continue;
+            }
+            if frame.kind == reply_kind {
+                return Ok(frame.payload);
+            }
+            if frame.kind == kind::ERROR {
+                return Err(ClientError::Server(ErrorReply::decode(&frame.payload)?));
+            }
+            return Err(ClientError::Unexpected(frame.kind));
+        }
+    }
+
+    /// Learn a structure; blocks until the reply (no progress callback).
+    pub fn learn(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: &Dataset,
+    ) -> Result<LearnReply, ClientError> {
+        self.learn_with_progress(strategy, dataset, |_| true)
+    }
+
+    /// Learn a structure, streaming progress events to `on_event`.
+    /// Returning `false` cancels the job.
+    pub fn learn_with_progress(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: &Dataset,
+        on_event: impl FnMut(&ProgressEvent) -> bool,
+    ) -> Result<LearnReply, ClientError> {
+        let req = LearnRequest {
+            strategy,
+            dataset: dataset.clone(),
+        };
+        let payload = self.roundtrip(kind::LEARN, kind::LEARN_OK, &req.encode(), on_event)?;
+        Ok(LearnReply::decode(&payload)?)
+    }
+
+    /// Learn-if-needed, fit and calibrate a model; blocks until the
+    /// reply (no progress callback).
+    pub fn fit(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: &Dataset,
+        smoothing: f64,
+        calibrate_threads: u16,
+    ) -> Result<FitReply, ClientError> {
+        self.fit_with_progress(strategy, dataset, smoothing, calibrate_threads, |_| true)
+    }
+
+    /// Fit a model, streaming progress events to `on_event`. Returning
+    /// `false` cancels the job.
+    pub fn fit_with_progress(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: &Dataset,
+        smoothing: f64,
+        calibrate_threads: u16,
+        on_event: impl FnMut(&ProgressEvent) -> bool,
+    ) -> Result<FitReply, ClientError> {
+        let req = FitRequest {
+            strategy,
+            dataset: dataset.clone(),
+            smoothing,
+            calibrate_threads,
+        };
+        let payload = self.roundtrip(kind::FIT, kind::FIT_OK, &req.encode(), on_event)?;
+        Ok(FitReply::decode(&payload)?)
+    }
+
+    /// Answer a batch of posterior queries against a fitted model.
+    pub fn infer(&mut self, model_id: u64, queries: Vec<Query>) -> Result<InferReply, ClientError> {
+        let req = InferRequest { model_id, queries };
+        let payload = self.roundtrip(kind::INFER, kind::INFER_OK, &req.encode(), |_| true)?;
+        Ok(InferReply::decode(&payload)?)
+    }
+
+    /// Liveness + load snapshot.
+    pub fn health(&mut self) -> Result<HealthReply, ClientError> {
+        let payload = self.roundtrip(kind::HEALTH, kind::HEALTH_OK, &[], |_| true)?;
+        Ok(HealthReply::decode(&payload)?)
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        let payload = self.roundtrip(kind::STATS, kind::STATS_OK, &[], |_| true)?;
+        Ok(StatsReply::decode(&payload)?)
+    }
+
+    /// Ask the daemon to shut down (acknowledged before it exits).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(kind::SHUTDOWN, kind::SHUTDOWN_OK, &[], |_| true)?;
+        Ok(())
+    }
+}

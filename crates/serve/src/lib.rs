@@ -1,0 +1,53 @@
+//! # fastbn-serve — a structure-learning-and-inference daemon
+//!
+//! A TCP daemon over the FastBN learners, speaking a small
+//! length-prefixed binary protocol (spec: `docs/PROTOCOL.md`, layouts:
+//! [`protocol`], framing: [`wire`]). Clients submit `Learn`, `Fit` and
+//! `Infer` jobs; the daemon streams progress events while jobs run,
+//! answers `Health`/`Stats` inline, bounds admission with an explicit
+//! `Busy` rejection, supports per-job cancellation, and caches learned
+//! structures and fitted models keyed on (dataset fingerprint,
+//! canonical config encoding).
+//!
+//! Because every learner in this workspace is deterministic (bitwise
+//! identical output for a given config, at any thread count), a reply
+//! served over the wire is **byte-identical** to running the same
+//! config in process — scores and posteriors travel as raw IEEE-754
+//! bits, and the loopback tests assert equality with `f64::to_bits`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastbn_serve::{Client, ServeConfig, Server, StrategySpec};
+//! use fastbn_data::Dataset;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let data = Dataset::from_columns(
+//!     vec![],
+//!     vec![2, 2],
+//!     vec![vec![0, 1, 0, 1], vec![0, 1, 1, 0]],
+//! ).unwrap();
+//! let mut client = Client::connect(addr).unwrap();
+//! let learned = client.learn(StrategySpec::pc(2), &data).unwrap();
+//! assert_eq!(learned.n_vars, 2);
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    ErrorCode, FitReply, HealthReply, InferReply, JobPhase, LearnReply, ProgressEvent, StatsReply,
+    StrategySpec,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

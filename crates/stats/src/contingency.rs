@@ -130,8 +130,8 @@ impl ContingencyTable {
     /// workhorse pattern for a thread that runs thousands of CI tests of
     /// varying shapes. All cells are zeroed.
     ///
-    /// [`Self::SHRINK_STREAK`] consecutive reshapes to a *much* smaller
-    /// table (see [`Self::SHRINK_DIVISOR`]) release the old allocation:
+    /// `SHRINK_STREAK` consecutive reshapes to a *much* smaller
+    /// table (see `SHRINK_DIVISOR`) release the old allocation:
     /// without this, a long hill-climb run pins every arena slot's memory
     /// at the largest table it ever held. A single large reshape resets
     /// the streak, so alternating large/small workloads keep their buffer.

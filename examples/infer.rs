@@ -74,6 +74,41 @@ fn main() {
         queries.len()
     );
 
+    // A human-readable readout of one belief update: how observing the
+    // evidence variable moves a child's distribution off its prior.
+    let query_var = model
+        .dag()
+        .children(evidence_var)
+        .iter_ones()
+        .next()
+        .unwrap();
+    let rounded =
+        |p: &[f64]| -> Vec<f64> { p.iter().map(|x| (x * 1000.0).round() / 1000.0).collect() };
+    let prior = jt.posteriors(&[Query::marginal(query_var)]);
+    println!(
+        "\nP({}) prior            = {:?}",
+        data.names()[query_var],
+        rounded(&prior[0].as_ref().expect("no evidence").probs)
+    );
+    for val in 0..model.arity(evidence_var).min(2) {
+        let q = Query::with_evidence(query_var, vec![(evidence_var, val as u8)]);
+        match &jt.posteriors(&[q])[0] {
+            Ok(p) => println!(
+                "P({} | {}={val}) = {:?}",
+                data.names()[query_var],
+                data.names()[evidence_var],
+                rounded(&p.probs)
+            ),
+            // A fitted state can have probability zero (unseen, unsmoothed):
+            // conditioning on it has no posterior, and the API says so.
+            Err(InferenceError::ImpossibleEvidence) => println!(
+                "P({} | {}={val}) undefined: evidence has probability zero",
+                data.names()[query_var],
+                data.names()[evidence_var],
+            ),
+        }
+    }
+
     // Impossible evidence is an error, not a quietly-normalized zero
     // vector: condition a child on a state its observed parents forbid.
     let contradiction = vec![(evidence_var, 0u8), (evidence_var, 1u8)];

@@ -1,0 +1,89 @@
+//! The serving loop end to end: spawn the daemon in-process on an
+//! ephemeral port, then drive it over TCP like any external client —
+//! learn with streamed progress, fit, run a posterior batch, read the
+//! serving stats, and shut the daemon down.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! The wire protocol is specified in `docs/PROTOCOL.md`; a standalone
+//! daemon is available as `cargo run --release --bin fastbn-served`.
+
+use fastbn::prelude::*;
+use fastbn::serve::{Client, ServeConfig, Server, StrategySpec};
+
+fn main() {
+    // Ground truth and training data.
+    let truth = fastbn::network::zoo::by_name("alarm", 31).expect("zoo network");
+    let data = truth.sample_dataset(2000, 32);
+
+    // An in-process daemon on an ephemeral loopback port. Everything
+    // after this line works identically against `fastbn-served`.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("daemon listening on {addr}");
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Learn with progress streaming: one event per skeleton depth, one
+    // per applied search move.
+    let mut events = 0u64;
+    let learned = client
+        .learn_with_progress(StrategySpec::hybrid(2), &data, |ev| {
+            events += 1;
+            if ev.phase == fastbn::serve::JobPhase::Skeleton && ev.iteration > 0 {
+                println!(
+                    "  [{}] depth {}: {} CI tests, {} edges removed",
+                    ev.phase.name(),
+                    ev.iteration,
+                    ev.ci_tests,
+                    ev.edges
+                );
+            }
+            true
+        })
+        .expect("learn");
+    println!(
+        "learned: {} compelled + {} reversible edges, score {:?} ({events} progress events)",
+        learned.directed_edges.len(),
+        learned.undirected_edges.len(),
+        learned.score,
+    );
+
+    // Fit + calibrate; the identical request again hits the model cache.
+    let fitted = client
+        .fit(StrategySpec::hybrid(2), &data, 0.5, 2)
+        .expect("fit");
+    println!(
+        "fitted model {:#018x}: {} cliques, width {}, cache_hit={}",
+        fitted.model_id, fitted.n_cliques, fitted.width, fitted.cache_hit
+    );
+    let refit = client
+        .fit(StrategySpec::hybrid(2), &data, 0.5, 2)
+        .expect("refit");
+    assert!(refit.cache_hit);
+    println!(
+        "identical refit served from cache: cache_hit={}",
+        refit.cache_hit
+    );
+
+    // A posterior batch over the wire.
+    let queries: Vec<Query> = (0..5).map(Query::marginal).collect();
+    let answers = client.infer(fitted.model_id, queries).expect("infer");
+    for result in answers.results.iter().take(2) {
+        let p = result.as_ref().expect("possible evidence");
+        println!("  P(V{}) = {:?}", p.target, p.probs);
+    }
+
+    // Serving stats, then an orderly shutdown.
+    let stats = client.stats().expect("stats");
+    println!(
+        "stats: {} jobs accepted, {} structure misses / {} hits, {} queries answered",
+        stats.jobs_accepted, stats.structure_misses, stats.structure_hits, stats.queries_answered
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    println!("daemon shut down cleanly");
+}

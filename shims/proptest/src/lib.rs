@@ -2,7 +2,7 @@
 //!
 //! Implements the slice of proptest used by the fastbn property suites:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`,
 //! * range strategies (`0usize..500`, `2usize..=40`, `0.05f64..0.5`),
 //! * tuple strategies up to arity 6,
 //! * [`collection::vec`] with a `Range<usize>` size,
@@ -332,7 +332,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Acceptable size specifications for [`vec`].
+    /// Acceptable size specifications for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -26,7 +26,7 @@
 //!
 //! See the crate-level docs of each member for details:
 //! [`graph`], [`stats`], [`data`], [`network`], [`parallel`], [`cachesim`],
-//! [`score`], [`core`].
+//! [`score`], [`core`], [`serve`].
 
 pub use fastbn_cachesim as cachesim;
 pub use fastbn_core as core;
@@ -35,6 +35,7 @@ pub use fastbn_graph as graph;
 pub use fastbn_network as network;
 pub use fastbn_parallel as parallel;
 pub use fastbn_score as score;
+pub use fastbn_serve as serve;
 pub use fastbn_stats as stats;
 
 /// Commonly used items, importable with `use fastbn::prelude::*`.
