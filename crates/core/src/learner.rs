@@ -94,15 +94,26 @@ impl PcStable {
             data.n_vars() >= 2,
             "structure learning needs at least 2 variables"
         );
+        let _learn_span = fastbn_obs::span!("learn");
         let t0 = Instant::now();
         progress.on_phase(LearnPhase::Skeleton);
-        let (skeleton, sepsets, depths) = learn_skeleton_progress(data, &self.config, progress);
+        let (skeleton, sepsets, depths) = {
+            let _span = fastbn_obs::span!("skeleton");
+            learn_skeleton_progress(data, &self.config, progress)
+        };
         let skeleton_duration = t0.elapsed();
+        fastbn_obs::histogram!("fastbn.core.learn.skeleton_us").observe_duration(skeleton_duration);
 
         let t1 = Instant::now();
         progress.on_phase(LearnPhase::Orientation);
-        let oriented = orient(&skeleton, &sepsets);
+        let oriented = {
+            let _span = fastbn_obs::span!("orientation");
+            orient(&skeleton, &sepsets)
+        };
         let orientation_duration = t1.elapsed();
+        fastbn_obs::histogram!("fastbn.core.learn.orientation_us")
+            .observe_duration(orientation_duration);
+        fastbn_obs::counter!("fastbn.core.learn.runs").inc();
 
         LearnResult {
             skeleton,
@@ -120,8 +131,10 @@ impl PcStable {
 
     /// Run only step 1 (skeleton discovery) — what the paper benchmarks.
     pub fn learn_skeleton(&self, data: &Dataset) -> (UGraph, SepSets, RunStats) {
+        let _span = fastbn_obs::span!("skeleton");
         let t0 = Instant::now();
         let (skeleton, sepsets, depths) = learn_skeleton(data, &self.config);
+        fastbn_obs::histogram!("fastbn.core.learn.skeleton_us").observe_duration(t0.elapsed());
         let stats = RunStats {
             depths,
             skeleton_duration: t0.elapsed(),

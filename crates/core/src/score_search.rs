@@ -305,9 +305,13 @@ impl HybridLearner {
             data.n_vars() >= 2,
             "structure learning needs at least 2 variables"
         );
+        let _learn_span = fastbn_obs::span!("learn");
         let t0 = Instant::now();
         progress.on_phase(LearnPhase::Skeleton);
-        let (skeleton, _sepsets, depths) = learn_skeleton_progress(data, &self.config.pc, progress);
+        let (skeleton, _sepsets, depths) = {
+            let _span = fastbn_obs::span!("skeleton");
+            learn_skeleton_progress(data, &self.config.pc, progress)
+        };
         let pc_stats = RunStats {
             depths,
             skeleton_duration: t0.elapsed(),

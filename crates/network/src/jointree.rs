@@ -256,6 +256,8 @@ impl JoinTree {
     /// Evidence-free potential construction plus the two-pass calibration,
     /// both fanned over a [`StealPool`] level by level.
     fn calibrate(&mut self, net: &BayesNet, assigned: &[Vec<usize>]) {
+        let _span = fastbn_obs::span!("network.jointree.calibrate");
+        let t0 = std::time::Instant::now();
         let k = self.cliques.len();
         let cpt_factors: Vec<Factor> = (0..self.n_vars).map(|v| Factor::from_cpt(net, v)).collect();
 
@@ -297,6 +299,9 @@ impl JoinTree {
         });
         self.beliefs = beliefs.into_iter().map(Option::unwrap).collect();
         self.base_up = up;
+        fastbn_obs::counter!("fastbn.network.jointree.calibrations").inc();
+        fastbn_obs::histogram!("fastbn.network.jointree.calibrate_us")
+            .observe_duration(t0.elapsed());
     }
 
     /// Run `f` over `ids`, fanned over the `StealPool` when it pays, and
@@ -574,6 +579,7 @@ impl JoinTree {
                 .collect();
         }
 
+        let t0 = std::time::Instant::now();
         let k = self.cliques.len();
         // Evidence overlay: clone the hosting cliques' potentials and zero
         // out every disagreeing row.
@@ -604,11 +610,13 @@ impl JoinTree {
         // Recompute dirty upward messages, deepest level first; clean
         // children keep their base message.
         let mut up: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
+        let mut up_recomputed = 0u64;
         for depth in (1..self.levels.len()).rev() {
             for &c in &self.levels[depth] {
                 if dirty[c] {
                     let merged = self.merged_up(&up);
                     up[c] = Some(self.up_message(c, Some(&overlay), &merged, arena));
+                    up_recomputed += 1;
                 }
             }
         }
@@ -619,6 +627,7 @@ impl JoinTree {
         let mut down: Vec<Option<Factor>> = (0..k).map(|_| None).collect();
         let mut down_done = vec![false; k];
         down_done[0] = true; // the root has no inbound message
+        let mut down_computed = 0u64;
         let mut answers = Vec::with_capacity(targets.len());
         for &t in targets {
             let hc = self.home[t];
@@ -632,6 +641,7 @@ impl JoinTree {
             for &c in chain.iter().rev() {
                 down[c] = Some(self.down_message(c, Some(&overlay), &down, &up, arena));
                 down_done[c] = true;
+                down_computed += 1;
             }
             let srcs = self.belief_sources(hc, Some(&overlay), &down, &up);
             let posterior = {
@@ -646,6 +656,14 @@ impl JoinTree {
             };
             answers.push(posterior);
         }
+        // Every non-root clique that was not dirty kept its calibrated
+        // upward message — the reuse the incremental scheme exists for.
+        let up_reused = (k as u64 - 1).saturating_sub(up_recomputed);
+        fastbn_obs::counter!("fastbn.network.jointree.messages_recomputed")
+            .add(up_recomputed + down_computed);
+        fastbn_obs::counter!("fastbn.network.jointree.messages_reused").add(up_reused);
+        fastbn_obs::histogram!("fastbn.network.jointree.repropagate_us")
+            .observe_duration(t0.elapsed());
         answers
     }
 

@@ -1,0 +1,919 @@
+//! Observability for the Fast-BNS stack: a process-global metrics
+//! registry plus hierarchical timed-span tracing, with zero external
+//! dependencies.
+//!
+//! Two instruments, two cost classes:
+//!
+//! * **Metrics** — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   latency [`Histogram`]s held in a process-global
+//!   [`MetricsRegistry`]. The hot path is lock-free: every update is a
+//!   handful of `Relaxed` atomic adds (~ns), cheap enough to leave
+//!   compiled in and always on. Registration (name → handle) takes a
+//!   lock exactly once per call site — the [`counter!`], [`gauge!`] and
+//!   [`histogram!`] macros cache the handle in a `static`, so steady
+//!   state never touches the registry lock.
+//! * **Spans** — hierarchical wall-clock timers ([`span!`]) that
+//!   aggregate into a [`RunReport`] tree (per-path call count + total
+//!   time), renderable as indented text or JSON. Spans cost two
+//!   `Instant::now()` calls plus one mutex-protected map update per
+//!   exit, so they guard phase- and batch-level boundaries, not inner
+//!   loops — and they are **off by default**: [`span!`] is a single
+//!   relaxed load unless tracing was enabled via [`set_trace_enabled`]
+//!   or the `FASTBN_TRACE` environment variable.
+//!
+//! Observability is **result-invisible** by construction: nothing here
+//! feeds back into any computation, so learned structures, posteriors
+//! and wire replies are byte-identical with instrumentation on or off —
+//! an invariant the determinism suites assert.
+//!
+//! # Naming scheme
+//!
+//! Metric names are dot-separated paths: `fastbn.<crate>.<subsystem>.
+//! <metric>`, e.g. `fastbn.parallel.steal.steals`. Histograms carry a
+//! unit suffix (`_us` for microseconds). [`render_prometheus`] maps
+//! dots to underscores for Prometheus text exposition.
+//!
+//! ```
+//! use fastbn_obs::{counter, gauge, histogram, global};
+//!
+//! counter!("fastbn.doc.events").inc();
+//! gauge!("fastbn.doc.depth").set(3);
+//! histogram!("fastbn.doc.latency_us").observe(250);
+//! let snap = global().snapshot();
+//! assert!(snap.counters.iter().any(|(n, v)| n == "fastbn.doc.events" && *v >= 1));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, open connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bucket upper bounds, in microseconds: a 1-2.5-5
+/// decade ladder from 1 µs to 10 s. Every histogram additionally has an
+/// implicit `+Inf` bucket, so `buckets.len() == bounds.len() + 1` in
+/// snapshots.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket histogram (cumulative-style export, native-style
+/// storage: each atomic slot counts observations for *its* interval;
+/// snapshots and the Prometheus renderer do the cumulative sum).
+///
+/// An observation `v` lands in the first bucket with `v <= bound`, or
+/// in the implicit `+Inf` slot past the last bound. `observe` is three
+/// relaxed atomic adds after a short binary search — bucket first, then
+/// `sum`, then `count` — so a concurrent snapshot that reads `count`
+/// *first* always sees `Σ buckets >= count`.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for value `v`: first bound with `v <= bound`, else
+    /// the `+Inf` slot.
+    #[inline]
+    fn bucket_of(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[self.bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] in whole microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named set of counters, gauges and histograms.
+///
+/// Handles returned by [`MetricsRegistry::counter`] and friends are
+/// `&'static`: metric storage is leaked on first registration (the
+/// metric namespace is small and process-lifetime by design), which is
+/// what lets the hot path skip the registry lock entirely. Registering
+/// the same name twice returns the same handle.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(c) = inner.counters.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+        inner.counters.insert(name.to_string(), c);
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(g) = inner.gauges.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+        inner.gauges.insert(name.to_string(), g);
+        g
+    }
+
+    /// The histogram named `name` with the default latency bounds
+    /// ([`LATENCY_BOUNDS_US`]), created on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.histogram_with_bounds(name, LATENCY_BOUNDS_US)
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (an existing histogram keeps its original bounds).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &'static [u64]) -> &'static Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(h) = inner.histograms.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new(bounds)));
+        inner.histograms.insert(name.to_string(), h);
+        h
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    ///
+    /// Taken while writers run: each individual value is atomically
+    /// read, but the set is not a global atomic cut — a counter
+    /// incremented mid-snapshot may or may not be included. Histogram
+    /// `count` is read before the buckets, so `Σ buckets >= count`
+    /// always holds within one histogram (see [`Histogram`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let count = h.count();
+                    let sum = h.sum();
+                    HistogramSnapshot {
+                        name: n.clone(),
+                        count,
+                        sum,
+                        bounds: h.bounds.to_vec(),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One histogram in a [`Snapshot`]: `buckets.len() == bounds.len() + 1`
+/// (the last slot is the implicit `+Inf` bucket). Bucket values are
+/// per-interval counts, not cumulative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations (read before the buckets; see [`Histogram`]).
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Upper bounds, strictly increasing, excluding `+Inf`.
+    pub bounds: Vec<u64>,
+    /// Per-interval observation counts (`bounds.len() + 1` slots).
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// One entry per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// The process-global registry every instrumented crate reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// The counter `$name` in the [`global`] registry, with the handle
+/// cached per call site (the registry lock is taken once, ever).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// The gauge `$name` in the [`global`] registry (handle cached per call
+/// site, like [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// The histogram `$name` in the [`global`] registry with default
+/// latency bounds (handle cached per call site, like [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Map a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): dots and other illegal characters become
+/// underscores.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a [`Snapshot`] in Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` line per metric, histograms expanded
+/// into cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {value}\n"));
+    }
+    for h in &snap.histograms {
+        let p = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bucket) in h.buckets.iter().enumerate() {
+            cumulative += bucket;
+            match h.bounds.get(i) {
+                Some(le) => out.push_str(&format!("{p}_bucket{{le=\"{le}\"}} {cumulative}\n")),
+                None => out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+            }
+        }
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Timed spans → RunReport
+// ---------------------------------------------------------------------------
+
+/// Whether span tracing (and trace-gated fine timing) is on. `0` =
+/// unresolved, `1` = off, `2` = on.
+static TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// True when span tracing is enabled — via [`set_trace_enabled`] or,
+/// on first query, the `FASTBN_TRACE` environment variable (any value
+/// other than empty, `0` or `false` enables it). One relaxed load on
+/// the fast path once resolved.
+#[inline]
+pub fn trace_enabled() -> bool {
+    match TRACE.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("FASTBN_TRACE")
+                .map(|v| !v.is_empty() && v != "0" && v != "false")
+                .unwrap_or(false);
+            TRACE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        1 => false,
+        _ => true,
+    }
+}
+
+/// Force span tracing on or off, overriding `FASTBN_TRACE`.
+pub fn set_trace_enabled(on: bool) {
+    TRACE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u128,
+}
+
+/// Path (`"learn/skeleton/depth"`) → aggregate. Spans are coarse
+/// (phase/batch boundaries), so one mutex update per exit is fine.
+fn span_table() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// The enclosing span path of the current thread ("" at top level).
+    static SPAN_PATH: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// RAII guard of one live span; records on drop. Inert (and nearly
+/// free) when tracing is disabled.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    /// `(start, length of the path before this span entered)`; `None`
+    /// when tracing is off.
+    live: Option<(Instant, usize)>,
+}
+
+/// Enter a span named `name` nested under the thread's current span
+/// (prefer the [`span!`] macro). Worker threads start their own root.
+pub fn enter_span(name: &str) -> SpanGuard {
+    if !trace_enabled() {
+        return SpanGuard { live: None };
+    }
+    let prev_len = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        prev
+    });
+    SpanGuard {
+        live: Some((Instant::now(), prev_len)),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((start, prev_len)) = self.live.take() else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let path = p.clone();
+            p.truncate(prev_len);
+            let mut table = span_table().lock().expect("span table poisoned");
+            let stat = table.entry(path).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed.as_nanos();
+        });
+    }
+}
+
+/// Enter a timed span for the current scope: `let _s = span!("fit");`.
+/// A single relaxed load when tracing is off.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter_span($name)
+    };
+}
+
+/// One node of a [`RunReport`]: a span path with its aggregate timings
+/// and children.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Leaf name (last path segment).
+    pub name: String,
+    /// Full `/`-separated path.
+    pub path: String,
+    /// Times this span was entered.
+    pub count: u64,
+    /// Total wall-clock time across all entries.
+    pub total: Duration,
+    /// Nested spans.
+    pub children: Vec<SpanNode>,
+}
+
+/// The aggregated span tree of the process so far.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Top-level spans.
+    pub roots: Vec<SpanNode>,
+}
+
+impl RunReport {
+    /// True when no span has completed (e.g. tracing was never on).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Indented text rendering, one line per span path.
+    pub fn render_text(&self) -> String {
+        fn emit(out: &mut String, node: &SpanNode, depth: usize) {
+            let ms = node.total.as_secs_f64() * 1e3;
+            out.push_str(&format!(
+                "{:indent$}{} — {} call{}, {ms:.3} ms\n",
+                "",
+                node.name,
+                node.count,
+                if node.count == 1 { "" } else { "s" },
+                indent = depth * 2,
+            ));
+            for child in &node.children {
+                emit(out, child, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        for root in &self.roots {
+            emit(&mut out, root, 0);
+        }
+        out
+    }
+
+    /// JSON rendering (an array of `{name, path, count, total_ns,
+    /// children}` objects).
+    pub fn render_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn emit(out: &mut String, node: &SpanNode) {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"children\":[",
+                escape(&node.name),
+                escape(&node.path),
+                node.count,
+                node.total.as_nanos(),
+            ));
+            for (i, child) in node.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(out, child);
+            }
+            out.push_str("]}");
+        }
+        let mut out = String::from("[");
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            emit(&mut out, root);
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Build the [`RunReport`] tree from every span completed so far.
+pub fn run_report() -> RunReport {
+    let table = span_table().lock().expect("span table poisoned");
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, stat) in table.iter() {
+        // Walk/create the chain of ancestors, then fill the leaf.
+        let mut nodes = &mut roots;
+        let mut prefix = String::new();
+        for segment in path.split('/') {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(segment);
+            let at = match nodes.iter().position(|n| n.name == segment) {
+                Some(i) => i,
+                None => {
+                    nodes.push(SpanNode {
+                        name: segment.to_string(),
+                        path: prefix.clone(),
+                        count: 0,
+                        total: Duration::ZERO,
+                        children: Vec::new(),
+                    });
+                    nodes.len() - 1
+                }
+            };
+            if prefix == *path {
+                nodes[at].count += stat.count;
+                nodes[at].total += Duration::from_nanos(stat.total_ns.min(u64::MAX as u128) as u64);
+            }
+            nodes = &mut nodes[at].children;
+        }
+    }
+    RunReport { roots }
+}
+
+/// Discard all completed spans (test isolation; the metrics registry is
+/// intentionally never reset).
+pub fn reset_spans() {
+    span_table().lock().expect("span table poisoned").clear();
+}
+
+/// When tracing is enabled and any span completed, print the
+/// [`RunReport`] text tree to stderr under a `label` header. The
+/// one-call hook examples and the daemon invoke on exit.
+pub fn print_report_if_traced(label: &str) {
+    if !trace_enabled() {
+        return;
+    }
+    let report = run_report();
+    if report.is_empty() {
+        return;
+    }
+    eprintln!("--- {label}: FASTBN_TRACE span report ---");
+    eprint!("{}", report.render_text());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("t.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter("t.c").get(), 5, "same name, same handle");
+        let g = reg.gauge("t.g");
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper_bound() {
+        static BOUNDS: &[u64] = &[10, 100, 1000];
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_bounds("t.h", BOUNDS);
+        // 0 and 10 land in the first bucket (v <= 10), 11 in the second,
+        // 1000 in the third, 1001 in +Inf.
+        for v in [0, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.bounds, vec![10, 100, 1000]);
+        assert_eq!(hs.buckets, vec![2, 2, 2, 2]);
+        assert_eq!(hs.count, 8);
+        assert_eq!(hs.sum, 2223u64.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn default_bounds_cover_the_latency_ladder() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t.lat_us");
+        h.observe_duration(Duration::from_micros(3));
+        h.observe_duration(Duration::from_millis(30));
+        h.observe_duration(Duration::from_secs(100)); // beyond 10 s → +Inf
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.buckets.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(*hs.buckets.last().unwrap(), 1, "100 s lands in +Inf");
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_writers() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let h = reg.histogram_with_bounds("t.conc", &[5, 50]);
+        let c = reg.counter("t.conc.events");
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|k| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut v = k as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.observe(v % 100);
+                        c.inc();
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let snap = reg.snapshot();
+            let hs = &snap.histograms[0];
+            let bucket_total: u64 = hs.buckets.iter().sum();
+            // count is read before the buckets, so the bucket total can
+            // only be ahead of (never behind) the count.
+            assert!(
+                bucket_total >= hs.count,
+                "buckets {bucket_total} < count {}",
+                hs.count
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(
+            hs.buckets.iter().sum::<u64>(),
+            hs.count,
+            "quiescent agreement"
+        );
+    }
+
+    #[test]
+    fn snapshot_counters_are_monotone_under_writes() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("t.mono");
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    c.inc();
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..100 {
+            let snap = reg.snapshot();
+            let (_, v) = snap.counters.iter().find(|(n, _)| n == "t.mono").unwrap();
+            assert!(*v >= last, "counter went backwards");
+            last = *v;
+        }
+        done.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn global_macros_cache_and_accumulate() {
+        let before = counter!("fastbn.test.macro_events").get();
+        for _ in 0..3 {
+            counter!("fastbn.test.macro_events").inc();
+        }
+        assert_eq!(counter!("fastbn.test.macro_events").get(), before + 3);
+        gauge!("fastbn.test.macro_gauge").set(9);
+        assert_eq!(gauge!("fastbn.test.macro_gauge").get(), 9);
+        histogram!("fastbn.test.macro_lat_us").observe(1);
+        assert!(histogram!("fastbn.test.macro_lat_us").count() >= 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b.events").add(2);
+        reg.gauge("a.b.depth").set(-1);
+        let h = reg.histogram_with_bounds("a.b.lat_us", &[10, 100]);
+        h.observe(7);
+        h.observe(50);
+        h.observe(5000);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(
+            text.contains("# TYPE a_b_events counter\na_b_events 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE a_b_depth gauge\na_b_depth -1\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE a_b_lat_us histogram\n"), "{text}");
+        // Buckets are cumulative in the exposition.
+        assert!(text.contains("a_b_lat_us_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("a_b_lat_us_bucket{le=\"100\"} 2\n"), "{text}");
+        assert!(
+            text.contains("a_b_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("a_b_lat_us_sum 5057\n"), "{text}");
+        assert!(text.contains("a_b_lat_us_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("fastbn.serve.lat_us"), "fastbn_serve_lat_us");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    /// Spans share process-global state, so one test owns every span
+    /// scenario (enable/disable, nesting, threading, renders).
+    #[test]
+    fn span_tree_aggregation_and_render() {
+        // Disabled tracing: guard is inert and records nothing.
+        set_trace_enabled(false);
+        reset_spans();
+        {
+            let _g = span!("ghost");
+        }
+        assert!(run_report().is_empty());
+
+        set_trace_enabled(true);
+        {
+            let _outer = span!("learn");
+            for _ in 0..2 {
+                let _inner = span!("skeleton");
+            }
+            let _other = span!("search");
+        }
+        // A worker thread starts its own root.
+        std::thread::spawn(|| {
+            let _w = span!("worker");
+        })
+        .join()
+        .unwrap();
+        let report = run_report();
+        set_trace_enabled(false);
+
+        let learn = report.roots.iter().find(|n| n.name == "learn").unwrap();
+        assert_eq!(learn.count, 1);
+        assert_eq!(learn.children.len(), 2);
+        let skel = learn
+            .children
+            .iter()
+            .find(|n| n.name == "skeleton")
+            .unwrap();
+        assert_eq!(skel.count, 2);
+        assert_eq!(skel.path, "learn/skeleton");
+        assert!(report.roots.iter().any(|n| n.name == "worker"));
+
+        let text = report.render_text();
+        assert!(text.contains("learn — 1 call"), "{text}");
+        assert!(text.contains("  skeleton — 2 calls"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"path\":\"learn/skeleton\""), "{json}");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        reset_spans();
+    }
+
+    #[test]
+    fn counter_handles_are_usable_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("t.threads");
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -26,11 +26,13 @@
 //!   learners poll it from their progress callbacks) and winds down with
 //!   a consistent partial result.
 
+use fastbn_obs::{counter, gauge, histogram};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A cloneable cooperative-cancellation flag shared between a job and its
 /// [`JobHandle`]. Flipping it never interrupts anything by force; code
@@ -144,6 +146,8 @@ struct QueuedJob {
     cancel: CancelToken,
     latch: Arc<Latch>,
     work: Box<dyn FnOnce(&CancelToken) + Send>,
+    /// Admission time, for the queue-wait histogram.
+    submitted_at: Instant,
 }
 
 /// Shared pool state.
@@ -156,6 +160,9 @@ struct PoolInner {
     next_id: AtomicU64,
     running: AtomicU64,
     completed: AtomicU64,
+    /// Submissions rejected because the queue was at capacity — the
+    /// admission-tuning signal the serving layer reports.
+    busy_rejections: AtomicU64,
 }
 
 /// A fixed team of runner threads draining a bounded FIFO job queue.
@@ -203,6 +210,7 @@ impl JobPool {
             next_id: AtomicU64::new(0),
             running: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
         });
         let runners = (0..runners.max(1))
             .map(|i| {
@@ -230,13 +238,17 @@ impl JobPool {
         {
             let mut queue = self.inner.queue.lock();
             if queue.len() >= self.inner.queue_cap {
+                self.inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                counter!("fastbn.parallel.jobs.busy_rejections").inc();
                 return Err(QueueFull);
             }
             queue.push_back(QueuedJob {
                 cancel: cancel.clone(),
                 latch: Arc::clone(&latch),
                 work: Box::new(work),
+                submitted_at: Instant::now(),
             });
+            gauge!("fastbn.parallel.jobs.queue_depth").set(queue.len() as i64);
         }
         self.inner.available.notify_one();
         Ok(JobHandle {
@@ -259,6 +271,12 @@ impl JobPool {
     /// Jobs that have finished executing (normally or cancelled).
     pub fn completed(&self) -> u64 {
         self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative submissions rejected with [`QueueFull`] over the
+    /// pool's lifetime.
+    pub fn busy_rejections(&self) -> u64 {
+        self.inner.busy_rejections.load(Ordering::Relaxed)
     }
 
     /// Number of runner threads.
@@ -289,6 +307,7 @@ fn runner_loop(inner: &PoolInner) {
             let mut queue = inner.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
+                    gauge!("fastbn.parallel.jobs.queue_depth").set(queue.len() as i64);
                     break job;
                 }
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -297,6 +316,7 @@ fn runner_loop(inner: &PoolInner) {
                 inner.available.wait(&mut queue);
             }
         };
+        histogram!("fastbn.parallel.jobs.wait_us").observe_duration(job.submitted_at.elapsed());
         inner.running.fetch_add(1, Ordering::Relaxed);
         (job.work)(&job.cancel);
         inner.running.fetch_sub(1, Ordering::Relaxed);
@@ -349,8 +369,14 @@ mod tests {
         started_rx.recv().unwrap();
         // One job fits in the queue; the next is rejected.
         let queued = pool.submit(|_| {}).unwrap();
+        assert_eq!(pool.busy_rejections(), 0);
         assert_eq!(pool.submit(|_| {}).err(), Some(QueueFull));
         assert_eq!(pool.queued(), 1);
+        assert_eq!(
+            pool.busy_rejections(),
+            1,
+            "rejection is counted on the pool"
+        );
         release_tx.send(()).unwrap();
         running.wait();
         queued.wait();

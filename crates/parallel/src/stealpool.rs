@@ -24,6 +24,7 @@
 
 use crate::team::Team;
 use crossbeam::utils::CachePadded;
+use fastbn_obs::counter;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,6 +101,7 @@ impl<T> StealPool<T> {
             let victim = (own + k) % n;
             if let Some(task) = self.shards[victim].lock().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                counter!("fastbn.parallel.steal.steals").inc();
                 return Some(task);
             }
         }
@@ -123,6 +125,7 @@ impl<T> StealPool<T> {
 
     /// Add a brand-new task (never popped) to `shard`'s deque.
     pub fn inject(&self, shard: usize, task: T) {
+        counter!("fastbn.parallel.steal.injects").inc();
         self.shards[shard % self.shards.len()]
             .lock()
             .push_back(task);
@@ -162,6 +165,10 @@ where
                 if pool.is_drained() {
                     return;
                 }
+                // Idle spin: nothing to pop or steal, but the pool is not
+                // drained yet. Each yield is one counted idle beat — the
+                // load-imbalance signal the steal scheduler exists to fix.
+                counter!("fastbn.parallel.steal.idle_yields").inc();
                 std::thread::yield_now();
             }
         }

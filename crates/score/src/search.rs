@@ -405,6 +405,7 @@ impl HillClimb {
         if let Some(g) = allowed {
             assert_eq!(g.n(), data.n_vars(), "restriction graph node count");
         }
+        let _span = fastbn_obs::span!("score.search");
         let t0 = Instant::now();
         let cfg = &self.config;
         let t = cfg.effective_threads();
@@ -466,10 +467,21 @@ impl HillClimb {
         let (hits, misses) = searcher.cache.stats();
         stats.cache_hits = hits;
         stats.cache_misses = misses;
+        let cache_entries = searcher.cache.len();
         for scorer in searcher.scorers {
             stats.oversized_skipped += scorer.into_inner().oversized;
         }
         stats.duration = t0.elapsed();
+        // One registry flush per run keeps the per-move hot path free of
+        // shared-line traffic while still surfacing every counter live.
+        fastbn_obs::counter!("fastbn.score.search.iterations").add(stats.iterations);
+        fastbn_obs::counter!("fastbn.score.search.moves_evaluated").add(stats.moves_evaluated);
+        fastbn_obs::counter!("fastbn.score.search.moves_pruned").add(stats.moves_pruned);
+        fastbn_obs::counter!("fastbn.score.search.moves_carried").add(stats.moves_carried);
+        fastbn_obs::counter!("fastbn.score.cache.hits").add(stats.cache_hits);
+        fastbn_obs::counter!("fastbn.score.cache.misses").add(stats.cache_misses);
+        fastbn_obs::gauge!("fastbn.score.cache.entries").set(cache_entries as i64);
+        fastbn_obs::histogram!("fastbn.score.search.run_us").observe_duration(stats.duration);
         HillClimbResult {
             dag: best.0,
             score: best.1,

@@ -16,7 +16,7 @@ use fastbn_network::Query;
 
 use crate::protocol::{
     kind, CancelRequest, ErrorCode, ErrorReply, FitReply, FitRequest, HealthReply, InferReply,
-    InferRequest, LearnReply, LearnRequest, ProgressEvent, StatsReply, StrategySpec,
+    InferRequest, LearnReply, LearnRequest, MetricsReply, ProgressEvent, StatsReply, StrategySpec,
 };
 use crate::wire::{encode_frame, read_frame, WireError};
 
@@ -205,6 +205,20 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         let payload = self.roundtrip(kind::STATS, kind::STATS_OK, &[], |_| true)?;
         Ok(StatsReply::decode(&payload)?)
+    }
+
+    /// A snapshot of the daemon's process-wide metrics registry.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        let payload = self.roundtrip(kind::METRICS, kind::METRICS_OK, &[], |_| true)?;
+        Ok(MetricsReply::decode(&payload)?)
+    }
+
+    /// The daemon's metrics rendered in the Prometheus text exposition
+    /// format (what a scrape of `--metrics-addr` would return).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        Ok(fastbn_obs::render_prometheus(
+            &self.metrics()?.to_snapshot(),
+        ))
     }
 
     /// Ask the daemon to shut down (acknowledged before it exits).

@@ -33,6 +33,9 @@ pub mod kind {
     pub const STATS: u8 = 0x06;
     /// Request: stop accepting connections and shut the daemon down.
     pub const SHUTDOWN: u8 = 0x07;
+    /// Request: a snapshot of the process-wide metrics registry
+    /// (answered inline, never queued).
+    pub const METRICS: u8 = 0x08;
 
     /// Event: job progress (phase, iteration, score, counters).
     pub const EVENT_PROGRESS: u8 = 0x41;
@@ -51,6 +54,8 @@ pub mod kind {
     pub const STATS_OK: u8 = 0x86;
     /// Response to [`SHUTDOWN`].
     pub const SHUTDOWN_OK: u8 = 0x87;
+    /// Response to [`METRICS`].
+    pub const METRICS_OK: u8 = 0x88;
 
     /// Error response (any request kind).
     pub const ERROR: u8 = 0xE0;
@@ -768,6 +773,8 @@ pub struct WireSearchStats {
     pub restarts: u64,
     /// Deltas actually computed.
     pub moves_evaluated: u64,
+    /// Candidate moves discarded before evaluation.
+    pub moves_pruned: u64,
     /// Deltas served from the maintained table.
     pub moves_carried: u64,
     /// Score-cache hits.
@@ -864,6 +871,7 @@ impl LearnReply {
                     .u64(s.iterations)
                     .u64(s.restarts)
                     .u64(s.moves_evaluated)
+                    .u64(s.moves_pruned)
                     .u64(s.moves_carried)
                     .u64(s.cache_hits)
                     .u64(s.cache_misses)
@@ -922,6 +930,7 @@ impl LearnReply {
                 iterations: d.u64()?,
                 restarts: d.u64()?,
                 moves_evaluated: d.u64()?,
+                moves_pruned: d.u64()?,
                 moves_carried: d.u64()?,
                 cache_hits: d.u64()?,
                 cache_misses: d.u64()?,
@@ -1096,6 +1105,8 @@ pub struct HealthReply {
     pub jobs_queued: u32,
     /// Admission-queue capacity.
     pub queue_capacity: u32,
+    /// Requests rejected with `Busy` since daemon start (v2).
+    pub busy_rejections: u64,
 }
 
 impl HealthReply {
@@ -1106,7 +1117,8 @@ impl HealthReply {
             .u64(self.uptime_ms)
             .u32(self.jobs_running)
             .u32(self.jobs_queued)
-            .u32(self.queue_capacity);
+            .u32(self.queue_capacity)
+            .u64(self.busy_rejections);
         e.into_bytes()
     }
 
@@ -1119,6 +1131,7 @@ impl HealthReply {
             jobs_running: d.u32()?,
             jobs_queued: d.u32()?,
             queue_capacity: d.u32()?,
+            busy_rejections: d.u64()?,
         };
         d.finish()?;
         Ok(reply)
@@ -1155,6 +1168,18 @@ pub struct StatsReply {
     pub infer_micros: u64,
     /// Posterior queries answered.
     pub queries_answered: u64,
+    /// Hill-climb deltas actually computed, summed over learn jobs (v2).
+    pub moves_evaluated: u64,
+    /// Candidate moves discarded before evaluation, summed over learn
+    /// jobs (v2).
+    pub moves_pruned: u64,
+    /// Deltas served from the maintained table, summed over learn jobs
+    /// (v2).
+    pub moves_carried: u64,
+    /// Count queries answered by the tiled engine, process-wide (v2).
+    pub engine_tiled_picks: u64,
+    /// Count queries answered by the bitmap engine, process-wide (v2).
+    pub engine_bitmap_picks: u64,
     /// Jobs currently executing.
     pub jobs_running: u32,
     /// Jobs admitted but not yet running.
@@ -1178,6 +1203,11 @@ impl StatsReply {
             .u64(self.fit_micros)
             .u64(self.infer_micros)
             .u64(self.queries_answered)
+            .u64(self.moves_evaluated)
+            .u64(self.moves_pruned)
+            .u64(self.moves_carried)
+            .u64(self.engine_tiled_picks)
+            .u64(self.engine_bitmap_picks)
             .u32(self.jobs_running)
             .u32(self.jobs_queued);
         e.into_bytes()
@@ -1200,11 +1230,171 @@ impl StatsReply {
             fit_micros: d.u64()?,
             infer_micros: d.u64()?,
             queries_answered: d.u64()?,
+            moves_evaluated: d.u64()?,
+            moves_pruned: d.u64()?,
+            moves_carried: d.u64()?,
+            engine_tiled_picks: d.u64()?,
+            engine_bitmap_picks: d.u64()?,
             jobs_running: d.u32()?,
             jobs_queued: d.u32()?,
         };
         d.finish()?;
         Ok(reply)
+    }
+}
+
+/// One histogram inside a [`MetricsReply`]: interval counts per bucket
+/// plus the running sum, exactly as the registry snapshot holds them
+/// (not Prometheus-cumulative; the renderer does that conversion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Dotted registry name (e.g. `fastbn.serve.request.learn_us`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries; the
+    /// last is the +Inf overflow bucket).
+    pub buckets: Vec<u64>,
+}
+
+/// Payload of a [`kind::METRICS_OK`] response — a point-in-time snapshot
+/// of the daemon's process-wide metrics registry. Names are sorted
+/// (BTreeMap order), so two snapshots of the same registry are
+/// byte-comparable.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsReply {
+    /// Monotone counters, `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, `(name, value)`.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency / size distributions.
+    pub histograms: Vec<WireHistogram>,
+}
+
+impl MetricsReply {
+    /// Build from a registry snapshot.
+    pub fn from_snapshot(snap: &fastbn_obs::Snapshot) -> Self {
+        Self {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| WireHistogram {
+                    name: h.name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    bounds: h.bounds.clone(),
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Convert back into a registry snapshot (for rendering client-side
+    /// with [`fastbn_obs::render_prometheus`]).
+    pub fn to_snapshot(&self) -> fastbn_obs::Snapshot {
+        fastbn_obs::Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| fastbn_obs::HistogramSnapshot {
+                    name: h.name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    bounds: h.bounds.clone(),
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            e.str(name).u64(*v);
+        }
+        e.u32(self.gauges.len() as u32);
+        for (name, v) in &self.gauges {
+            e.str(name).u64(*v as u64);
+        }
+        e.u32(self.histograms.len() as u32);
+        for h in &self.histograms {
+            e.str(&h.name).u64(h.count).u64(h.sum);
+            e.u32(h.bounds.len() as u32);
+            for &b in &h.bounds {
+                e.u64(b);
+            }
+            // No bucket count on the wire: it is bounds.len() + 1 by spec.
+            for &b in &h.buckets {
+                e.u64(b);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(payload);
+        let n_counters = d.u32()? as usize;
+        if n_counters > 1 << 20 {
+            return Err(WireError::OutOfBounds("n_counters"));
+        }
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            counters.push((d.str()?, d.u64()?));
+        }
+        let n_gauges = d.u32()? as usize;
+        if n_gauges > 1 << 20 {
+            return Err(WireError::OutOfBounds("n_gauges"));
+        }
+        let mut gauges = Vec::with_capacity(n_gauges);
+        for _ in 0..n_gauges {
+            gauges.push((d.str()?, d.u64()? as i64));
+        }
+        let n_hists = d.u32()? as usize;
+        if n_hists > 1 << 20 {
+            return Err(WireError::OutOfBounds("n_histograms"));
+        }
+        let mut histograms = Vec::with_capacity(n_hists);
+        for _ in 0..n_hists {
+            let name = d.str()?;
+            let count = d.u64()?;
+            let sum = d.u64()?;
+            let n_bounds = d.u32()? as usize;
+            if n_bounds > 1 << 12 {
+                return Err(WireError::OutOfBounds("n_bounds"));
+            }
+            let mut bounds = Vec::with_capacity(n_bounds);
+            for _ in 0..n_bounds {
+                bounds.push(d.u64()?);
+            }
+            let mut buckets = Vec::with_capacity(n_bounds + 1);
+            for _ in 0..n_bounds + 1 {
+                buckets.push(d.u64()?);
+            }
+            histograms.push(WireHistogram {
+                name,
+                count,
+                sum,
+                bounds,
+                buckets,
+            });
+        }
+        d.finish()?;
+        Ok(Self {
+            counters,
+            gauges,
+            histograms,
+        })
     }
 }
 
@@ -1344,11 +1534,12 @@ mod tests {
         assert_eq!(InferReply::decode(&infer.encode()).unwrap(), infer);
 
         let health = HealthReply {
-            protocol_version: 1,
+            protocol_version: 2,
             uptime_ms: 12345,
             jobs_running: 1,
             jobs_queued: 2,
             queue_capacity: 8,
+            busy_rejections: 4,
         };
         assert_eq!(HealthReply::decode(&health.encode()).unwrap(), health);
 
@@ -1357,6 +1548,11 @@ mod tests {
             jobs_accepted: 2,
             busy_rejections: 3,
             queries_answered: 1000,
+            moves_evaluated: 500,
+            moves_pruned: 400,
+            moves_carried: 300,
+            engine_tiled_picks: 20,
+            engine_bitmap_picks: 10,
             ..StatsReply::default()
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
@@ -1369,6 +1565,35 @@ mod tests {
 
         let cancel = CancelReply { found: true };
         assert_eq!(CancelReply::decode(&cancel.encode()).unwrap(), cancel);
+    }
+
+    #[test]
+    fn metrics_reply_round_trips() {
+        let reply = MetricsReply {
+            counters: vec![
+                ("fastbn.parallel.steal.steals".into(), 42),
+                ("fastbn.score.cache.hits".into(), 7),
+            ],
+            gauges: vec![("fastbn.parallel.jobs.queue_depth".into(), -1)],
+            histograms: vec![WireHistogram {
+                name: "fastbn.serve.request.learn_us".into(),
+                count: 3,
+                sum: 600,
+                bounds: vec![100, 1000],
+                buckets: vec![1, 2, 0],
+            }],
+        };
+        assert_eq!(MetricsReply::decode(&reply.encode()).unwrap(), reply);
+        assert_eq!(
+            MetricsReply::decode(&MetricsReply::default().encode()).unwrap(),
+            MetricsReply::default()
+        );
+
+        // The snapshot round trip preserves everything the renderer needs.
+        let snap = reply.to_snapshot();
+        assert_eq!(MetricsReply::from_snapshot(&snap), reply);
+        let text = fastbn_obs::render_prometheus(&snap);
+        assert!(text.contains("fastbn_parallel_steal_steals 42"));
     }
 
     #[test]

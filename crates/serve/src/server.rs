@@ -47,8 +47,8 @@ use crate::cache::{
 };
 use crate::protocol::{
     kind, CancelReply, CancelRequest, ErrorCode, ErrorReply, FitReply, FitRequest, HealthReply,
-    InferReply, InferRequest, JobPhase, LearnReply, LearnRequest, ProgressEvent, StatsReply,
-    WireDepthStats, WirePcStats, WireSearchStats,
+    InferReply, InferRequest, JobPhase, LearnReply, LearnRequest, MetricsReply, ProgressEvent,
+    StatsReply, WireDepthStats, WirePcStats, WireSearchStats,
 };
 use crate::wire::{encode_frame, Frame, FrameDecoder, PROTOCOL_VERSION};
 
@@ -113,6 +113,9 @@ struct Counters {
     fit_micros: AtomicU64,
     infer_micros: AtomicU64,
     queries_answered: AtomicU64,
+    moves_evaluated: AtomicU64,
+    moves_pruned: AtomicU64,
+    moves_carried: AtomicU64,
 }
 
 /// State shared by the accept loop, connection threads and job runners.
@@ -126,8 +129,35 @@ struct Shared {
 }
 
 impl Shared {
+    /// Tally a finished learn's search-stage counters so `Stats` can
+    /// report them without re-walking the caches.
+    fn note_search_stats(&self, reply: &LearnReply) {
+        if let Some(s) = &reply.search_stats {
+            self.counters
+                .moves_evaluated
+                .fetch_add(s.moves_evaluated, Ordering::Relaxed);
+            self.counters
+                .moves_pruned
+                .fetch_add(s.moves_pruned, Ordering::Relaxed);
+            self.counters
+                .moves_carried
+                .fetch_add(s.moves_carried, Ordering::Relaxed);
+        }
+    }
+
     fn stats_reply(&self) -> StatsReply {
         let cache = self.cache.counters();
+        // Engine picks live in the process-wide metrics registry — they
+        // count every counting query in the process, not only the
+        // daemon's own jobs (the registry is the source of truth the
+        // `Metrics` frame exposes in full).
+        let snap = fastbn_obs::global().snapshot();
+        let pick = |name: &str| -> u64 {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
         StatsReply {
             uptime_ms: self.start.elapsed().as_millis() as u64,
             jobs_accepted: self.counters.jobs_accepted.load(Ordering::Relaxed),
@@ -142,6 +172,11 @@ impl Shared {
             fit_micros: self.counters.fit_micros.load(Ordering::Relaxed),
             infer_micros: self.counters.infer_micros.load(Ordering::Relaxed),
             queries_answered: self.counters.queries_answered.load(Ordering::Relaxed),
+            moves_evaluated: self.counters.moves_evaluated.load(Ordering::Relaxed),
+            moves_pruned: self.counters.moves_pruned.load(Ordering::Relaxed),
+            moves_carried: self.counters.moves_carried.load(Ordering::Relaxed),
+            engine_tiled_picks: pick("fastbn.stats.engine.tiled_picks"),
+            engine_bitmap_picks: pick("fastbn.stats.engine.bitmap_picks"),
             jobs_running: self.pool.running() as u32,
             jobs_queued: self.pool.queued() as u32,
         }
@@ -154,6 +189,7 @@ impl Shared {
             jobs_running: self.pool.running() as u32,
             jobs_queued: self.pool.queued() as u32,
             queue_capacity: self.cfg.queue_capacity as u32,
+            busy_rejections: self.pool.busy_rejections(),
         }
     }
 }
@@ -327,7 +363,10 @@ impl Server {
 }
 
 fn send_frame(stream: &mut TcpStream, kind: u8, request_id: u32, payload: &[u8]) -> io::Result<()> {
-    stream.write_all(&encode_frame(kind, request_id, payload))
+    let frame = encode_frame(kind, request_id, payload);
+    stream.write_all(&frame)?;
+    fastbn_obs::counter!("fastbn.serve.conn.bytes_out").add(frame.len() as u64);
+    Ok(())
 }
 
 /// The in-flight job table, shared by the reader (inserts, cancels) and
@@ -337,6 +376,16 @@ type Pending = Arc<Mutex<HashMap<u32, JobHandle>>>;
 /// Serve one client until it hangs up, errors, or the daemon shuts down
 /// with no replies left to flush.
 fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+    // Guard, not paired calls: the function has several early returns
+    // and the gauge must come back down on every one of them.
+    struct ConnGauge;
+    impl Drop for ConnGauge {
+        fn drop(&mut self) {
+            fastbn_obs::gauge!("fastbn.serve.conn.active").sub(1);
+        }
+    }
+    fastbn_obs::gauge!("fastbn.serve.conn.active").add(1);
+    let _conn_gauge = ConnGauge;
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_SLICE)).is_err() {
         return;
@@ -361,6 +410,7 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
+                fastbn_obs::counter!("fastbn.serve.conn.bytes_in").add(n as u64);
                 decoder.feed(&buf[..n]);
                 loop {
                     match decoder.next_frame() {
@@ -437,6 +487,15 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<ConnEvent>, pending: &Pending, fra
     match frame.kind {
         kind::HEALTH => reply(tx, id, kind::HEALTH_OK, shared.health_reply().encode()),
         kind::STATS => reply(tx, id, kind::STATS_OK, shared.stats_reply().encode()),
+        kind::METRICS => {
+            let snap = fastbn_obs::global().snapshot();
+            reply(
+                tx,
+                id,
+                kind::METRICS_OK,
+                MetricsReply::from_snapshot(&snap).encode(),
+            );
+        }
         kind::SHUTDOWN => {
             shared.shutdown.store(true, Ordering::SeqCst);
             reply(tx, id, kind::SHUTDOWN_OK, Vec::new());
@@ -585,6 +644,7 @@ fn build_learn_reply(key: u64, result: &StructureResult) -> LearnReply {
             iterations: s.iterations,
             restarts: s.restarts,
             moves_evaluated: s.moves_evaluated,
+            moves_pruned: s.moves_pruned,
             moves_carried: s.moves_carried,
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
@@ -633,6 +693,7 @@ fn run_learn(
         return;
     }
     let reply = build_learn_reply(key, &result);
+    shared.note_search_stats(&reply);
     shared.cache.put_structure(
         key,
         StructureEntry {
@@ -644,6 +705,7 @@ fn run_learn(
         .counters
         .learn_micros
         .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    fastbn_obs::histogram!("fastbn.serve.request.learn_us").observe_duration(t0.elapsed());
     let _ = tx.send(ConnEvent::Reply(id, kind::LEARN_OK, reply.encode()));
 }
 
@@ -691,6 +753,7 @@ fn run_fit(
                 return;
             }
             let reply = build_learn_reply(skey, &result);
+            shared.note_search_stats(&reply);
             shared
                 .cache
                 .put_structure(skey, StructureEntry { reply, result })
@@ -731,6 +794,7 @@ fn run_fit(
         .counters
         .fit_micros
         .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    fastbn_obs::histogram!("fastbn.serve.request.fit_us").observe_duration(t0.elapsed());
     let _ = tx.send(ConnEvent::Reply(id, kind::FIT_OK, reply.encode()));
 }
 
@@ -780,6 +844,7 @@ fn run_infer(
         .counters
         .infer_micros
         .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    fastbn_obs::histogram!("fastbn.serve.request.infer_us").observe_duration(t0.elapsed());
     let _ = tx.send(ConnEvent::Reply(
         id,
         kind::INFER_OK,

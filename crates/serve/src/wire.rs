@@ -10,8 +10,11 @@
 
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added the
+/// `Metrics` frame pair and the observability fields in `StatsReply`,
+/// `HealthReply`, and the search-stats section (see `docs/PROTOCOL.md`
+/// §1 for the compatibility rules).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame's byte length (header + payload). Frames
 /// announcing more are rejected before any allocation — a malformed or

@@ -324,6 +324,105 @@ fn health_stats_and_error_paths() {
     handle.join().expect("server exits");
 }
 
+/// The `Metrics` frame surfaces at least one live metric from every
+/// instrumented layer — parallel substrate, counting engines, score
+/// cache, and the daemon's own request path — and the Prometheus render
+/// of the same snapshot carries them in exposition format.
+#[test]
+fn metrics_frame_exposes_cross_layer_registry() {
+    let data = alarm_sample(600);
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A hybrid learn exercises the CI engines, the score cache, and the
+    // job pool in one request.
+    client
+        .learn(StrategySpec::hybrid(2), &data)
+        .expect("learn for metrics");
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics
+            .gauges
+            .iter()
+            .any(|(n, _)| n == "fastbn.parallel.jobs.queue_depth"),
+        "parallel layer gauge missing"
+    );
+    let engine_picks: u64 = metrics
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("fastbn.stats.engine."))
+        .map(|&(_, v)| v)
+        .sum();
+    assert!(engine_picks > 0, "no engine-pick counters recorded");
+    assert!(
+        metrics
+            .counters
+            .iter()
+            .any(|(n, _)| n.starts_with("fastbn.score.cache.")),
+        "score-cache counters missing"
+    );
+    assert!(
+        metrics
+            .histograms
+            .iter()
+            .any(|h| h.name == "fastbn.serve.request.learn_us" && h.count >= 1),
+        "serve request-latency histogram missing"
+    );
+
+    // Same snapshot, Prometheus text exposition.
+    let text = client.metrics_text().expect("metrics text");
+    assert!(text.contains("# TYPE fastbn_serve_request_learn_us histogram"));
+    assert!(text.contains("fastbn_serve_request_learn_us_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("fastbn_parallel_jobs_queue_depth"));
+
+    // Stats carries the v2 observability fields from the same sources.
+    let stats = client.stats().expect("stats");
+    assert!(stats.engine_tiled_picks + stats.engine_bitmap_picks >= engine_picks);
+    assert!(
+        stats.moves_evaluated > 0,
+        "hybrid learn must evaluate moves"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits");
+}
+
+/// Instrumentation invariance: the same learn request answered with
+/// span tracing enabled is byte-identical (timing fields zeroed, as
+/// they vary run to run) to one answered with it disabled. Metrics and
+/// spans must never feed back into results.
+#[test]
+fn replies_are_byte_identical_with_tracing_enabled() {
+    let data = alarm_sample(600);
+    let spec = StrategySpec::hybrid(2);
+
+    let run_once = |trace: bool| -> Vec<u8> {
+        fastbn_obs::set_trace_enabled(trace);
+        let (handle, addr) = spawn_server(ServeConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        let mut reply = client.learn(spec.clone(), &data).expect("learn");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exits");
+        if let Some(stats) = reply.pc_stats.as_mut() {
+            stats.skeleton_micros = 0;
+            stats.orientation_micros = 0;
+            for depth in &mut stats.depths {
+                depth.micros = 0;
+            }
+        }
+        if let Some(stats) = reply.search_stats.as_mut() {
+            stats.micros = 0;
+        }
+        reply.encode()
+    };
+
+    let plain = run_once(false);
+    let traced = run_once(true);
+    fastbn_obs::set_trace_enabled(false);
+    assert_eq!(plain, traced, "tracing changed the reply bytes");
+}
+
 /// Regenerates the worked hex example of `docs/PROTOCOL.md` §8 and
 /// asserts byte equality, so the spec's example can never drift from
 /// the reference codec. Timing fields in the reply are zeroed exactly
@@ -361,7 +460,7 @@ fn protocol_doc_example_is_accurate() {
         }
         .encode(),
     );
-    let doc_request = "38000000010101000000009a9999999999a93f01000000000000000002000000\
+    let doc_request = "38000000020101000000009a9999999999a93f01000000000000000002000000\
                        04000000000000000100000061020100000062020001010000010100";
     assert_eq!(hex(&request_frame), doc_request);
 
@@ -389,7 +488,7 @@ fn protocol_doc_example_is_accurate() {
         }
     }
     let reply_frame = encode_frame(kind::LEARN_OK, 1, &reply.encode());
-    let doc_reply = "570000000181010000003b594147047e8a2d0002000000000000000100000000\
+    let doc_reply = "570000000281010000003b594147047e8a2d0002000000000000000100000000\
                      0000000100000000000101000000000000000100000000000000010000000000\
                      000000000000000000000000000000000000000000000000000000";
     assert_eq!(hex(&reply_frame), doc_reply);

@@ -484,6 +484,11 @@ pub struct CountingBackend {
     select: EngineSelect,
     tiled: TiledScan,
     bitmap: BitmapEngine,
+    /// Queries answered by the tiled scan (per-backend; see
+    /// [`CountingBackend::picks`]).
+    tiled_picks: u64,
+    /// Queries answered by the bitmap engine.
+    bitmap_picks: u64,
 }
 
 impl CountingBackend {
@@ -493,12 +498,35 @@ impl CountingBackend {
             select,
             tiled: TiledScan::new(),
             bitmap: BitmapEngine::new(),
+            tiled_picks: 0,
+            bitmap_picks: 0,
         }
     }
 
     /// The active selection policy.
     pub fn select(&self) -> EngineSelect {
         self.select
+    }
+
+    /// Per-query engine picks so far: `(tiled, bitmap)` query counts.
+    /// Backends are per-thread, so these are plain fields; the same
+    /// counts are mirrored into the process-global metrics registry as
+    /// `fastbn.stats.engine.tiled_picks` / `bitmap_picks`.
+    pub fn picks(&self) -> (u64, u64) {
+        (self.tiled_picks, self.bitmap_picks)
+    }
+
+    /// Record `tiled` + `bitmap` pick decisions locally and globally.
+    #[inline]
+    fn record_picks(&mut self, tiled: u64, bitmap: u64) {
+        self.tiled_picks += tiled;
+        self.bitmap_picks += bitmap;
+        if tiled > 0 {
+            fastbn_obs::counter!("fastbn.stats.engine.tiled_picks").add(tiled);
+        }
+        if bitmap > 0 {
+            fastbn_obs::counter!("fastbn.stats.engine.bitmap_picks").add(bitmap);
+        }
     }
 
     /// Fill one pre-shaped, zeroed table.
@@ -514,10 +542,19 @@ impl CountingBackend {
             EngineSelect::ForceBitmap => true,
             EngineSelect::Auto => EngineSelect::prefers_bitmap(data, &spec),
         };
+        self.record_picks(!use_bitmap as u64, use_bitmap as u64);
+        // Per-query timing only under tracing: single fills are the score
+        // searcher's innermost loop, where even an `Instant::now` pair is
+        // measurable.
+        let t0 = fastbn_obs::trace_enabled().then(std::time::Instant::now);
         if use_bitmap {
             self.bitmap.fill_one(data, layout, spec, table);
         } else {
             self.tiled.fill_one(data, layout, spec, table);
+        }
+        if let Some(t0) = t0 {
+            fastbn_obs::histogram!("fastbn.stats.engine.fill_one_us")
+                .observe_duration(t0.elapsed());
         }
     }
 
@@ -540,12 +577,15 @@ impl CountingBackend {
         tables: &mut [ContingencyTable],
     ) {
         assert_eq!(specs.len(), tables.len(), "one spec per table");
+        let t0 = std::time::Instant::now();
         match self.select {
             EngineSelect::ForceTiled => {
+                self.record_picks(specs.len() as u64, 0);
                 let mut refs: Vec<&mut ContingencyTable> = tables.iter_mut().collect();
                 self.tiled.fill_batch(data, layout, specs, &mut refs);
             }
             EngineSelect::ForceBitmap => {
+                self.record_picks(0, specs.len() as u64);
                 let mut refs: Vec<&mut ContingencyTable> = tables.iter_mut().collect();
                 self.bitmap.fill_batch(data, layout, specs, &mut refs);
             }
@@ -563,12 +603,16 @@ impl CountingBackend {
                         tiled_tables.push(table);
                     }
                 }
+                self.record_picks(tiled_specs.len() as u64, bitmap_specs.len() as u64);
                 self.tiled
                     .fill_batch(data, layout, &tiled_specs, &mut tiled_tables);
                 self.bitmap
                     .fill_batch(data, layout, &bitmap_specs, &mut bitmap_tables);
             }
         }
+        // Batch-level timing is always on: two clock reads amortized over
+        // the whole batch are noise next to the fill itself.
+        fastbn_obs::histogram!("fastbn.stats.engine.fill_batch_us").observe_duration(t0.elapsed());
     }
 }
 
@@ -744,6 +788,49 @@ mod tests {
         }
         assert_eq!(EngineSelect::parse("popcount"), None);
         assert_eq!(EngineSelect::default(), EngineSelect::Auto);
+    }
+
+    #[test]
+    fn backend_counts_per_query_engine_picks() {
+        let d = data();
+        // Mirror of `auto_backend_matches_forced_backends_on_a_mixed_batch`:
+        // a tiny marginal (bitmap side) plus a wide conditioning set
+        // (tiled side) in one Auto batch.
+        let cond = [3usize, 5, 6];
+        let zmul = [25usize, 5, 1];
+        let small = FillSpec {
+            x: 1,
+            y: Some(4),
+            cond: &[],
+            zmul: &[],
+        };
+        let wide = FillSpec {
+            x: 1,
+            y: Some(4),
+            cond: &cond,
+            zmul: &zmul,
+        };
+        assert!(EngineSelect::prefers_bitmap(&d, &small));
+        assert!(!EngineSelect::prefers_bitmap(&d, &wide));
+
+        let mut backend = CountingBackend::new(EngineSelect::Auto);
+        let mut t_small = ContingencyTable::new(3, 3, 1);
+        let mut t_wide = ContingencyTable::new(3, 3, 100);
+        backend.fill_one(&d, Layout::ColumnMajor, small, &mut t_small);
+        assert_eq!(backend.picks(), (0, 1), "marginal goes to the bitmap");
+        backend.fill_one(&d, Layout::ColumnMajor, wide, &mut t_wide);
+        assert_eq!(backend.picks(), (1, 1), "wide cond goes to the tiled scan");
+        let mut tables = vec![
+            ContingencyTable::new(3, 3, 1),
+            ContingencyTable::new(3, 3, 100),
+        ];
+        backend.fill_batch(&d, Layout::ColumnMajor, &[small, wide], &mut tables);
+        assert_eq!(backend.picks(), (2, 2), "Auto batch splits per query");
+
+        let mut forced = CountingBackend::new(EngineSelect::ForceTiled);
+        let mut t = ContingencyTable::new(3, 3, 1);
+        forced.fill_one(&d, Layout::ColumnMajor, small, &mut t);
+        assert_eq!(forced.picks(), (1, 0), "forcing overrides the cost model");
     }
 
     #[test]

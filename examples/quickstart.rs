@@ -67,4 +67,8 @@ fn main() {
         "structure recovery should be decent at 5000 samples"
     );
     println!("ok");
+
+    // With FASTBN_TRACE=1, print the aggregated span-timing tree
+    // (learn → skeleton / orientation) collected during the run.
+    fastbn::obs::print_report_if_traced("quickstart");
 }

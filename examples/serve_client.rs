@@ -77,13 +77,36 @@ fn main() {
         println!("  P(V{}) = {:?}", p.target, p.probs);
     }
 
-    // Serving stats, then an orderly shutdown.
+    // Serving stats, including the v2 observability counters: how the
+    // search spent its move budget and which counting engine the cost
+    // model picked per query.
     let stats = client.stats().expect("stats");
     println!(
         "stats: {} jobs accepted, {} structure misses / {} hits, {} queries answered",
         stats.jobs_accepted, stats.structure_misses, stats.structure_hits, stats.queries_answered
     );
+    println!(
+        "search: {} moves evaluated, {} pruned, {} carried",
+        stats.moves_evaluated, stats.moves_pruned, stats.moves_carried
+    );
+    println!(
+        "count engines: {} tiled picks, {} bitmap picks",
+        stats.engine_tiled_picks, stats.engine_bitmap_picks
+    );
+
+    // The same registry, rendered as a Prometheus text dump (what a
+    // scrape of `fastbn-served --metrics-addr` returns).
+    let metrics = client.metrics_text().expect("metrics");
+    let request_lines: Vec<&str> = metrics
+        .lines()
+        .filter(|l| l.starts_with("fastbn_serve_request") && l.contains("_count"))
+        .collect();
+    println!("request-latency series: {}", request_lines.join("; "));
+
     client.shutdown().expect("shutdown");
     handle.join().expect("daemon exits");
     println!("daemon shut down cleanly");
+
+    // With FASTBN_TRACE=1, print where the wall-clock went.
+    fastbn::obs::print_report_if_traced("serve_client");
 }

@@ -26,13 +26,14 @@
 //!
 //! See the crate-level docs of each member for details:
 //! [`graph`], [`stats`], [`data`], [`network`], [`parallel`], [`cachesim`],
-//! [`score`], [`core`], [`serve`].
+//! [`score`], [`core`], [`serve`], [`obs`].
 
 pub use fastbn_cachesim as cachesim;
 pub use fastbn_core as core;
 pub use fastbn_data as data;
 pub use fastbn_graph as graph;
 pub use fastbn_network as network;
+pub use fastbn_obs as obs;
 pub use fastbn_parallel as parallel;
 pub use fastbn_score as score;
 pub use fastbn_serve as serve;

@@ -241,6 +241,48 @@ fn repeated_score_runs_are_identical() {
     }
 }
 
+/// Observability is result-invisible: with span tracing enabled (every
+/// metric counter and histogram in the workspace is always live; the
+/// `FASTBN_TRACE` switch additionally turns on span timing and the
+/// trace-gated per-query histograms), every learner family reproduces
+/// its untraced results byte-for-byte. This is the acceptance gate of
+/// the instrumentation layer: nothing read from or written to the
+/// metrics registry may feed back into a learner decision.
+#[test]
+fn instrumentation_does_not_change_results() {
+    let net = zoo::by_name("alarm", 11).unwrap();
+    let data = net.sample_dataset(1500, 7);
+
+    let run_all = || {
+        let pc = PcStable::new(PcConfig::fast_bns().with_threads(4)).learn(&data);
+        let hc = HillClimb::new(HillClimbConfig::default().with_threads(4)).learn(&data);
+        let hy = HybridLearner::new(HybridConfig::fast_bns().with_threads(4)).learn(&data);
+        (pc, hc, hy)
+    };
+
+    fastbn::obs::set_trace_enabled(false);
+    let (pc_off, hc_off, hy_off) = run_all();
+    fastbn::obs::set_trace_enabled(true);
+    let (pc_on, hc_on, hy_on) = run_all();
+    fastbn::obs::set_trace_enabled(false);
+
+    assert_eq!(pc_on.skeleton(), pc_off.skeleton(), "pc skeleton");
+    assert_eq!(pc_on.cpdag(), pc_off.cpdag(), "pc CPDAG");
+    assert_eq!(hc_on.dag, hc_off.dag, "hill-climb DAG");
+    assert_eq!(
+        hc_on.score.to_bits(),
+        hc_off.score.to_bits(),
+        "hill-climb score bits"
+    );
+    assert_eq!(hy_on.dag, hy_off.dag, "hybrid DAG");
+    assert_eq!(hy_on.cpdag, hy_off.cpdag, "hybrid CPDAG");
+    assert_eq!(
+        hy_on.score.to_bits(),
+        hy_off.score.to_bits(),
+        "hybrid score bits"
+    );
+}
+
 /// Repeated learning on the same dataset is deterministic even in the
 /// parallel modes (the work pool changes the order of CI tests, never the
 /// outcome) — including under work stealing, where victim selection and
