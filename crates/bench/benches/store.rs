@@ -1,0 +1,150 @@
+//! Microbench: what the `DataStore` seam costs — the learners' two hot
+//! fill shapes (a CI-test group, a score sufficient-statistics batch)
+//! over the resident store vs. a `ChunkedStore` at a realistic chunk
+//! size, plus the daemon-side payoff: a cached `Learn` round trip by
+//! upload-once handle vs. reshipping the full dataset inline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbn_core::skeleton::common::CiEngine;
+use fastbn_core::PcConfig;
+use fastbn_data::{ChunkedStore, DataStore, Dataset, Layout};
+use fastbn_network::zoo;
+use fastbn_score::{LocalScorer, ScoreKind};
+use fastbn_serve::{Client, ServeConfig, Server, StrategySpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+const CHUNK_ROWS: usize = 512;
+
+fn alarm_data(rows: usize) -> Dataset {
+    zoo::by_name("alarm", 3)
+        .expect("zoo network")
+        .sample_dataset(rows, 17)
+}
+
+/// The depth-2 gs-group CI-test shape from `benches/engines.rs`, run
+/// once per store backend: the delta is the chunk loop + merge cost.
+fn bench_ci_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let data = alarm_data(4000);
+    data.bitmap_index();
+    let chunked = ChunkedStore::from_dataset(&data, CHUNK_ROWS, usize::MAX);
+    let (u, v) = (1usize, 5usize);
+    let conds: Vec<[usize; 2]> = (0..8).map(|i| [7 + (i % 4), 12 + (i % 5)]).collect();
+    let conds_flat: Vec<usize> = conds.iter().flatten().copied().collect();
+
+    let stores: [(&str, &dyn DataStore); 2] = [("resident", &data), ("chunked512", &chunked)];
+    for (label, store) in stores {
+        let cfg = PcConfig::fast_bns_seq();
+        group.bench_function(BenchmarkId::new(format!("ci_batch_{label}"), "g8d2"), |b| {
+            let mut ci = CiEngine::new(store, &cfg);
+            let mut decisions = Vec::new();
+            b.iter(|| {
+                decisions.clear();
+                ci.run_batch(u, v, 2, conds.len(), &conds_flat, &mut decisions);
+                black_box(decisions.iter().filter(|&&x| x).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Eight candidate parent sets scored in one batch, per store backend.
+fn bench_score_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let data = alarm_data(1000);
+    data.bitmap_index();
+    let chunked = ChunkedStore::from_dataset(&data, CHUNK_ROWS, usize::MAX);
+    let child = 5usize;
+    let sets: Vec<Vec<u32>> = (0..8u32)
+        .map(|i| {
+            let a = 1 + (i % 4);
+            let b = 9 + (i % 5);
+            vec![a.min(b), a.max(b) + 1]
+        })
+        .collect();
+
+    let stores: [(&str, &dyn DataStore); 2] = [("resident", &data), ("chunked512", &chunked)];
+    for (label, store) in stores {
+        group.bench_function(
+            BenchmarkId::new(format!("score_batch_{label}"), "alarm_1k"),
+            |b| {
+                let mut scorer = LocalScorer::with_options(
+                    store,
+                    ScoreKind::Bic,
+                    1 << 22,
+                    Layout::ColumnMajor,
+                    fastbn_stats::EngineSelect::Auto,
+                );
+                b.iter(|| {
+                    let sum: f64 = scorer.score_batch(child, &sets).flatten().sum();
+                    black_box(sum)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A cache-hit `Learn` round trip both ways: inline (ship ~150 KB of
+/// columns, server re-fingerprints) vs. by upload-once handle (ship 9
+/// bytes of dataset-ref). The gap is the wire + fingerprint cost the
+/// handle removes.
+fn bench_handle_learn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let data = alarm_data(4000);
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = StrategySpec::pc(2);
+    let put = client.put_dataset(&data).expect("put");
+    // Warm the structure cache: both kernels measure cache-hit serving.
+    let learned = client
+        .learn_by_handle(spec.clone(), put.fingerprint)
+        .expect("learn");
+    assert!(!learned.cache_hit);
+
+    group.bench_function(BenchmarkId::new("learn_reship", "alarm_4k"), |b| {
+        b.iter(|| {
+            let reply = client.learn(spec.clone(), &data).expect("inline learn");
+            assert!(reply.cache_hit);
+            black_box(reply.structure_key)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("learn_by_handle", "alarm_4k"), |b| {
+        b.iter(|| {
+            let reply = client
+                .learn_by_handle(spec.clone(), put.fingerprint)
+                .expect("handle learn");
+            assert!(reply.cache_hit);
+            black_box(reply.structure_key)
+        })
+    });
+
+    group.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+}
+
+criterion_group!(
+    benches,
+    bench_ci_batch,
+    bench_score_batch,
+    bench_handle_learn
+);
+criterion_main!(benches);

@@ -14,14 +14,14 @@
 
 use super::common::{process_group, run_pooled_depth, EdgeTask, Removal};
 use crate::config::PcConfig;
-use fastbn_data::Dataset;
+use fastbn_data::DataStore;
 use fastbn_parallel::{run_pool, Team, WorkPool};
 
 /// Run one depth through the dynamic work pool on `team`.
 /// Returns (removals, CI tests performed, tests skipped).
 pub fn run_depth(
     team: &Team<'_>,
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     tasks: Vec<EdgeTask>,
     d: usize,

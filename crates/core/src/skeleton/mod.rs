@@ -32,6 +32,8 @@ use crate::config::{ParallelMode, PcConfig};
 use crate::progress::{NoProgress, ProgressSink};
 use crate::stats_run::DepthStats;
 use common::{apply_removals, build_tasks, CiEngine, CiObserver, NoObserver};
+use fastbn_data::DataStore;
+#[cfg(test)]
 use fastbn_data::Dataset;
 use fastbn_graph::{SepSets, UGraph};
 use fastbn_parallel::Team;
@@ -41,7 +43,7 @@ use std::time::Instant;
 ///
 /// Returns the undirected skeleton, the separating sets, and per-depth
 /// statistics.
-pub fn learn_skeleton(data: &Dataset, cfg: &PcConfig) -> (UGraph, SepSets, Vec<DepthStats>) {
+pub fn learn_skeleton(data: &dyn DataStore, cfg: &PcConfig) -> (UGraph, SepSets, Vec<DepthStats>) {
     learn_skeleton_observed(data, cfg, NoObserver)
 }
 
@@ -52,7 +54,7 @@ pub fn learn_skeleton(data: &Dataset, cfg: &PcConfig) -> (UGraph, SepSets, Vec<D
 /// returned). A sink that always returns `true` leaves the result
 /// byte-identical to [`learn_skeleton`] under every scheduler.
 pub fn learn_skeleton_progress(
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     progress: &dyn ProgressSink,
 ) -> (UGraph, SepSets, Vec<DepthStats>) {
@@ -64,7 +66,7 @@ pub fn learn_skeleton_progress(
 /// meaningful, and only deterministic, sequentially); parallel modes run
 /// unobserved.
 pub fn learn_skeleton_observed<O: CiObserver>(
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     observer: O,
 ) -> (UGraph, SepSets, Vec<DepthStats>) {
@@ -73,7 +75,7 @@ pub fn learn_skeleton_observed<O: CiObserver>(
 
 /// Shared implementation behind the three public entry points.
 fn learn_skeleton_inner<O: CiObserver>(
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     observer: O,
     progress: &dyn ProgressSink,

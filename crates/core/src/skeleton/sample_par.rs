@@ -17,7 +17,7 @@
 use super::common::{fill_with, z_strides, EdgeTask, Removal};
 use crate::combinations::unrank_combination;
 use crate::config::{PcConfig, SampleFill};
-use fastbn_data::Dataset;
+use fastbn_data::DataStore;
 use fastbn_parallel::{chunk_ranges, Team};
 use fastbn_stats::citest::run_ci_test;
 use fastbn_stats::contingency::AtomicContingencyTable;
@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 /// matches the sequential reference exactly).
 pub fn run_depth(
     team: &Team<'_>,
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     tasks: Vec<EdgeTask>,
     d: usize,

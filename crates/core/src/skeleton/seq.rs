@@ -10,14 +10,14 @@
 
 use super::common::{process_group, CiEngine, CiObserver, EdgeTask, GroupOutcome, Removal};
 use crate::config::PcConfig;
-use fastbn_data::Dataset;
+use fastbn_data::DataStore;
 use fastbn_graph::{SepSets, UGraph};
 
 /// Run one depth sequentially. Returns (CI tests performed, edges removed).
 pub fn run_depth<O: CiObserver>(
     graph: &mut UGraph,
     sepsets: &mut SepSets,
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     tasks: Vec<EdgeTask>,
     d: usize,

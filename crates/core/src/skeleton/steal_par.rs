@@ -30,7 +30,7 @@
 
 use super::common::{process_group_batched, run_pooled_depth, EdgeTask, Removal};
 use crate::config::PcConfig;
-use fastbn_data::Dataset;
+use fastbn_data::DataStore;
 use fastbn_parallel::{chunk_ranges, run_steal_pool, shard_by_key, StealPool, Team};
 use fastbn_stats::{BatchedCiRunner, CountingBackend, FillSpec};
 use parking_lot::Mutex;
@@ -39,7 +39,7 @@ use parking_lot::Mutex;
 /// Returns (removals, CI tests performed, tests skipped).
 pub fn run_depth(
     team: &Team<'_>,
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     tasks: Vec<EdgeTask>,
     d: usize,
@@ -72,7 +72,7 @@ pub fn run_depth(
 /// Returns (removals, CI tests performed, tests skipped — always 0).
 pub fn run_depth0_batched(
     team: &Team<'_>,
-    data: &Dataset,
+    data: &dyn DataStore,
     cfg: &PcConfig,
     tasks: Vec<EdgeTask>,
 ) -> (Vec<Removal>, u64, u64) {

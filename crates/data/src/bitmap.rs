@@ -36,24 +36,32 @@ pub struct BitmapIndex {
 impl BitmapIndex {
     /// Build the index in one pass per column.
     pub fn build(data: &Dataset) -> Self {
-        let m = data.n_samples();
-        let mut offsets = Vec::with_capacity(data.n_vars() + 1);
+        Self::build_cols(data.n_samples(), data.arities(), data.raw_col_major())
+    }
+
+    /// Build the index over any contiguous column-major block
+    /// (`col_major[v * n_rows + i]`) — the constructor behind both the
+    /// whole-dataset index and the per-chunk indexes of a chunked store.
+    pub fn build_cols(n_rows: usize, arities: &[u8], col_major: &[u8]) -> Self {
+        let n_vars = arities.len();
+        debug_assert_eq!(col_major.len(), n_vars * n_rows);
+        let mut offsets = Vec::with_capacity(n_vars + 1);
         let mut total_states = 0usize;
-        for v in 0..data.n_vars() {
+        for &a in arities {
             offsets.push(total_states);
-            total_states += data.arity(v);
+            total_states += a as usize;
         }
         offsets.push(total_states);
-        let mut sets: Vec<BitSet> = (0..total_states).map(|_| BitSet::new(m)).collect();
-        for (v, &base) in offsets.iter().take(data.n_vars()).enumerate() {
-            for (i, &val) in data.column(v).iter().enumerate() {
+        let mut sets: Vec<BitSet> = (0..total_states).map(|_| BitSet::new(n_rows)).collect();
+        for (v, &base) in offsets.iter().take(n_vars).enumerate() {
+            for (i, &val) in col_major[v * n_rows..(v + 1) * n_rows].iter().enumerate() {
                 sets[base + val as usize].insert(i);
             }
         }
         Self {
             sets,
             offsets,
-            n_words: m.div_ceil(64),
+            n_words: n_rows.div_ceil(64),
         }
     }
 

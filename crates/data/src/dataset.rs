@@ -67,11 +67,13 @@ impl fmt::Display for DataError {
 impl std::error::Error for DataError {}
 
 /// A complete (no missing values) discrete dataset over `n_vars` variables
-/// and `n_samples` samples, materialized in both row- and column-major
-/// layouts.
+/// and `n_samples` samples. Column-major storage (Fast-BNS's transposed
+/// layout) is the authoritative copy; the row-major view is derived.
 ///
-/// Two derived views are built lazily on first use and cached for the
+/// Derived views are built lazily on first use and cached for the
 /// dataset's lifetime (thread-safe, built at most once):
+/// * [`Dataset::row`] — the row-major transposition used by the
+///   baselines; column-major hot paths never pay for it;
 /// * [`Dataset::state_frequencies`] — per-column state counts, one pass;
 /// * [`Dataset::bitmap_index`] — the per-(variable, state) sample bitmaps
 ///   behind the bitmap counting engine.
@@ -86,8 +88,8 @@ pub struct Dataset {
     names: Vec<String>,
     /// `col_major[v * n_samples + s]`
     col_major: Vec<u8>,
-    /// `row_major[s * n_vars + v]`
-    row_major: Vec<u8>,
+    /// Lazily transposed `row_major[s * n_vars + v]`.
+    row_major: OnceLock<Vec<u8>>,
     /// Lazily built per-(variable, state) sample bitmaps.
     bitmaps: OnceLock<BitmapIndex>,
     /// Lazily counted per-column state frequencies.
@@ -107,7 +109,7 @@ impl Clone for Dataset {
             arities: self.arities.clone(),
             names: self.names.clone(),
             col_major: self.col_major.clone(),
-            row_major: self.row_major.clone(),
+            row_major: OnceLock::new(),
             bitmaps: OnceLock::new(),
             state_freqs: OnceLock::new(),
             obs_states: OnceLock::new(),
@@ -191,19 +193,13 @@ impl Dataset {
         for col in &columns {
             col_major.extend_from_slice(col);
         }
-        let mut row_major = vec![0u8; n_vars * n_samples];
-        for (v, col) in columns.iter().enumerate() {
-            for (s, &val) in col.iter().enumerate() {
-                row_major[s * n_vars + v] = val;
-            }
-        }
         Ok(Self {
             n_vars,
             n_samples,
             arities,
             names,
             col_major,
-            row_major,
+            row_major: OnceLock::new(),
             bitmaps: OnceLock::new(),
             state_freqs: OnceLock::new(),
             obs_states: OnceLock::new(),
@@ -279,9 +275,29 @@ impl Dataset {
     }
 
     /// The contiguous record of sample `s` — the baselines' access pattern.
+    ///
+    /// The row-major transposition is built on first call and cached
+    /// (thread-safe, at most once); datasets that only ever stream
+    /// columns never materialize it.
     #[inline]
     pub fn row(&self, s: usize) -> &[u8] {
-        &self.row_major[s * self.n_vars..(s + 1) * self.n_vars]
+        let rm = self.row_major.get_or_init(|| {
+            let mut row_major = vec![0u8; self.n_vars * self.n_samples];
+            for v in 0..self.n_vars {
+                for (s, &val) in self.column(v).iter().enumerate() {
+                    row_major[s * self.n_vars + v] = val;
+                }
+            }
+            row_major
+        });
+        &rm[s * self.n_vars..(s + 1) * self.n_vars]
+    }
+
+    /// The whole column-major block (`col_major[v * n_samples + s]`) —
+    /// the backing storage bitmap construction streams.
+    #[inline]
+    pub(crate) fn raw_col_major(&self) -> &[u8] {
+        &self.col_major
     }
 
     /// Per-column state frequencies: `state_frequencies()[v][s]` is the

@@ -7,22 +7,35 @@
 //! turning `(d+2)·m` potential cache misses into `(d+2)·(1 + 4m/B)`
 //! (paper §IV-C/§IV-D3).
 //!
-//! [`Dataset`] materializes **both** layouts so the learner (and the cache
+//! [`Dataset`] exposes **both** layouts so the learner (and the cache
 //! simulator reproducing Table IV) can run the identical algorithm against
 //! either memory layout:
 //!
-//! * column-major (`column(v)`) — Fast-BNS's transposed storage,
-//! * row-major (`row(s)`) — the naive storage used by the baselines.
+//! * column-major (`column(v)`) — Fast-BNS's transposed storage, the
+//!   authoritative copy,
+//! * row-major (`row(s)`) — the naive storage used by the baselines,
+//!   transposed lazily on first use.
 //!
 //! Values are stored as `u8` state codes (`0..arity`); arities up to 255
 //! cover every benchmark network in the paper.
+//!
+//! The [`DataStore`] seam (see [`store`]) generalizes dataset access to
+//! row-chunked columnar storage: [`ResidentStore`] wraps today's layout at
+//! zero cost, [`ChunkedStore`] materializes fixed row ranges on demand
+//! under an LRU resident-bytes budget — counts are additive over chunks,
+//! so every counting backend runs out-of-core unchanged.
 
 pub mod bitmap;
 pub mod csv;
 pub mod dataset;
+pub mod store;
 pub mod summary;
 
 pub use bitmap::BitmapIndex;
 pub use csv::{dataset_from_csv, dataset_to_csv, CsvError};
 pub use dataset::{DataError, Dataset, Layout};
+pub use store::{
+    ChunkData, ChunkRef, ChunkSource, ChunkedStore, DataStore, MemorySource, ResidentStore,
+    CHUNK_BUDGET_ENV, CHUNK_ROWS_ENV,
+};
 pub use summary::{column_counts, column_entropy, DatasetSummary};

@@ -1,0 +1,163 @@
+//! Chunked/resident agreement: the [`ChunkedStore`] seam must be
+//! invisible to every consumer.
+//!
+//! Three layers of evidence, strongest last:
+//!
+//! 1. **Counts** — both counting engines fill contingency tables over a
+//!    chunked store cell-for-cell equal to a resident fill, fuzzed over
+//!    datasets, specs and chunk sizes (counts are additive over disjoint
+//!    row chunks).
+//! 2. **Learners** — pc-stable, hill-climb and hybrid produce identical
+//!    structures (same CPDAG, same score *bits*) over chunked and
+//!    resident stores, across chunk sizes and thread counts.
+//! 3. **Out of core for real** — a multi-chunk learn under a resident
+//!    budget far below the dataset size actually evicts (the store's own
+//!    counters say so) and still reproduces the resident structure.
+
+use fastbn_core::{learn_structure, HybridConfig, PcConfig, Strategy};
+use fastbn_data::{ChunkedStore, Dataset, Layout};
+use fastbn_score::HillClimbConfig;
+use fastbn_stats::{
+    mixed_radix_strides, ContingencyTable, CountingBackend, EngineSelect, FillSpec,
+};
+use proptest::prelude::*;
+
+/// Random small dataset via splitmix64 (values within declared arities).
+fn random_dataset(n_vars: usize, m: usize, seed: u64) -> Dataset {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let arities: Vec<u8> = (0..n_vars).map(|_| 2 + (next() % 3) as u8).collect();
+    let columns: Vec<Vec<u8>> = arities
+        .iter()
+        .map(|&a| (0..m).map(|_| (next() % a as u64) as u8).collect())
+        .collect();
+    Dataset::from_columns(vec![], arities, columns).unwrap()
+}
+
+/// The chunk sizes every agreement check sweeps: degenerate one-row
+/// chunks, a size that never divides the sample count evenly, a
+/// realistic block, and a single chunk covering the whole dataset.
+fn chunk_sweep(m: usize) -> [usize; 4] {
+    [1, 7, 64, m.max(1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both engines, all chunk sizes: chunked fills equal resident
+    /// fills cell for cell, for marginal, pairwise and conditioned
+    /// tables alike.
+    #[test]
+    fn chunked_counts_match_resident_cell_for_cell(
+        n_vars in 3usize..6,
+        m in 30usize..200,
+        n_cond in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let d = random_dataset(n_vars, m, seed);
+        // Spec over the first variables: x=0, y=1, cond = the next
+        // `n_cond` (fits because n_vars >= 3 and n_cond <= 2... but
+        // n_cond can be 2 with n_vars = 3, so cap it).
+        let n_cond = n_cond.min(n_vars - 2);
+        let cond: Vec<usize> = (2..2 + n_cond).collect();
+        let mut zmul = vec![0usize; cond.len()];
+        let nz = mixed_radix_strides(|i| d.arity(cond[i]), &mut zmul, 8, 1 << 20).unwrap();
+        let spec = FillSpec { x: 0, y: Some(1), cond: &cond, zmul: &zmul };
+        let (rx, ry) = (d.arity(0), d.arity(1));
+
+        let mut resident = ContingencyTable::new(rx, ry, nz);
+        CountingBackend::new(EngineSelect::ForceTiled)
+            .fill_one(&d, Layout::ColumnMajor, spec, &mut resident);
+
+        for chunk_rows in chunk_sweep(m) {
+            let store = ChunkedStore::from_dataset(&d, chunk_rows, usize::MAX);
+            for select in [EngineSelect::ForceTiled, EngineSelect::ForceBitmap] {
+                let mut t = ContingencyTable::new(rx, ry, nz);
+                CountingBackend::new(select)
+                    .fill_one(&store, Layout::ColumnMajor, spec, &mut t);
+                prop_assert_eq!(
+                    resident.raw(), t.raw(),
+                    "chunk_rows={} {:?}", chunk_rows, select
+                );
+            }
+        }
+    }
+
+    /// Every learner family is chunk-size- and thread-count-invariant:
+    /// the chunked structure is the resident structure, and scores
+    /// match to the bit.
+    #[test]
+    fn learners_are_chunk_invariant(
+        m in 40usize..160,
+        seed in any::<u64>(),
+        threads in 1usize..4,
+    ) {
+        let d = random_dataset(5, m, seed);
+        let strategies = [
+            Strategy::PcStable(PcConfig::fast_bns().with_threads(threads)),
+            Strategy::HillClimb(HillClimbConfig::default().with_threads(threads)),
+            Strategy::Hybrid(HybridConfig::fast_bns().with_threads(threads)),
+        ];
+        for strategy in &strategies {
+            let resident = learn_structure(&d, strategy);
+            for chunk_rows in chunk_sweep(m) {
+                let store = ChunkedStore::from_dataset(&d, chunk_rows, usize::MAX);
+                let chunked = learn_structure(&store, strategy);
+                prop_assert_eq!(
+                    &chunked.cpdag, &resident.cpdag,
+                    "{} chunk_rows={}", strategy.name(), chunk_rows
+                );
+                prop_assert_eq!(
+                    chunked.score.map(f64::to_bits),
+                    resident.score.map(f64::to_bits),
+                    "{} chunk_rows={}", strategy.name(), chunk_rows
+                );
+            }
+        }
+    }
+}
+
+/// A learn that genuinely runs out of core: the resident budget holds
+/// only a few of the chunks, the store's own counters prove eviction
+/// happened, and the structure still comes out byte-identical to the
+/// fully resident run.
+#[test]
+fn under_budget_learn_evicts_and_agrees() {
+    let net = fastbn_network::zoo::by_name("alarm", 7).expect("alarm replica");
+    let d = net.sample_dataset(5000, 42);
+    let strategy = Strategy::PcStable(PcConfig::fast_bns().with_threads(2).with_max_depth(1));
+    let resident = learn_structure(&d, &strategy);
+
+    // 256-row chunks of a 37-variable dataset are ~9.5 KiB each; a
+    // 64 KiB budget holds only a handful of the 20 chunks, so a full
+    // counting pass must cycle the cache.
+    let chunk_rows = 256;
+    let budget = 64 * 1024;
+    let n_chunks = d.n_samples().div_ceil(chunk_rows);
+    assert!(n_chunks * chunk_rows.min(d.n_samples()) * d.n_vars() > budget);
+
+    let store = ChunkedStore::from_dataset(&d, chunk_rows, budget);
+    let chunked = learn_structure(&store, &strategy);
+
+    assert!(
+        store.evictions() > 0,
+        "a learn under budget must evict (materializations={}, evictions={})",
+        store.materializations(),
+        store.evictions()
+    );
+    assert!(
+        store.materializations() > n_chunks as u64,
+        "evicted chunks must have been re-materialized"
+    );
+    assert_eq!(chunked.cpdag, resident.cpdag);
+    assert_eq!(
+        chunked.skeleton.as_ref().map(|s| s.edge_count()),
+        resident.skeleton.as_ref().map(|s| s.edge_count())
+    );
+}

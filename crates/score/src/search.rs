@@ -53,7 +53,9 @@
 
 use crate::cache::ScoreCache;
 use crate::score::{LocalScorer, ScoreKind};
-use fastbn_data::{Dataset, Layout};
+#[cfg(test)]
+use fastbn_data::Dataset;
+use fastbn_data::{DataStore, Layout};
 use fastbn_graph::{Dag, UGraph};
 use fastbn_parallel::{run_steal_pool, shard_by_key, StealPool, StepResult, Team};
 use fastbn_stats::EngineSelect;
@@ -373,7 +375,7 @@ impl HillClimb {
     }
 
     /// Search the full DAG space over `data`.
-    pub fn learn(&self, data: &Dataset) -> HillClimbResult {
+    pub fn learn(&self, data: &dyn DataStore) -> HillClimbResult {
         self.learn_restricted(data, None)
     }
 
@@ -384,7 +386,11 @@ impl HillClimb {
     ///
     /// # Panics
     /// Panics if `allowed` has a different node count than `data`.
-    pub fn learn_restricted(&self, data: &Dataset, allowed: Option<&UGraph>) -> HillClimbResult {
+    pub fn learn_restricted(
+        &self,
+        data: &dyn DataStore,
+        allowed: Option<&UGraph>,
+    ) -> HillClimbResult {
         self.learn_observed(data, allowed, &NoSearchObserver)
     }
 
@@ -398,7 +404,7 @@ impl HillClimb {
     /// Panics if `allowed` has a different node count than `data`.
     pub fn learn_observed(
         &self,
-        data: &Dataset,
+        data: &dyn DataStore,
         allowed: Option<&UGraph>,
         observer: &dyn SearchObserver,
     ) -> HillClimbResult {

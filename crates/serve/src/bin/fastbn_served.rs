@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fastbn-served [--addr HOST:PORT] [--runners N] [--queue N] [--cache N]
-//!               [--metrics-addr HOST:PORT]
+//!               [--cache-budget-mb N] [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! Serves the protocol in `docs/PROTOCOL.md` until a client sends a
@@ -26,7 +26,7 @@ use fastbn_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: fastbn-served [--addr HOST:PORT] [--runners N] [--queue N] [--cache N] \
-         [--metrics-addr HOST:PORT]"
+         [--cache-budget-mb N] [--metrics-addr HOST:PORT]"
     );
     exit(2);
 }
@@ -72,6 +72,10 @@ fn main() {
             "--runners" => cfg.runners = parse(args.next(), "--runners"),
             "--queue" => cfg.queue_capacity = parse(args.next(), "--queue"),
             "--cache" => cfg.cache_capacity = parse(args.next(), "--cache"),
+            "--cache-budget-mb" => {
+                let mb: usize = parse(args.next(), "--cache-budget-mb");
+                cfg.cache_budget_bytes = mb.saturating_mul(1024 * 1024);
+            }
             "--metrics-addr" => metrics_addr = Some(parse(args.next(), "--metrics-addr")),
             "--help" | "-h" => usage(),
             other => {

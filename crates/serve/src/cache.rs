@@ -1,4 +1,5 @@
-//! Deterministic caching of learned structures and fitted models.
+//! Deterministic caching of learned structures, fitted models, and
+//! uploaded datasets.
 //!
 //! Every cache key is a 64-bit FNV-1a hash assembled from two halves:
 //! the **dataset fingerprint** (dims, arities, names, raw column bytes)
@@ -6,12 +7,24 @@
 //! [`crate::protocol::StrategySpec::canonical_bytes`]. Because both
 //! halves are pure functions of the request, a client resending an
 //! identical request always hits, and the returned `structure_key` /
-//! `model_id` values are stable across daemon restarts.
+//! `model_id` values are stable across daemon restarts. The dataset
+//! fingerprint alone doubles as the upload-once handle handed back by
+//! `DatasetPut` — a handle *is* the content hash, nothing session-local.
 //!
 //! Calibration thread count is deliberately *excluded* from the model
 //! key: junction-tree posteriors are bitwise thread-invariant (a
 //! repo-wide invariant enforced by `fastbn-network`'s tests), so fitted
 //! models learned at different thread counts are interchangeable.
+//!
+//! ## Eviction
+//!
+//! All three maps are **byte-accounted LRU**: each entry carries an
+//! estimated resident size, a `get` refreshes recency, and an insert
+//! evicts least-recently-used entries while the map is over its entry
+//! capacity *or* its byte budget (the just-inserted entry is never
+//! evicted). Evictions, hits and resident bytes are exported through
+//! the `fastbn.serve.cache.{hits,evictions,bytes}` metrics and the
+//! `StatsOk` frame.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -26,6 +39,10 @@ use crate::protocol::{FitReply, LearnReply};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Default per-map byte budget when none is configured: generous enough
+/// that entry capacity is the binding constraint for typical workloads.
+pub const DEFAULT_BUDGET_BYTES: usize = 256 * 1024 * 1024;
 
 /// Incremental FNV-1a 64-bit hasher (dependency-free, stable).
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +81,8 @@ impl Fnv64 {
 }
 
 /// The dataset half of every cache key: a hash of dims, per-variable
-/// names and arities, and the raw column-major values.
+/// names and arities, and the raw column-major values. Also the
+/// upload-once handle returned by `DatasetPut`.
 pub fn dataset_fingerprint(data: &Dataset) -> u64 {
     let mut h = Fnv64::new();
     h.u64(data.n_vars() as u64).u64(data.n_samples() as u64);
@@ -103,6 +121,18 @@ pub struct StructureEntry {
     pub result: StructureResult,
 }
 
+impl StructureEntry {
+    /// Estimated resident bytes: edge lists (held twice — wire reply
+    /// and graph form) plus per-depth stats and fixed overhead.
+    fn cost_bytes(&self) -> usize {
+        let edges = self.reply.directed_edges.len()
+            + self.reply.undirected_edges.len()
+            + self.reply.dag_edges.as_ref().map_or(0, |e| e.len());
+        let depths = self.reply.pc_stats.as_ref().map_or(0, |s| s.depths.len());
+        edges * 2 * 16 + depths * 32 + 512
+    }
+}
+
 /// A cached fitted model: the network, its calibrated junction tree,
 /// and the reply to replay.
 pub struct ModelEntry {
@@ -115,37 +145,94 @@ pub struct ModelEntry {
     pub reply: FitReply,
 }
 
-/// A bounded FIFO map: at most `capacity` entries, oldest evicted first.
-struct BoundedMap<V> {
-    map: HashMap<u64, Arc<V>>,
-    order: VecDeque<u64>,
-    capacity: usize,
+impl ModelEntry {
+    /// Estimated resident bytes: calibrated belief tables plus CPT
+    /// tables (the two `f64` populations that dominate a model).
+    fn cost_bytes(&self) -> usize {
+        let cpt_cells: usize = (0..self.net.n())
+            .map(|v| self.net.cpt(v).raw_table().len())
+            .sum();
+        (self.tree.stats().total_belief_cells + cpt_cells) * 8 + 512
+    }
 }
 
-impl<V> BoundedMap<V> {
-    fn new(capacity: usize) -> Self {
+/// Estimated resident bytes of a cached dataset: one byte per cell plus
+/// names and fixed overhead.
+fn dataset_cost_bytes(data: &Dataset) -> usize {
+    let names: usize = data.names().iter().map(|n| n.len()).sum();
+    data.n_vars() * data.n_samples() + names + 256
+}
+
+/// A byte-accounted LRU map: at most `capacity` entries and (about)
+/// `budget_bytes` of estimated resident cost. A `get` refreshes
+/// recency; an insert evicts least-recently-used entries while over
+/// either limit, never evicting the entry just inserted.
+struct LruMap<V> {
+    map: HashMap<u64, (Arc<V>, usize)>,
+    /// Recency queue: front = least recently used, back = most recent.
+    order: VecDeque<u64>,
+    capacity: usize,
+    budget_bytes: usize,
+    bytes: usize,
+    evictions: u64,
+}
+
+impl<V> LruMap<V> {
+    fn new(capacity: usize, budget_bytes: usize) -> Self {
         Self {
             map: HashMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            budget_bytes: budget_bytes.max(1),
+            bytes: 0,
+            evictions: 0,
         }
     }
 
-    fn get(&self, key: u64) -> Option<Arc<V>> {
-        self.map.get(&key).cloned()
-    }
-
-    fn insert(&mut self, key: u64, value: Arc<V>) {
-        if self.map.insert(key, value).is_none() {
+    /// Move `key` to the most-recent position (it must be present).
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
             self.order.push_back(key);
         }
-        while self.map.len() > self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            } else {
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<V>> {
+        let found = self.map.get(&key).map(|(v, _)| v.clone());
+        if found.is_some() {
+            self.touch(key);
+        }
+        found
+    }
+
+    /// Insert (or replace) and evict LRU entries while over capacity or
+    /// budget. Returns the number of entries evicted by this call.
+    fn insert(&mut self, key: u64, value: Arc<V>, cost: usize) -> u64 {
+        match self.map.insert(key, (value, cost)) {
+            Some((_, old_cost)) => {
+                self.bytes -= old_cost;
+                self.touch(key);
+            }
+            None => self.order.push_back(key),
+        }
+        self.bytes += cost;
+        let mut evicted = 0;
+        // `len > 1` keeps the just-inserted entry (at the back) resident
+        // even when it alone exceeds the budget — an over-budget single
+        // entry is served and replaced on the next insert, not thrashed.
+        while (self.map.len() > self.capacity || self.bytes > self.budget_bytes)
+            && self.map.len() > 1
+        {
+            let Some(old) = self.order.pop_front() else {
                 break;
+            };
+            if let Some((_, old_cost)) = self.map.remove(&old) {
+                self.bytes -= old_cost;
+                evicted += 1;
             }
         }
+        self.evictions += evicted;
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -153,7 +240,7 @@ impl<V> BoundedMap<V> {
     }
 }
 
-/// Snapshot of cache hit/miss counters.
+/// Snapshot of cache hit/miss/eviction counters and resident bytes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Structure-cache hits.
@@ -164,46 +251,100 @@ pub struct CacheCounters {
     pub model_hits: u64,
     /// Model-cache misses.
     pub model_misses: u64,
+    /// Dataset-cache hits (handle lookups that found their dataset).
+    pub dataset_hits: u64,
+    /// Dataset-cache misses (handle lookups that failed).
+    pub dataset_misses: u64,
+    /// Entries evicted across all three maps.
+    pub evictions: u64,
+    /// Estimated resident bytes across all three maps.
+    pub bytes: u64,
 }
 
-/// The server's shared structure + model cache, with hit/miss counters.
+/// The server's shared structure + model + dataset cache, with
+/// hit/miss/eviction counters and byte accounting.
 pub struct ServeCache {
-    structures: Mutex<BoundedMap<StructureEntry>>,
-    models: Mutex<BoundedMap<ModelEntry>>,
+    structures: Mutex<LruMap<StructureEntry>>,
+    models: Mutex<LruMap<ModelEntry>>,
+    datasets: Mutex<LruMap<Dataset>>,
     structure_hits: AtomicU64,
     structure_misses: AtomicU64,
     model_hits: AtomicU64,
     model_misses: AtomicU64,
+    dataset_hits: AtomicU64,
+    dataset_misses: AtomicU64,
 }
 
 impl ServeCache {
-    /// An empty cache holding at most `capacity` structures and
-    /// `capacity` models (oldest-first eviction).
+    /// An empty cache holding at most `capacity` structures, `capacity`
+    /// models and `capacity` datasets under the default byte budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// An empty cache with an explicit per-map byte budget
+    /// (least-recently-used entries are evicted once a map's estimated
+    /// resident bytes exceed it).
+    pub fn with_budget(capacity: usize, budget_bytes: usize) -> Self {
         Self {
-            structures: Mutex::new(BoundedMap::new(capacity)),
-            models: Mutex::new(BoundedMap::new(capacity)),
+            structures: Mutex::new(LruMap::new(capacity, budget_bytes)),
+            models: Mutex::new(LruMap::new(capacity, budget_bytes)),
+            datasets: Mutex::new(LruMap::new(capacity, budget_bytes)),
             structure_hits: AtomicU64::new(0),
             structure_misses: AtomicU64::new(0),
             model_hits: AtomicU64::new(0),
             model_misses: AtomicU64::new(0),
+            dataset_hits: AtomicU64::new(0),
+            dataset_misses: AtomicU64::new(0),
         }
+    }
+
+    fn note_hit(counter: &AtomicU64, hit: bool) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            fastbn_obs::counter!("fastbn.serve.cache.hits").inc();
+        }
+    }
+
+    fn note_evictions(evicted: u64) {
+        if evicted > 0 {
+            fastbn_obs::counter!("fastbn.serve.cache.evictions").add(evicted);
+        }
+    }
+
+    /// Refresh the exported resident-bytes gauge. Called after every
+    /// insert; cheap (three lock acquisitions, no walks).
+    fn publish_bytes(&self) {
+        fastbn_obs::gauge!("fastbn.serve.cache.bytes").set(self.total_bytes() as i64);
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.structures.lock().unwrap().bytes
+            + self.models.lock().unwrap().bytes
+            + self.datasets.lock().unwrap().bytes
     }
 
     /// Look up a learned structure, counting the hit or miss.
     pub fn get_structure(&self, key: u64) -> Option<Arc<StructureEntry>> {
         let found = self.structures.lock().unwrap().get(key);
         match &found {
-            Some(_) => self.structure_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.structure_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => Self::note_hit(&self.structure_hits, true),
+            None => Self::note_hit(&self.structure_misses, false),
         };
         found
     }
 
     /// Store a freshly learned structure.
     pub fn put_structure(&self, key: u64, entry: StructureEntry) -> Arc<StructureEntry> {
+        let cost = entry.cost_bytes();
         let entry = Arc::new(entry);
-        self.structures.lock().unwrap().insert(key, entry.clone());
+        let evicted = self
+            .structures
+            .lock()
+            .unwrap()
+            .insert(key, entry.clone(), cost);
+        Self::note_evictions(evicted);
+        self.publish_bytes();
         entry
     }
 
@@ -211,40 +352,82 @@ impl ServeCache {
     pub fn get_model(&self, key: u64) -> Option<Arc<ModelEntry>> {
         let found = self.models.lock().unwrap().get(key);
         match &found {
-            Some(_) => self.model_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.model_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => Self::note_hit(&self.model_hits, true),
+            None => Self::note_hit(&self.model_misses, false),
         };
         found
     }
 
     /// Look up a fitted model *without* touching the hit/miss counters
     /// (used by `Infer`, which is a handle lookup, not a cache probe).
+    /// Recency is still refreshed — an actively queried model is not an
+    /// eviction candidate.
     pub fn peek_model(&self, key: u64) -> Option<Arc<ModelEntry>> {
         self.models.lock().unwrap().get(key)
     }
 
     /// Store a freshly fitted model.
     pub fn put_model(&self, key: u64, entry: ModelEntry) -> Arc<ModelEntry> {
+        let cost = entry.cost_bytes();
         let entry = Arc::new(entry);
-        self.models.lock().unwrap().insert(key, entry.clone());
+        let evicted = self.models.lock().unwrap().insert(key, entry.clone(), cost);
+        Self::note_evictions(evicted);
+        self.publish_bytes();
         entry
+    }
+
+    /// Store a dataset under its content fingerprint; the returned
+    /// `bool` reports whether an identical dataset was already resident
+    /// (the upload was redundant). Idempotent by construction — the key
+    /// is the content hash.
+    pub fn put_dataset(&self, data: Dataset) -> (u64, bool) {
+        let fp = dataset_fingerprint(&data);
+        let mut map = self.datasets.lock().unwrap();
+        // `get` (not `contains`) so a re-upload refreshes recency.
+        let already = map.get(fp).is_some();
+        if !already {
+            let cost = dataset_cost_bytes(&data);
+            let evicted = map.insert(fp, Arc::new(data), cost);
+            Self::note_evictions(evicted);
+        }
+        drop(map);
+        self.publish_bytes();
+        (fp, already)
+    }
+
+    /// Resolve an upload-once handle, counting the hit or miss.
+    pub fn get_dataset(&self, fp: u64) -> Option<Arc<Dataset>> {
+        let found = self.datasets.lock().unwrap().get(fp);
+        match &found {
+            Some(_) => Self::note_hit(&self.dataset_hits, true),
+            None => Self::note_hit(&self.dataset_misses, false),
+        };
+        found
     }
 
     /// Current counter values.
     pub fn counters(&self) -> CacheCounters {
+        let evictions = self.structures.lock().unwrap().evictions
+            + self.models.lock().unwrap().evictions
+            + self.datasets.lock().unwrap().evictions;
         CacheCounters {
             structure_hits: self.structure_hits.load(Ordering::Relaxed),
             structure_misses: self.structure_misses.load(Ordering::Relaxed),
             model_hits: self.model_hits.load(Ordering::Relaxed),
             model_misses: self.model_misses.load(Ordering::Relaxed),
+            dataset_hits: self.dataset_hits.load(Ordering::Relaxed),
+            dataset_misses: self.dataset_misses.load(Ordering::Relaxed),
+            evictions,
+            bytes: self.total_bytes() as u64,
         }
     }
 
-    /// Entry counts `(structures, models)` currently resident.
-    pub fn sizes(&self) -> (usize, usize) {
+    /// Entry counts `(structures, models, datasets)` currently resident.
+    pub fn sizes(&self) -> (usize, usize, usize) {
         (
             self.structures.lock().unwrap().len(),
             self.models.lock().unwrap().len(),
+            self.datasets.lock().unwrap().len(),
         )
     }
 }
@@ -283,20 +466,43 @@ mod tests {
     }
 
     #[test]
-    fn bounded_map_evicts_oldest_first() {
-        let mut m = BoundedMap::new(2);
-        m.insert(1, Arc::new("a"));
-        m.insert(2, Arc::new("b"));
-        m.insert(3, Arc::new("c"));
+    fn lru_map_evicts_least_recently_used() {
+        let mut m = LruMap::new(2, usize::MAX);
+        m.insert(1, Arc::new("a"), 1);
+        m.insert(2, Arc::new("b"), 1);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(m.get(1).is_some());
+        assert_eq!(m.insert(3, Arc::new("c"), 1), 1);
         assert_eq!(m.len(), 2);
-        assert!(m.get(1).is_none());
-        assert!(m.get(2).is_some());
+        assert!(m.get(2).is_none(), "LRU entry evicted, not oldest-inserted");
+        assert!(m.get(1).is_some());
         assert!(m.get(3).is_some());
         // Re-inserting an existing key must not grow the order queue.
-        m.insert(3, Arc::new("c2"));
-        m.insert(4, Arc::new("d"));
+        m.insert(3, Arc::new("c2"), 1);
+        m.insert(4, Arc::new("d"), 1);
         assert_eq!(m.len(), 2);
         assert_eq!(*m.get(3).unwrap(), "c2");
+        assert_eq!(m.evictions, 2);
+    }
+
+    #[test]
+    fn lru_map_enforces_byte_budget() {
+        let mut m = LruMap::new(100, 10);
+        m.insert(1, Arc::new("a"), 4);
+        m.insert(2, Arc::new("b"), 4);
+        assert_eq!(m.bytes, 8);
+        // 4 + 4 + 4 > 10: the LRU entry (1) goes.
+        assert_eq!(m.insert(3, Arc::new("c"), 4), 1);
+        assert_eq!(m.bytes, 8);
+        assert!(m.get(1).is_none());
+        // A single entry over the whole budget stays resident (len > 1
+        // guard) — no thrash, served until the next insert displaces it.
+        assert_eq!(m.insert(4, Arc::new("huge"), 1_000), 2);
+        assert_eq!(m.len(), 1);
+        assert!(m.get(4).is_some());
+        // Replacing a key swaps its cost instead of double-counting.
+        m.insert(4, Arc::new("small"), 2);
+        assert_eq!(m.bytes, 2);
     }
 
     #[test]
@@ -316,7 +522,25 @@ mod tests {
         let c = cache.counters();
         assert_eq!(c.model_hits, 1);
         assert_eq!(c.model_misses, 1);
-        assert_eq!(cache.sizes(), (0, 1));
+        assert!(c.bytes > 0, "model entry has nonzero estimated cost");
+        assert_eq!(cache.sizes(), (0, 1, 0));
+    }
+
+    #[test]
+    fn dataset_cache_is_idempotent_and_counts() {
+        let cache = ServeCache::new(4);
+        let (fp, already) = cache.put_dataset(tiny_dataset(0));
+        assert!(!already);
+        assert_eq!(fp, dataset_fingerprint(&tiny_dataset(0)));
+        let (fp2, already2) = cache.put_dataset(tiny_dataset(0));
+        assert_eq!(fp, fp2);
+        assert!(already2, "identical re-upload reported as redundant");
+        assert!(cache.get_dataset(fp).is_some());
+        assert!(cache.get_dataset(fp ^ 1).is_none());
+        let c = cache.counters();
+        assert_eq!(c.dataset_hits, 1);
+        assert_eq!(c.dataset_misses, 1);
+        assert_eq!(cache.sizes(), (0, 0, 1));
     }
 
     fn sample_net() -> BayesNet {

@@ -15,8 +15,9 @@ use fastbn_data::Dataset;
 use fastbn_network::Query;
 
 use crate::protocol::{
-    kind, CancelRequest, ErrorCode, ErrorReply, FitReply, FitRequest, HealthReply, InferReply,
-    InferRequest, LearnReply, LearnRequest, MetricsReply, ProgressEvent, StatsReply, StrategySpec,
+    kind, CancelRequest, DatasetPutReply, DatasetPutRequest, DatasetRef, ErrorCode, ErrorReply,
+    FitReply, FitRequest, HealthReply, InferReply, InferRequest, LearnReply, LearnRequest,
+    MetricsReply, ProgressEvent, StatsReply, StrategySpec,
 };
 use crate::wire::{encode_frame, read_frame, WireError};
 
@@ -131,6 +132,23 @@ impl Client {
         }
     }
 
+    /// Upload a dataset once; the returned fingerprint is an
+    /// upload-once handle accepted by [`Client::learn_by_handle`] and
+    /// [`Client::fit_by_handle`], so repeated jobs over the same data
+    /// stop reshipping the columns.
+    pub fn put_dataset(&mut self, dataset: &Dataset) -> Result<DatasetPutReply, ClientError> {
+        let req = DatasetPutRequest {
+            dataset: dataset.clone(),
+        };
+        let payload = self.roundtrip(
+            kind::DATASET_PUT,
+            kind::DATASET_PUT_OK,
+            &req.encode(),
+            |_| true,
+        )?;
+        Ok(DatasetPutReply::decode(&payload)?)
+    }
+
     /// Learn a structure; blocks until the reply (no progress callback).
     pub fn learn(
         &mut self,
@@ -138,6 +156,18 @@ impl Client {
         dataset: &Dataset,
     ) -> Result<LearnReply, ClientError> {
         self.learn_with_progress(strategy, dataset, |_| true)
+    }
+
+    /// [`Client::learn`] by upload-once handle: ships 9 bytes of
+    /// dataset reference instead of the columns. Fails with
+    /// [`ErrorCode::UnknownDataset`] if the daemon no longer holds the
+    /// dataset (evicted, or never uploaded) — `put_dataset` and retry.
+    pub fn learn_by_handle(
+        &mut self,
+        strategy: StrategySpec,
+        handle: u64,
+    ) -> Result<LearnReply, ClientError> {
+        self.learn_ref(strategy, DatasetRef::Handle(handle), |_| true)
     }
 
     /// Learn a structure, streaming progress events to `on_event`.
@@ -148,10 +178,16 @@ impl Client {
         dataset: &Dataset,
         on_event: impl FnMut(&ProgressEvent) -> bool,
     ) -> Result<LearnReply, ClientError> {
-        let req = LearnRequest {
-            strategy,
-            dataset: dataset.clone(),
-        };
+        self.learn_ref(strategy, DatasetRef::Inline(dataset.clone()), on_event)
+    }
+
+    fn learn_ref(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: DatasetRef,
+        on_event: impl FnMut(&ProgressEvent) -> bool,
+    ) -> Result<LearnReply, ClientError> {
+        let req = LearnRequest { strategy, dataset };
         let payload = self.roundtrip(kind::LEARN, kind::LEARN_OK, &req.encode(), on_event)?;
         Ok(LearnReply::decode(&payload)?)
     }
@@ -168,6 +204,24 @@ impl Client {
         self.fit_with_progress(strategy, dataset, smoothing, calibrate_threads, |_| true)
     }
 
+    /// [`Client::fit`] by upload-once handle (see
+    /// [`Client::learn_by_handle`]).
+    pub fn fit_by_handle(
+        &mut self,
+        strategy: StrategySpec,
+        handle: u64,
+        smoothing: f64,
+        calibrate_threads: u16,
+    ) -> Result<FitReply, ClientError> {
+        self.fit_ref(
+            strategy,
+            DatasetRef::Handle(handle),
+            smoothing,
+            calibrate_threads,
+            |_| true,
+        )
+    }
+
     /// Fit a model, streaming progress events to `on_event`. Returning
     /// `false` cancels the job.
     pub fn fit_with_progress(
@@ -178,9 +232,26 @@ impl Client {
         calibrate_threads: u16,
         on_event: impl FnMut(&ProgressEvent) -> bool,
     ) -> Result<FitReply, ClientError> {
+        self.fit_ref(
+            strategy,
+            DatasetRef::Inline(dataset.clone()),
+            smoothing,
+            calibrate_threads,
+            on_event,
+        )
+    }
+
+    fn fit_ref(
+        &mut self,
+        strategy: StrategySpec,
+        dataset: DatasetRef,
+        smoothing: f64,
+        calibrate_threads: u16,
+        on_event: impl FnMut(&ProgressEvent) -> bool,
+    ) -> Result<FitReply, ClientError> {
         let req = FitRequest {
             strategy,
-            dataset: dataset.clone(),
+            dataset,
             smoothing,
             calibrate_threads,
         };

@@ -47,7 +47,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    ErrorCode, FitReply, HealthReply, InferReply, JobPhase, LearnReply, MetricsReply,
-    ProgressEvent, StatsReply, StrategySpec,
+    DatasetPutReply, DatasetRef, ErrorCode, FitReply, HealthReply, InferReply, JobPhase,
+    LearnReply, MetricsReply, ProgressEvent, StatsReply, StrategySpec,
 };
 pub use server::{ServeConfig, Server, ServerHandle};

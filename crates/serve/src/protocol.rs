@@ -36,6 +36,11 @@ pub mod kind {
     /// Request: a snapshot of the process-wide metrics registry
     /// (answered inline, never queued).
     pub const METRICS: u8 = 0x08;
+    /// Request: upload a dataset once and receive its content
+    /// fingerprint as a reusable handle (answered inline). Subsequent
+    /// `Learn`/`Fit` requests can reference the handle instead of
+    /// reshipping the columns (v3).
+    pub const DATASET_PUT: u8 = 0x09;
 
     /// Event: job progress (phase, iteration, score, counters).
     pub const EVENT_PROGRESS: u8 = 0x41;
@@ -56,6 +61,8 @@ pub mod kind {
     pub const SHUTDOWN_OK: u8 = 0x87;
     /// Response to [`METRICS`].
     pub const METRICS_OK: u8 = 0x88;
+    /// Response to [`DATASET_PUT`].
+    pub const DATASET_PUT_OK: u8 = 0x89;
 
     /// Error response (any request kind).
     pub const ERROR: u8 = 0xE0;
@@ -80,6 +87,9 @@ pub enum ErrorCode {
     Internal = 6,
     /// The daemon is shutting down and no longer accepts jobs.
     ShuttingDown = 7,
+    /// `Learn`/`Fit` referenced a dataset handle not in the dataset
+    /// cache (v3). Re-upload with `DatasetPut` and retry.
+    UnknownDataset = 8,
 }
 
 impl ErrorCode {
@@ -93,6 +103,7 @@ impl ErrorCode {
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::Internal,
             7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::UnknownDataset,
             other => return Err(WireError::BadTag(other as u8)),
         })
     }
@@ -167,6 +178,54 @@ pub fn decode_dataset(d: &mut Dec) -> Result<Dataset, WireError> {
     }
     Dataset::from_columns(names, arities, columns)
         .map_err(|_| WireError::OutOfBounds("dataset contents"))
+}
+
+/// How a `Learn`/`Fit` request names its training data (v3): either the
+/// full dataset inline, or the `u64` content fingerprint returned by an
+/// earlier [`kind::DATASET_PUT`] on the same daemon. Handles are pure
+/// content hashes (§7 of the spec), so a client that knows the
+/// fingerprint can skip the upload entirely; an unknown handle is
+/// answered with [`ErrorCode::UnknownDataset`].
+// The size skew vs `Handle` is fine: a `DatasetRef` lives only on the
+// request path, moved once from decode into the job.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatasetRef {
+    /// The full dataset travels in this request (tag 0).
+    Inline(Dataset),
+    /// A fingerprint handle from a prior `DatasetPut` (tag 1) — the
+    /// request ships 9 bytes instead of the columns.
+    Handle(u64),
+}
+
+impl DatasetRef {
+    /// Encode into `e`: tag byte, then the dataset or the handle.
+    pub fn encode(&self, e: &mut Enc) {
+        match self {
+            DatasetRef::Inline(data) => {
+                e.u8(0);
+                encode_dataset(e, data);
+            }
+            DatasetRef::Handle(fp) => {
+                e.u8(1).u64(*fp);
+            }
+        }
+    }
+
+    /// Decode from `d`.
+    pub fn decode(d: &mut Dec) -> Result<Self, WireError> {
+        Ok(match d.u8()? {
+            0 => DatasetRef::Inline(decode_dataset(d)?),
+            1 => DatasetRef::Handle(d.u64()?),
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+impl From<Dataset> for DatasetRef {
+    fn from(data: Dataset) -> Self {
+        DatasetRef::Inline(data)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -494,8 +553,8 @@ impl StrategySpec {
 pub struct LearnRequest {
     /// Which learner family and knobs to run.
     pub strategy: StrategySpec,
-    /// The training data, inline.
-    pub dataset: Dataset,
+    /// The training data — inline or by fingerprint handle (v3).
+    pub dataset: DatasetRef,
 }
 
 impl LearnRequest {
@@ -503,7 +562,7 @@ impl LearnRequest {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         self.strategy.encode(&mut e);
-        encode_dataset(&mut e, &self.dataset);
+        self.dataset.encode(&mut e);
         e.into_bytes()
     }
 
@@ -511,9 +570,76 @@ impl LearnRequest {
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut d = Dec::new(payload);
         let strategy = StrategySpec::decode(&mut d)?;
-        let dataset = decode_dataset(&mut d)?;
+        let dataset = DatasetRef::decode(&mut d)?;
         d.finish()?;
         Ok(Self { strategy, dataset })
+    }
+}
+
+/// Payload of a [`kind::DATASET_PUT`] request: upload a dataset once,
+/// get its content fingerprint back as an upload-once handle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetPutRequest {
+    /// The dataset to cache server-side.
+    pub dataset: Dataset,
+}
+
+impl DatasetPutRequest {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        encode_dataset(&mut e, &self.dataset);
+        e.into_bytes()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(payload);
+        let dataset = decode_dataset(&mut d)?;
+        d.finish()?;
+        Ok(Self { dataset })
+    }
+}
+
+/// Payload of a [`kind::DATASET_PUT_OK`] response. The fingerprint is
+/// the same content hash used in every cache key (§7 of the spec), so
+/// it is stable across connections and daemon restarts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetPutReply {
+    /// The dataset's content fingerprint — pass as
+    /// [`DatasetRef::Handle`] in later `Learn`/`Fit` requests.
+    pub fingerprint: u64,
+    /// Variable count of the uploaded dataset (echo, for sanity checks).
+    pub n_vars: u32,
+    /// Sample count of the uploaded dataset.
+    pub n_samples: u64,
+    /// Was an identical dataset already resident? (`true` = this upload
+    /// was redundant; the cached copy is reused.)
+    pub already_cached: bool,
+}
+
+impl DatasetPutReply {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.fingerprint)
+            .u32(self.n_vars)
+            .u64(self.n_samples)
+            .u8(self.already_cached as u8);
+        e.into_bytes()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(payload);
+        let reply = Self {
+            fingerprint: d.u64()?,
+            n_vars: d.u32()?,
+            n_samples: d.u64()?,
+            already_cached: d.u8()? != 0,
+        };
+        d.finish()?;
+        Ok(reply)
     }
 }
 
@@ -524,8 +650,8 @@ impl LearnRequest {
 pub struct FitRequest {
     /// Which learner family and knobs produce the structure.
     pub strategy: StrategySpec,
-    /// The training data, inline.
-    pub dataset: Dataset,
+    /// The training data — inline or by fingerprint handle (v3).
+    pub dataset: DatasetRef,
     /// Laplace smoothing pseudo-count (≥ 0).
     pub smoothing: f64,
     /// Worker threads for junction-tree calibration.
@@ -537,7 +663,7 @@ impl FitRequest {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         self.strategy.encode(&mut e);
-        encode_dataset(&mut e, &self.dataset);
+        self.dataset.encode(&mut e);
         e.f64(self.smoothing).u16(self.calibrate_threads);
         e.into_bytes()
     }
@@ -546,7 +672,7 @@ impl FitRequest {
     pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
         let mut d = Dec::new(payload);
         let strategy = StrategySpec::decode(&mut d)?;
-        let dataset = decode_dataset(&mut d)?;
+        let dataset = DatasetRef::decode(&mut d)?;
         let smoothing = d.f64()?;
         if smoothing.is_nan() || smoothing < 0.0 {
             return Err(WireError::OutOfBounds("smoothing"));
@@ -1180,6 +1306,17 @@ pub struct StatsReply {
     pub engine_tiled_picks: u64,
     /// Count queries answered by the bitmap engine, process-wide (v2).
     pub engine_bitmap_picks: u64,
+    /// Dataset-cache hits — handle lookups that found their dataset
+    /// resident (v3).
+    pub dataset_hits: u64,
+    /// Dataset-cache misses — handle lookups answered with
+    /// `UnknownDataset` (v3).
+    pub dataset_misses: u64,
+    /// Entries evicted from the structure/model/dataset caches since
+    /// daemon start (v3).
+    pub cache_evictions: u64,
+    /// Estimated resident bytes across the three server caches (v3).
+    pub cache_bytes: u64,
     /// Jobs currently executing.
     pub jobs_running: u32,
     /// Jobs admitted but not yet running.
@@ -1208,6 +1345,10 @@ impl StatsReply {
             .u64(self.moves_carried)
             .u64(self.engine_tiled_picks)
             .u64(self.engine_bitmap_picks)
+            .u64(self.dataset_hits)
+            .u64(self.dataset_misses)
+            .u64(self.cache_evictions)
+            .u64(self.cache_bytes)
             .u32(self.jobs_running)
             .u32(self.jobs_queued);
         e.into_bytes()
@@ -1235,6 +1376,10 @@ impl StatsReply {
             moves_carried: d.u64()?,
             engine_tiled_picks: d.u64()?,
             engine_bitmap_picks: d.u64()?,
+            dataset_hits: d.u64()?,
+            dataset_misses: d.u64()?,
+            cache_evictions: d.u64()?,
+            cache_bytes: d.u64()?,
             jobs_running: d.u32()?,
             jobs_queued: d.u32()?,
         };
@@ -1447,24 +1592,67 @@ mod tests {
 
     #[test]
     fn learn_request_round_trips() {
-        let req = LearnRequest {
-            strategy: StrategySpec::hybrid(2),
-            dataset: sample_dataset(),
-        };
-        let back = LearnRequest::decode(&req.encode()).unwrap();
-        assert_eq!(back, req);
+        for dataset in [
+            DatasetRef::Inline(sample_dataset()),
+            DatasetRef::Handle(0xFEED_F00D_DEAD_BEEF),
+        ] {
+            let req = LearnRequest {
+                strategy: StrategySpec::hybrid(2),
+                dataset,
+            };
+            let back = LearnRequest::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
     }
 
     #[test]
     fn fit_request_round_trips() {
-        let req = FitRequest {
-            strategy: StrategySpec::pc(1),
+        for dataset in [DatasetRef::Inline(sample_dataset()), DatasetRef::Handle(42)] {
+            let req = FitRequest {
+                strategy: StrategySpec::pc(1),
+                dataset,
+                smoothing: 0.5,
+                calibrate_threads: 2,
+            };
+            let back = FitRequest::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn handle_requests_are_small() {
+        // The whole point of upload-once handles: a by-handle learn
+        // request must not scale with the dataset (9 bytes of dataset
+        // reference vs names + arities + n_vars × n_samples inline).
+        let strategy = StrategySpec::pc(1);
+        let inline = LearnRequest {
+            strategy: strategy.clone(),
+            dataset: DatasetRef::Inline(sample_dataset()),
+        }
+        .encode();
+        let by_handle = LearnRequest {
+            strategy: strategy.clone(),
+            dataset: DatasetRef::Handle(1),
+        }
+        .encode();
+        assert_eq!(by_handle.len(), strategy.canonical_bytes().len() + 9);
+        assert!(by_handle.len() < inline.len());
+    }
+
+    #[test]
+    fn dataset_put_round_trips() {
+        let req = DatasetPutRequest {
             dataset: sample_dataset(),
-            smoothing: 0.5,
-            calibrate_threads: 2,
         };
-        let back = FitRequest::decode(&req.encode()).unwrap();
-        assert_eq!(back, req);
+        assert_eq!(DatasetPutRequest::decode(&req.encode()).unwrap(), req);
+
+        let reply = DatasetPutReply {
+            fingerprint: 0xABCD_EF01_2345_6789,
+            n_vars: 2,
+            n_samples: 4,
+            already_cached: true,
+        };
+        assert_eq!(DatasetPutReply::decode(&reply.encode()).unwrap(), reply);
     }
 
     #[test]
@@ -1553,6 +1741,10 @@ mod tests {
             moves_carried: 300,
             engine_tiled_picks: 20,
             engine_bitmap_picks: 10,
+            dataset_hits: 6,
+            dataset_misses: 1,
+            cache_evictions: 3,
+            cache_bytes: 4096,
             ..StatsReply::default()
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);
@@ -1619,7 +1811,13 @@ mod tests {
         let bytes = e.into_bytes();
         assert!(StrategySpec::decode(&mut Dec::new(&bytes)).is_err());
         assert!(ErrorCode::from_u16(0).is_err());
+        assert!(ErrorCode::from_u16(9).is_err());
+        assert_eq!(ErrorCode::from_u16(8).unwrap(), ErrorCode::UnknownDataset);
         assert!(JobPhase::from_u8(9).is_err());
+        let mut e = Enc::new();
+        e.u8(2); // no such dataset-ref tag
+        let bytes = e.into_bytes();
+        assert!(DatasetRef::decode(&mut Dec::new(&bytes)).is_err());
     }
 
     #[test]

@@ -42,13 +42,17 @@ use fastbn_core::{
 use fastbn_network::JoinTree;
 use fastbn_parallel::{CancelToken, JobHandle, JobPool};
 
+use fastbn_data::Dataset;
+
 use crate::cache::{
     dataset_fingerprint, model_key, structure_key, ModelEntry, ServeCache, StructureEntry,
+    DEFAULT_BUDGET_BYTES,
 };
 use crate::protocol::{
-    kind, CancelReply, CancelRequest, ErrorCode, ErrorReply, FitReply, FitRequest, HealthReply,
-    InferReply, InferRequest, JobPhase, LearnReply, LearnRequest, MetricsReply, ProgressEvent,
-    StatsReply, WireDepthStats, WirePcStats, WireSearchStats,
+    kind, CancelReply, CancelRequest, DatasetPutReply, DatasetPutRequest, DatasetRef, ErrorCode,
+    ErrorReply, FitReply, FitRequest, HealthReply, InferReply, InferRequest, JobPhase, LearnReply,
+    LearnRequest, MetricsReply, ProgressEvent, StatsReply, WireDepthStats, WirePcStats,
+    WireSearchStats,
 };
 use crate::wire::{encode_frame, Frame, FrameDecoder, PROTOCOL_VERSION};
 
@@ -68,8 +72,12 @@ pub struct ServeConfig {
     pub runners: usize,
     /// Admitted-but-not-running jobs before `Busy` rejection (min 1).
     pub queue_capacity: usize,
-    /// Structures and models retained per cache (oldest evicted first).
+    /// Structures, models and datasets retained per cache
+    /// (least-recently-used evicted first).
     pub cache_capacity: usize,
+    /// Per-cache byte budget: least-recently-used entries are evicted
+    /// once a cache's estimated resident bytes exceed it.
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +86,7 @@ impl Default for ServeConfig {
             runners: 2,
             queue_capacity: 8,
             cache_capacity: 64,
+            cache_budget_bytes: DEFAULT_BUDGET_BYTES,
         }
     }
 }
@@ -95,9 +104,15 @@ impl ServeConfig {
         self
     }
 
-    /// Set the cache capacity (structures and models each).
+    /// Set the cache capacity (structures, models and datasets each).
     pub fn with_cache_capacity(mut self, cap: usize) -> Self {
         self.cache_capacity = cap;
+        self
+    }
+
+    /// Set the per-cache byte budget.
+    pub fn with_cache_budget_bytes(mut self, budget: usize) -> Self {
+        self.cache_budget_bytes = budget;
         self
     }
 }
@@ -177,8 +192,28 @@ impl Shared {
             moves_carried: self.counters.moves_carried.load(Ordering::Relaxed),
             engine_tiled_picks: pick("fastbn.stats.engine.tiled_picks"),
             engine_bitmap_picks: pick("fastbn.stats.engine.bitmap_picks"),
+            dataset_hits: cache.dataset_hits,
+            dataset_misses: cache.dataset_misses,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.bytes,
             jobs_running: self.pool.running() as u32,
             jobs_queued: self.pool.queued() as u32,
+        }
+    }
+
+    /// Resolve a request's dataset reference: inline datasets are
+    /// fingerprinted on the spot; handles are looked up in the dataset
+    /// cache (a miss is the client's signal to `DatasetPut` and retry).
+    fn resolve_dataset(&self, dref: DatasetRef) -> Result<(u64, Arc<Dataset>), ErrorReply> {
+        match dref {
+            DatasetRef::Inline(data) => Ok((dataset_fingerprint(&data), Arc::new(data))),
+            DatasetRef::Handle(fp) => match self.cache.get_dataset(fp) {
+                Some(data) => Ok((fp, data)),
+                None => Err(ErrorReply {
+                    code: ErrorCode::UnknownDataset,
+                    message: format!("no cached dataset {fp:#018x}"),
+                }),
+            },
         }
     }
 
@@ -306,7 +341,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             pool: JobPool::new(cfg.runners, cfg.queue_capacity),
-            cache: ServeCache::new(cfg.cache_capacity),
+            cache: ServeCache::with_budget(cfg.cache_capacity, cfg.cache_budget_bytes),
             counters: Counters::default(),
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -500,6 +535,32 @@ fn dispatch(shared: &Arc<Shared>, tx: &Sender<ConnEvent>, pending: &Pending, fra
             shared.shutdown.store(true, Ordering::SeqCst);
             reply(tx, id, kind::SHUTDOWN_OK, Vec::new());
         }
+        // Answered inline: the upload already paid its cost on the wire;
+        // fingerprinting + one map insert never needs a runner slot.
+        kind::DATASET_PUT => match DatasetPutRequest::decode(&frame.payload) {
+            Ok(req) => {
+                if req.dataset.n_vars() < 2 {
+                    fail(tx, id, ErrorCode::BadRequest, "need at least 2 variables");
+                    return;
+                }
+                let n_vars = req.dataset.n_vars() as u32;
+                let n_samples = req.dataset.n_samples() as u64;
+                let (fingerprint, already_cached) = shared.cache.put_dataset(req.dataset);
+                reply(
+                    tx,
+                    id,
+                    kind::DATASET_PUT_OK,
+                    DatasetPutReply {
+                        fingerprint,
+                        n_vars,
+                        n_samples,
+                        already_cached,
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => fail(tx, id, ErrorCode::Malformed, e.to_string()),
+        },
         kind::CANCEL => match CancelRequest::decode(&frame.payload) {
             Ok(req) => {
                 let found = match pending.lock().unwrap().get(&req.target_request_id) {
@@ -663,14 +724,18 @@ fn run_learn(
     req: LearnRequest,
 ) {
     let t0 = Instant::now();
-    if req.dataset.n_vars() < 2 {
+    let (fp, dataset) = match shared.resolve_dataset(req.dataset) {
+        Ok(resolved) => resolved,
+        Err(err) => {
+            let _ = tx.send(ConnEvent::Failure(id, err));
+            return;
+        }
+    };
+    if dataset.n_vars() < 2 {
         fail(tx, id, ErrorCode::BadRequest, "need at least 2 variables");
         return;
     }
-    let key = structure_key(
-        dataset_fingerprint(&req.dataset),
-        &req.strategy.canonical_bytes(),
-    );
+    let key = structure_key(fp, &req.strategy.canonical_bytes());
     if let Some(entry) = shared.cache.get_structure(key) {
         let mut reply = entry.reply.clone();
         reply.cache_hit = true;
@@ -683,7 +748,7 @@ fn run_learn(
         cancel: cancel.clone(),
     };
     let strategy = req.strategy.to_strategy();
-    let result = learn_structure_observed(&req.dataset, &strategy, &sink);
+    let result = learn_structure_observed(&*dataset, &strategy, &sink);
     if cancel.is_cancelled() {
         shared
             .counters
@@ -720,14 +785,18 @@ fn run_fit(
     req: FitRequest,
 ) {
     let t0 = Instant::now();
-    if req.dataset.n_vars() < 2 {
+    let (fp, dataset) = match shared.resolve_dataset(req.dataset) {
+        Ok(resolved) => resolved,
+        Err(err) => {
+            let _ = tx.send(ConnEvent::Failure(id, err));
+            return;
+        }
+    };
+    if dataset.n_vars() < 2 {
         fail(tx, id, ErrorCode::BadRequest, "need at least 2 variables");
         return;
     }
-    let skey = structure_key(
-        dataset_fingerprint(&req.dataset),
-        &req.strategy.canonical_bytes(),
-    );
+    let skey = structure_key(fp, &req.strategy.canonical_bytes());
     let mkey = model_key(skey, req.smoothing);
     if let Some(model) = shared.cache.get_model(mkey) {
         let mut reply = model.reply;
@@ -743,7 +812,7 @@ fn run_fit(
     let structure = match shared.cache.get_structure(skey) {
         Some(entry) => entry,
         None => {
-            let result = learn_structure_observed(&req.dataset, &req.strategy.to_strategy(), &sink);
+            let result = learn_structure_observed(&*dataset, &req.strategy.to_strategy(), &sink);
             if cancel.is_cancelled() {
                 shared
                     .counters
@@ -761,7 +830,7 @@ fn run_fit(
     };
     sink.send(ProgressEvent::phase_entry(JobPhase::Fit));
     let t_fit = Instant::now();
-    let net = structure.result.fit(&req.dataset, req.smoothing, "served");
+    let net = structure.result.fit(&dataset, req.smoothing, "served");
     let fit_micros = t_fit.elapsed().as_micros() as u64;
     if cancel.is_cancelled() {
         shared

@@ -16,7 +16,7 @@ use fastbn_network::{zoo, JoinTree, Query};
 use fastbn_score::ScoreKind;
 use fastbn_serve::protocol::{kind, ErrorReply, HcSpec, LearnRequest};
 use fastbn_serve::wire::{encode_frame, read_frame};
-use fastbn_serve::{Client, ErrorCode, JobPhase, ServeConfig, Server, StrategySpec};
+use fastbn_serve::{Client, DatasetRef, ErrorCode, JobPhase, ServeConfig, Server, StrategySpec};
 
 fn alarm_sample(rows: usize) -> Dataset {
     zoo::by_name("alarm", 7)
@@ -213,7 +213,7 @@ fn full_admission_queue_rejects_with_busy() {
                 seed: id as u64,
                 ..HcSpec::default()
             }),
-            dataset: data.clone(),
+            dataset: DatasetRef::Inline(data.clone()),
         };
         stream
             .write_all(&encode_frame(kind::LEARN, id, &req.encode()))
@@ -319,6 +319,87 @@ fn health_stats_and_error_paths() {
     assert!(stats.jobs_accepted >= 3);
     assert_eq!(stats.model_misses, 1);
     assert!(stats.queries_answered >= 1);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits");
+}
+
+/// Upload-once dataset handles: `DatasetPut` returns the content
+/// fingerprint, by-handle `Learn`/`Fit` produce byte-identical replies
+/// to the inline forms without reshipping the columns, and unknown
+/// handles fail with `UnknownDataset`.
+#[test]
+fn dataset_handles_avoid_reshipping_columns() {
+    let data = alarm_sample(1000);
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let put = client.put_dataset(&data).expect("put dataset");
+    assert!(!put.already_cached);
+    assert_eq!(put.n_vars as usize, data.n_vars());
+    assert_eq!(put.n_samples as usize, data.n_samples());
+    // Idempotent: a re-upload reports the cached copy and the same
+    // fingerprint (it is a pure content hash).
+    let reput = client.put_dataset(&data).expect("re-put dataset");
+    assert!(reput.already_cached);
+    assert_eq!(reput.fingerprint, put.fingerprint);
+
+    // A by-handle learn ships 9 bytes of dataset reference instead of
+    // the columns — the whole point of the handle.
+    let spec = StrategySpec::pc(2);
+    let inline_req = LearnRequest {
+        strategy: spec.clone(),
+        dataset: DatasetRef::Inline(data.clone()),
+    }
+    .encode();
+    let handle_req = LearnRequest {
+        strategy: spec.clone(),
+        dataset: DatasetRef::Handle(put.fingerprint),
+    }
+    .encode();
+    assert!(
+        handle_req.len() < 64 && handle_req.len() * 100 < inline_req.len(),
+        "by-handle request ({} B) must be tiny next to inline ({} B)",
+        handle_req.len(),
+        inline_req.len()
+    );
+
+    // Replies are interchangeable with the inline form: same structure
+    // key (the handle IS the dataset fingerprint), same edges, same
+    // score bits; the second request hits the structure cache.
+    let by_handle = client
+        .learn_by_handle(spec.clone(), put.fingerprint)
+        .expect("learn by handle");
+    let inline = client.learn(spec.clone(), &data).expect("learn inline");
+    assert!(inline.cache_hit, "inline learn reuses the by-handle result");
+    assert_eq!(by_handle.structure_key, inline.structure_key);
+    assert_eq!(by_handle.directed_edges, inline.directed_edges);
+    assert_eq!(by_handle.undirected_edges, inline.undirected_edges);
+    assert_eq!(
+        by_handle.score.map(f64::to_bits),
+        inline.score.map(f64::to_bits)
+    );
+
+    // Fit by handle works the same way and yields a usable model.
+    let fitted = client
+        .fit_by_handle(spec.clone(), put.fingerprint, 1.0, 2)
+        .expect("fit by handle");
+    let answers = client
+        .infer(fitted.model_id, vec![Query::marginal(0)])
+        .expect("infer on by-handle model");
+    assert_eq!(answers.results.len(), 1);
+
+    // Unknown handles are a distinct, retryable error.
+    let err = client
+        .learn_by_handle(spec, 0xBAD0_BAD0_BAD0_BAD0)
+        .expect_err("unknown handle");
+    assert!(err.is_code(ErrorCode::UnknownDataset), "got: {err}");
+
+    // Stats surface the dataset-cache traffic and byte accounting.
+    let stats = client.stats().expect("stats");
+    assert!(stats.dataset_hits >= 2, "handle learns + fit count as hits");
+    assert_eq!(stats.dataset_misses, 1);
+    assert!(stats.cache_bytes > 0);
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server exits");
@@ -456,12 +537,12 @@ fn protocol_doc_example_is_accurate() {
         1,
         &LearnRequest {
             strategy: spec,
-            dataset,
+            dataset: DatasetRef::Inline(dataset),
         }
         .encode(),
     );
-    let doc_request = "38000000020101000000009a9999999999a93f01000000000000000002000000\
-                       04000000000000000100000061020100000062020001010000010100";
+    let doc_request = "39000000030101000000009a9999999999a93f01000000000000000000020000\
+                       0004000000000000000100000061020100000062020001010000010100";
     assert_eq!(hex(&request_frame), doc_request);
 
     // Run the exchange for real; zero the (run-varying) timing fields,
@@ -488,7 +569,7 @@ fn protocol_doc_example_is_accurate() {
         }
     }
     let reply_frame = encode_frame(kind::LEARN_OK, 1, &reply.encode());
-    let doc_reply = "570000000281010000003b594147047e8a2d0002000000000000000100000000\
+    let doc_reply = "570000000381010000003b594147047e8a2d0002000000000000000100000000\
                      0000000100000000000101000000000000000100000000000000010000000000\
                      000000000000000000000000000000000000000000000000000000";
     assert_eq!(hex(&reply_frame), doc_reply);

@@ -27,7 +27,7 @@ use crate::contingency::ContingencyTable;
 use crate::engine::{CountingBackend, FillSpec};
 use crate::gsq::{g2_degrees_of_freedom_scratch, g2_statistic_scratch};
 use crate::pearson::x2_statistic_scratch;
-use fastbn_data::{Dataset, Layout};
+use fastbn_data::{DataStore, Layout};
 
 /// Sample-block size for tiled batch fills: every batched counting path
 /// (the CI-test group fill, the depth-0 marginal sweep, the score
@@ -125,7 +125,7 @@ impl TableArena {
     pub fn fill(
         &mut self,
         backend: &mut CountingBackend,
-        data: &Dataset,
+        data: &dyn DataStore,
         layout: Layout,
         specs: &[FillSpec<'_>],
     ) {
@@ -289,7 +289,7 @@ impl BatchedCiRunner {
     pub fn fill(
         &mut self,
         backend: &mut CountingBackend,
-        data: &Dataset,
+        data: &dyn DataStore,
         layout: Layout,
         specs: &[FillSpec<'_>],
     ) {

@@ -69,6 +69,20 @@ fn main() {
         refit.cache_hit
     );
 
+    // Upload-once dataset handle: put the dataset once, then learn by
+    // its fingerprint — a 9-byte dataset reference instead of the
+    // columns, same cached reply.
+    let put = client.put_dataset(&data).expect("put dataset");
+    let by_handle = client
+        .learn_by_handle(StrategySpec::hybrid(2), put.fingerprint)
+        .expect("learn by handle");
+    assert!(by_handle.cache_hit);
+    assert_eq!(by_handle.structure_key, learned.structure_key);
+    println!(
+        "dataset handle {:#018x} ({} rows uploaded once): by-handle learn cache_hit={}",
+        put.fingerprint, put.n_samples, by_handle.cache_hit
+    );
+
     // A posterior batch over the wire.
     let queries: Vec<Query> = (0..5).map(Query::marginal).collect();
     let answers = client.infer(fitted.model_id, queries).expect("infer");
@@ -92,6 +106,10 @@ fn main() {
     println!(
         "count engines: {} tiled picks, {} bitmap picks",
         stats.engine_tiled_picks, stats.engine_bitmap_picks
+    );
+    println!(
+        "caches: {} dataset hits, {} evictions, ~{} bytes resident",
+        stats.dataset_hits, stats.cache_evictions, stats.cache_bytes
     );
 
     // The same registry, rendered as a Prometheus text dump (what a
