@@ -8,16 +8,36 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastbn_core::skeleton::common::{build_tasks, CiEngine};
 use fastbn_core::skeleton::steal_par::run_depth0_batched;
 use fastbn_core::PcConfig;
-use fastbn_data::Layout;
+use fastbn_data::{set_default_index_kind, BitmapIndex, IndexKind, Layout};
 use fastbn_graph::UGraph;
 use fastbn_network::zoo;
 use fastbn_parallel::Team;
 use fastbn_score::{LocalScorer, ScoreKind};
+use fastbn_stats::simd::{self, SimdTier};
 use fastbn_stats::EngineSelect;
 use std::hint::black_box;
 use std::time::Duration;
 
 const ENGINES: [EngineSelect; 2] = [EngineSelect::ForceTiled, EngineSelect::ForceBitmap];
+
+/// The historical `engines/*` kernels pin the scalar kernel tier so
+/// their baselines keep meaning what they always measured; the
+/// `*_simd` / `*_compressed` kernels below opt into the vector tiers
+/// and the compressed index explicitly.
+fn pin_scalar() {
+    simd::set_forced_tier(Some(SimdTier::Scalar));
+}
+
+/// Deterministic word stream for the raw-kernel benches (xorshift64*).
+fn word_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
 
 /// All `n(n−1)/2` depth-0 marginal tables of the alarm replica in one
 /// batched sweep at t = 2 — the bitmap engine's best case (tiny tables,
@@ -31,6 +51,7 @@ fn bench_depth0(c: &mut Criterion) {
     let net = zoo::by_name("alarm", 3).expect("zoo network");
     let data = net.sample_dataset(1000, 17);
     data.bitmap_index(); // both kernels measure steady state, not the build
+    pin_scalar();
 
     for engine in ENGINES {
         let cfg = PcConfig::fast_bns_steal()
@@ -49,6 +70,7 @@ fn bench_depth0(c: &mut Criterion) {
             },
         );
     }
+    simd::set_forced_tier(None);
     group.finish();
 }
 
@@ -63,6 +85,7 @@ fn bench_ci_batch(c: &mut Criterion) {
     let net = zoo::by_name("alarm", 3).expect("zoo network");
     let data = net.sample_dataset(4000, 17);
     data.bitmap_index();
+    pin_scalar();
     let (u, v) = (1usize, 5usize);
     let conds: Vec<[usize; 2]> = (0..8)
         .map(|i| {
@@ -88,6 +111,20 @@ fn bench_ci_batch(c: &mut Criterion) {
             },
         );
     }
+
+    // Same batch under the best kernel tier the host detects — the
+    // SIMD side of the `ci_batch_bitmap` (scalar) baseline pair.
+    simd::set_forced_tier(None);
+    let cfg = PcConfig::fast_bns_seq().with_count_engine(EngineSelect::ForceBitmap);
+    group.bench_function(BenchmarkId::new("ci_batch_simd", "g8d2"), |b| {
+        let mut ci = CiEngine::new(&data, &cfg);
+        let mut decisions = Vec::new();
+        b.iter(|| {
+            decisions.clear();
+            ci.run_batch(u, v, 2, conds.len(), &conds_flat, &mut decisions);
+            black_box(decisions.iter().filter(|&&x| x).count())
+        })
+    });
     group.finish();
 }
 
@@ -102,6 +139,7 @@ fn bench_score_batch(c: &mut Criterion) {
     let net = zoo::by_name("alarm", 3).expect("zoo network");
     let data = net.sample_dataset(1000, 17);
     data.bitmap_index();
+    pin_scalar();
     let child = 5usize;
     let sets: Vec<Vec<u32>> = (0..8u32)
         .map(|i| {
@@ -129,8 +167,106 @@ fn bench_score_batch(c: &mut Criterion) {
             },
         );
     }
+
+    // The same batch against a compressed (roaring-style) bitmap index
+    // under the best kernel tier — pricing the container-specialised
+    // AND+popcount kernels against the dense baselines above.
+    simd::set_forced_tier(None);
+    set_default_index_kind(IndexKind::Compressed);
+    let comp_data = net.sample_dataset(1000, 17);
+    comp_data.bitmap_index(); // cached at build: compressed
+    set_default_index_kind(IndexKind::Dense);
+    group.bench_function(
+        BenchmarkId::new("score_batch_compressed", "alarm_1k"),
+        |b| {
+            let mut scorer = LocalScorer::with_options(
+                &comp_data,
+                ScoreKind::Bic,
+                1 << 22,
+                Layout::ColumnMajor,
+                EngineSelect::ForceBitmap,
+            );
+            b.iter(|| {
+                let sum: f64 = scorer.score_batch(child, &sets).flatten().sum();
+                black_box(sum)
+            })
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_depth0, bench_ci_batch, bench_score_batch);
+/// The raw fused AND+popcount kernel at the acceptance-gate shape
+/// (≥ 16k samples): 64 bitmap pairs of 256 words each, scalar tier vs
+/// the best tier the host detects. The `_simd` median over the
+/// `_scalar` one in `baseline.json` is the measured speedup.
+fn bench_and_popcount_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let words = 16_384 / 64; // 16k samples per bitmap
+    let mut next = word_stream(0x5eed);
+    let lhs: Vec<Vec<u64>> = (0..64)
+        .map(|_| (0..words).map(|_| next()).collect())
+        .collect();
+    let rhs: Vec<Vec<u64>> = (0..64)
+        .map(|_| (0..words).map(|_| next()).collect())
+        .collect();
+
+    for (label, tier) in [
+        ("and_popcount_scalar_16k", Some(SimdTier::Scalar)),
+        ("and_popcount_simd_16k", None),
+    ] {
+        simd::set_forced_tier(tier);
+        group.bench_function(BenchmarkId::new(label, "p64w256"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for (a, b) in lhs.iter().zip(&rhs) {
+                    sum += simd::and_popcount(a, b);
+                }
+                black_box(sum)
+            })
+        });
+    }
+    simd::set_forced_tier(None);
+    group.finish();
+}
+
+/// Index construction cost per representation — the word-accumulated
+/// column build (64 rows per flush) followed by per-block container
+/// choice for the compressed kind. Also reports nothing but time: the
+/// memory story is in `examples/calibrate.rs` and the README table.
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let net = zoo::by_name("alarm", 3).expect("zoo network");
+    let data = net.sample_dataset(16_000, 17);
+    for kind in [IndexKind::Dense, IndexKind::Compressed] {
+        set_default_index_kind(kind);
+        group.bench_function(
+            BenchmarkId::new(format!("index_build_{}", kind.name()), "alarm_16k"),
+            |b| {
+                b.iter(|| {
+                    let idx = BitmapIndex::build(&data);
+                    black_box(idx.memory_bytes())
+                })
+            },
+        );
+    }
+    set_default_index_kind(IndexKind::Dense);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_depth0,
+    bench_ci_batch,
+    bench_score_batch,
+    bench_and_popcount_kernel,
+    bench_index_build
+);
 criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Roaring-style compressed sample bitmaps: per-block container choice
+//! between dense words, sorted position arrays, and run-length encoding.
+//!
+//! A [`CompressedBitmap`] covers the same bit range as a dense
+//! `⌈n/64⌉`-word bitmap, split into [`BLOCK_BITS`]-sample blocks. Each
+//! block independently stores whichever container is smallest for its
+//! contents:
+//!
+//! * **Dense** — the raw `u64` words (8 bytes per 64 samples), right for
+//!   mixed-density blocks;
+//! * **Sparse** — the sorted `u16` local positions of the set bits
+//!   (2 bytes per sample), right for rare states (a state observed in
+//!   0.1% of samples costs ~1/30th of its dense block);
+//! * **Runs** — sorted inclusive `(start, last)` ranges (4 bytes per
+//!   run), right for sorted or near-constant stretches (a block where
+//!   every sample has the state is a single 4-byte run).
+//!
+//! The block size is 2^16 so every local coordinate fits in a `u16`,
+//! exactly the Roaring bitmap design (Chambi et al.; bnlearn-style
+//! counting backends use the same low-arity/high-sample regime this
+//! compresses best). The counting engines' AND + popcount kernels are
+//! specialised per container pair (see `fastbn_stats::simd`), so a
+//! compressed index is not just smaller but often *faster*: intersecting
+//! against a sparse or run container touches `O(payload)` words instead
+//! of `⌈n/64⌉`.
+
+/// Samples covered by one block: 2^16, so block-local positions fit `u16`.
+pub const BLOCK_BITS: usize = 1 << 16;
+
+/// Dense words per full block (`BLOCK_BITS / 64`).
+pub const BLOCK_WORDS: usize = BLOCK_BITS / 64;
+
+/// One block's container (see the module docs for the trade-offs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Block {
+    /// Raw bitmap words (the last block of a bitmap may hold fewer than
+    /// [`BLOCK_WORDS`]). Bits at positions `>= block length` are zero.
+    Dense(Vec<u64>),
+    /// Strictly ascending block-local positions of the set bits.
+    Sparse(Vec<u16>),
+    /// Disjoint, ascending, inclusive `(start, last)` runs of set bits.
+    Runs(Vec<(u16, u16)>),
+}
+
+/// A borrowed view of one block's payload — what the specialised
+/// AND + popcount kernels in `fastbn_stats::simd` dispatch on.
+#[derive(Clone, Copy, Debug)]
+pub enum BlockView<'a> {
+    /// Raw bitmap words of this block.
+    Dense(&'a [u64]),
+    /// Strictly ascending block-local set-bit positions.
+    Sparse(&'a [u16]),
+    /// Disjoint ascending inclusive `(start, last)` runs.
+    Runs(&'a [(u16, u16)]),
+}
+
+/// A compressed bitmap over `n_bits` samples (see the module docs).
+///
+/// Always semantically equal to the dense words it was built from:
+/// [`CompressedBitmap::decompress_into`] reproduces them bit-for-bit,
+/// which the round-trip proptests in `crates/data/tests` pin for every
+/// container kind, including the block-boundary and all-ones cases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedBitmap {
+    blocks: Vec<Block>,
+    n_bits: usize,
+}
+
+/// Set bits `[start, last]` (inclusive, word-local coordinates over the
+/// whole slice) in `words`.
+fn set_bit_range(words: &mut [u64], start: usize, last: usize) {
+    let (ws, we) = (start / 64, last / 64);
+    let head = !0u64 << (start % 64);
+    let tail = !0u64 >> (63 - last % 64);
+    if ws == we {
+        words[ws] |= head & tail;
+    } else {
+        words[ws] |= head;
+        for w in &mut words[ws + 1..we] {
+            *w = !0;
+        }
+        words[we] |= tail;
+    }
+}
+
+impl CompressedBitmap {
+    /// Compress dense bitmap words covering `n_bits` samples.
+    ///
+    /// Bits at positions `>= n_bits` must be zero (the invariant
+    /// [`fastbn_graph::BitSet`] maintains).
+    ///
+    /// # Panics
+    /// Panics if `words.len() != n_bits.div_ceil(64)`.
+    pub fn from_words(words: &[u64], n_bits: usize) -> Self {
+        assert_eq!(words.len(), n_bits.div_ceil(64), "word count mismatch");
+        let n_blocks = n_bits.div_ceil(BLOCK_BITS);
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            let bits = (n_bits - b * BLOCK_BITS).min(BLOCK_BITS);
+            let slice = &words[b * BLOCK_WORDS..b * BLOCK_WORDS + bits.div_ceil(64)];
+            blocks.push(Self::compress_block(slice));
+        }
+        Self { blocks, n_bits }
+    }
+
+    /// Pick the smallest container for one block's dense words.
+    ///
+    /// Byte costs: dense `8·words`, sparse `2·popcount`, runs `4·n_runs`.
+    /// Ties break deterministically sparse → runs → dense, so identical
+    /// inputs always produce identical containers on every machine.
+    fn compress_block(slice: &[u64]) -> Block {
+        let mut nnz = 0u64;
+        let mut n_runs = 0u64;
+        let mut prev_msb = 0u64;
+        for &w in slice {
+            nnz += w.count_ones() as u64;
+            // A run starts at every set bit whose predecessor is clear.
+            n_runs += (w & !((w << 1) | prev_msb)).count_ones() as u64;
+            prev_msb = w >> 63;
+        }
+        let dense_bytes = slice.len() as u64 * 8;
+        let sparse_bytes = nnz * 2;
+        let runs_bytes = n_runs * 4;
+        if sparse_bytes <= runs_bytes && sparse_bytes < dense_bytes {
+            let mut positions = Vec::with_capacity(nnz as usize);
+            for (wi, &w) in slice.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    positions.push((wi * 64 + w.trailing_zeros() as usize) as u16);
+                    w &= w - 1;
+                }
+            }
+            Block::Sparse(positions)
+        } else if runs_bytes < dense_bytes {
+            let mut runs = Vec::with_capacity(n_runs as usize);
+            let mut prev_msb = 0u64;
+            let mut open: Option<u16> = None;
+            for (wi, &w) in slice.iter().enumerate() {
+                let mut starts = w & !((w << 1) | prev_msb);
+                let next_lsb = slice.get(wi + 1).map_or(0, |&n| n & 1);
+                let mut ends = w & !((w >> 1) | (next_lsb << 63));
+                prev_msb = w >> 63;
+                // Starts and ends interleave strictly (start ≤ end within
+                // a run), so drain whichever comes next.
+                while starts != 0 || ends != 0 {
+                    let s = if starts != 0 {
+                        starts.trailing_zeros()
+                    } else {
+                        64
+                    };
+                    let e = if ends != 0 { ends.trailing_zeros() } else { 64 };
+                    if s <= e {
+                        open = Some((wi * 64 + s as usize) as u16);
+                        starts &= starts - 1;
+                    } else {
+                        let start = open.take().expect("run end without a start");
+                        runs.push((start, (wi * 64 + e as usize) as u16));
+                        ends &= ends - 1;
+                    }
+                }
+            }
+            debug_assert!(open.is_none(), "unterminated run");
+            Block::Runs(runs)
+        } else {
+            Block::Dense(slice.to_vec())
+        }
+    }
+
+    /// Samples covered (the bit range of the original dense bitmap).
+    #[inline]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of [`BLOCK_BITS`]-sample blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bits covered by block `b` (all blocks except possibly the last
+    /// cover exactly [`BLOCK_BITS`]).
+    #[inline]
+    pub fn block_bits(&self, b: usize) -> usize {
+        (self.n_bits - b * BLOCK_BITS).min(BLOCK_BITS)
+    }
+
+    /// Borrow block `b`'s payload for kernel dispatch.
+    #[inline]
+    pub fn block(&self, b: usize) -> BlockView<'_> {
+        match &self.blocks[b] {
+            Block::Dense(w) => BlockView::Dense(w),
+            Block::Sparse(p) => BlockView::Sparse(p),
+            Block::Runs(r) => BlockView::Runs(r),
+        }
+    }
+
+    /// Number of set bits, computed per container without decompressing.
+    pub fn count_ones(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Dense(w) => w.iter().map(|x| x.count_ones() as u64).sum(),
+                Block::Sparse(p) => p.len() as u64,
+                Block::Runs(r) => r.iter().map(|&(s, e)| (e - s) as u64 + 1).sum(),
+            })
+            .sum()
+    }
+
+    /// Expand back to dense words into `out` (cleared and resized to
+    /// `⌈n_bits/64⌉`), bit-identical to the words this was built from.
+    pub fn decompress_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.n_bits.div_ceil(64), 0);
+        for (b, block) in self.blocks.iter().enumerate() {
+            let wbase = b * BLOCK_WORDS;
+            match block {
+                Block::Dense(w) => out[wbase..wbase + w.len()].copy_from_slice(w),
+                Block::Sparse(p) => {
+                    for &pos in p {
+                        out[wbase + pos as usize / 64] |= 1u64 << (pos % 64);
+                    }
+                }
+                Block::Runs(r) => {
+                    let window = &mut out[wbase..wbase + self.block_bits(b).div_ceil(64)];
+                    for &(s, e) in r {
+                        set_bit_range(window, s as usize, e as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Payload bytes across all blocks — the memory the per-block
+    /// container choice minimises (excludes the constant per-block enum
+    /// overhead).
+    pub fn payload_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                Block::Dense(w) => w.len() * 8,
+                Block::Sparse(p) => p.len() * 2,
+                Block::Runs(r) => r.len() * 4,
+            })
+            .sum()
+    }
+
+    /// How many of the blocks currently use each container kind:
+    /// `(dense, sparse, runs)` — introspection for tests and the
+    /// calibration tool.
+    pub fn container_census(&self) -> (usize, usize, usize) {
+        let mut census = (0, 0, 0);
+        for b in &self.blocks {
+            match b {
+                Block::Dense(_) => census.0 += 1,
+                Block::Sparse(_) => census.1 += 1,
+                Block::Runs(_) => census.2 += 1,
+            }
+        }
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(words: &[u64], n_bits: usize) -> CompressedBitmap {
+        let cb = CompressedBitmap::from_words(words, n_bits);
+        let mut out = Vec::new();
+        cb.decompress_into(&mut out);
+        assert_eq!(out, words, "round-trip must be bit-identical");
+        assert_eq!(
+            cb.count_ones(),
+            words.iter().map(|w| w.count_ones() as u64).sum::<u64>()
+        );
+        cb
+    }
+
+    #[test]
+    fn sparse_block_chosen_for_rare_bits() {
+        let mut words = vec![0u64; 1024]; // one full block
+        words[3] = 1 << 7;
+        words[700] = 1 << 63;
+        let cb = roundtrip(&words, BLOCK_BITS);
+        assert_eq!(cb.container_census(), (0, 1, 0));
+        assert_eq!(cb.payload_bytes(), 4); // two u16 positions
+    }
+
+    #[test]
+    fn runs_block_chosen_for_constant_stretch() {
+        let words = vec![!0u64; 1024];
+        let cb = roundtrip(&words, BLOCK_BITS);
+        assert_eq!(cb.container_census(), (0, 0, 1));
+        assert_eq!(cb.payload_bytes(), 4); // one (start, last) run
+    }
+
+    #[test]
+    fn dense_block_chosen_for_mixed_density() {
+        // Alternating bits: 32768 set bits, 32768 runs — dense wins.
+        let words = vec![0x5555_5555_5555_5555u64; 1024];
+        let cb = roundtrip(&words, BLOCK_BITS);
+        assert_eq!(cb.container_census(), (1, 0, 0));
+        assert_eq!(cb.payload_bytes(), 1024 * 8);
+    }
+
+    #[test]
+    fn runs_crossing_word_boundaries() {
+        let mut words = vec![0u64; 2];
+        // Run from bit 60 to bit 70, plus an isolated bit 127.
+        set_bit_range(&mut words, 60, 70);
+        set_bit_range(&mut words, 127, 127);
+        let cb = roundtrip(&words, 128);
+        assert_eq!(cb.count_ones(), 12);
+    }
+
+    #[test]
+    fn multi_block_with_short_tail() {
+        // 2^16 + 100 bits: the second block has 100 bits / 2 words.
+        let n_bits = BLOCK_BITS + 100;
+        let mut words = vec![0u64; n_bits.div_ceil(64)];
+        set_bit_range(&mut words, BLOCK_BITS - 3, BLOCK_BITS - 1); // tail of block 0
+        set_bit_range(&mut words, BLOCK_BITS, BLOCK_BITS + 4); // head of block 1
+        let cb = roundtrip(&words, n_bits);
+        assert_eq!(cb.n_blocks(), 2);
+        assert_eq!(cb.block_bits(0), BLOCK_BITS);
+        assert_eq!(cb.block_bits(1), 100);
+        // A run may not span the block boundary: 3 bits + 5 bits.
+        assert_eq!(cb.count_ones(), 8);
+    }
+
+    #[test]
+    fn empty_and_zero_bit_maps() {
+        let cb = roundtrip(&[], 0);
+        assert_eq!(cb.n_blocks(), 0);
+        assert_eq!(cb.payload_bytes(), 0);
+        let cb = roundtrip(&[0, 0], 100);
+        assert_eq!(cb.count_ones(), 0);
+        assert_eq!(cb.payload_bytes(), 0, "all-zero block is an empty sparse");
+    }
+}

@@ -26,12 +26,16 @@
 //! so every counting backend runs out-of-core unchanged.
 
 pub mod bitmap;
+pub mod compressed;
 pub mod csv;
 pub mod dataset;
 pub mod store;
 pub mod summary;
 
-pub use bitmap::BitmapIndex;
+pub use bitmap::{
+    default_index_kind, set_default_index_kind, BitmapIndex, IndexKind, StateBits, BITMAP_INDEX_ENV,
+};
+pub use compressed::{BlockView, CompressedBitmap, BLOCK_BITS, BLOCK_WORDS};
 pub use csv::{dataset_from_csv, dataset_to_csv, CsvError};
 pub use dataset::{DataError, Dataset, Layout};
 pub use store::{

@@ -101,6 +101,19 @@ pub trait DataStore: Send + Sync {
     fn as_resident(&self) -> Option<&Dataset> {
         None
     }
+
+    /// Mean words the bitmap engine streams per state bitmap of `v`,
+    /// summed over all chunks — the word-op unit of the `Auto` engine
+    /// cost model. The default prices the dense representation
+    /// (`Σ_chunks ⌈len/64⌉`); stores that already hold a compressed
+    /// index override this with the real container payload, which is
+    /// what the specialised kernels actually touch.
+    fn bitmap_mean_state_words(&self, v: usize) -> u64 {
+        let _ = v;
+        (0..self.n_chunks())
+            .map(|i| self.chunk_range(i).len().div_ceil(64) as u64)
+            .sum()
+    }
 }
 
 impl std::fmt::Debug for dyn DataStore + '_ {
@@ -163,6 +176,13 @@ impl DataStore for Dataset {
 
     fn as_resident(&self) -> Option<&Dataset> {
         Some(self)
+    }
+
+    fn bitmap_mean_state_words(&self, v: usize) -> u64 {
+        match self.bitmap_index_if_built() {
+            Some(idx) => idx.mean_state_words(v),
+            None => Dataset::n_samples(self).div_ceil(64) as u64,
+        }
     }
 }
 
@@ -230,6 +250,10 @@ impl DataStore for ResidentStore {
 
     fn as_resident(&self) -> Option<&Dataset> {
         Some(&self.0)
+    }
+
+    fn bitmap_mean_state_words(&self, v: usize) -> u64 {
+        DataStore::bitmap_mean_state_words(&self.0, v)
     }
 }
 

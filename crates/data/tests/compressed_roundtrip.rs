@@ -1,0 +1,197 @@
+//! Round-trip property tests for the compressed bitmap containers.
+//!
+//! The compressed index is only allowed to exist because it is
+//! *semantically invisible*: `CompressedBitmap::from_words` followed by
+//! `decompress_into` must reproduce the dense words bit for bit, for
+//! every container kind the per-block chooser can emit, including the
+//! 2^16-block boundary and the all-samples-one-state run case. These
+//! tests pin that contract, plus the index-level agreement between a
+//! dense and a compressed [`BitmapIndex`] built from the same columns.
+
+use fastbn_data::{BitmapIndex, CompressedBitmap, Dataset, IndexKind, StateBits, BLOCK_BITS};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Deterministic 64-bit mixer (splitmix64) so the proptest inputs stay a
+/// compact `(seed, mode, n_bits)` triple instead of multi-kilobyte word
+/// vectors.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Build a word pattern of the given flavour over `n_bits` samples.
+///
+/// * 0 — all zeros (empty sparse containers),
+/// * 1 — all ones (the all-samples-one-state single-run case),
+/// * 2 — dense random words (dense containers win),
+/// * 3 — sparse random bits, ~1 per 500 samples (sparse containers win),
+/// * 4 — alternating random-length runs (run containers win),
+///
+/// always with the trailing bits above `n_bits` clear.
+fn pattern(mode: usize, seed: u64, n_bits: usize) -> Vec<u64> {
+    let n_words = n_bits.div_ceil(64);
+    let mut words = vec![0u64; n_words];
+    let mut s = seed;
+    match mode {
+        0 => {}
+        1 => words.fill(!0u64),
+        2 => {
+            for w in &mut words {
+                *w = mix(&mut s);
+            }
+        }
+        3 => {
+            let n_set = (n_bits / 500).max(1);
+            for _ in 0..n_set {
+                let pos = (mix(&mut s) % n_bits as u64) as usize;
+                words[pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        _ => {
+            let mut pos = 0usize;
+            let mut on = false;
+            while pos < n_bits {
+                let len = 1 + (mix(&mut s) % 200) as usize;
+                let end = (pos + len).min(n_bits);
+                if on {
+                    for p in pos..end {
+                        words[p / 64] |= 1u64 << (p % 64);
+                    }
+                }
+                on = !on;
+                pos = end;
+            }
+        }
+    }
+    if !n_bits.is_multiple_of(64) {
+        words[n_words - 1] &= !0u64 >> (64 - n_bits % 64);
+    }
+    words
+}
+
+fn assert_roundtrip(words: &[u64], n_bits: usize) -> Result<CompressedBitmap, TestCaseError> {
+    let cb = CompressedBitmap::from_words(words, n_bits);
+    let mut out = Vec::new();
+    cb.decompress_into(&mut out);
+    prop_assert_eq!(&out, words, "decompress must reproduce the input words");
+    let pop: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+    prop_assert_eq!(cb.count_ones(), pop, "count_ones must match the words");
+    prop_assert_eq!(cb.n_blocks(), n_bits.div_ceil(BLOCK_BITS));
+    Ok(cb)
+}
+
+proptest! {
+    /// Every pattern flavour × sizes straddling the 2^16-block boundary:
+    /// compress → decompress is the identity.
+    #[test]
+    fn compression_roundtrips_bit_for_bit(
+        mode in 0usize..5,
+        seed in 0u64..u64::MAX,
+        n_bits in 1usize..200_000,
+    ) {
+        let words = pattern(mode, seed, n_bits);
+        assert_roundtrip(&words, n_bits)?;
+    }
+
+    /// Exact block-boundary sizes (2^16 ± 1 word's worth and multiples)
+    /// for every flavour — the off-by-one surface of the block split.
+    #[test]
+    fn block_boundary_sizes_roundtrip(mode in 0usize..5, seed in 0u64..u64::MAX) {
+        for n_bits in [
+            BLOCK_BITS - 1,
+            BLOCK_BITS,
+            BLOCK_BITS + 1,
+            2 * BLOCK_BITS - 64,
+            2 * BLOCK_BITS,
+            2 * BLOCK_BITS + 63,
+        ] {
+            let words = pattern(mode, seed, n_bits);
+            assert_roundtrip(&words, n_bits)?;
+        }
+    }
+
+    /// A dense and a compressed index built from the same column-major
+    /// block expose bit-identical state bitmaps, and the compressed
+    /// memory accounting never exceeds the dense payload it replaced.
+    #[test]
+    fn index_kinds_agree_state_for_state(
+        n_rows in 1usize..4_000,
+        arity in 2u8..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut s = seed;
+        let col: Vec<u8> = (0..n_rows).map(|_| (mix(&mut s) % arity as u64) as u8).collect();
+        let arities = [arity];
+        let dense = BitmapIndex::build_cols_with(IndexKind::Dense, n_rows, &arities, &col);
+        let comp = BitmapIndex::build_cols_with(IndexKind::Compressed, n_rows, &arities, &col);
+        prop_assert_eq!(comp.kind(), IndexKind::Compressed);
+        let mut buf = Vec::new();
+        for state in 0..arity as usize {
+            match comp.state_bits(0, state) {
+                StateBits::Compressed(cb) => {
+                    cb.decompress_into(&mut buf);
+                    prop_assert_eq!(&buf[..], dense.words(0, state), "state {}", state);
+                }
+                StateBits::Dense(_) => prop_assert!(false, "compressed index returned dense bits"),
+            }
+        }
+        prop_assert!(comp.memory_bytes() <= dense.memory_bytes());
+    }
+}
+
+/// The all-samples-one-state column: each state bitmap is a single run
+/// (all ones or all zeros), so the compressed index collapses to a few
+/// bytes per block regardless of the sample count.
+#[test]
+fn constant_column_compresses_to_runs() {
+    let n_rows = BLOCK_BITS + 777; // straddle a block boundary
+    let col = vec![1u8; n_rows];
+    let comp = BitmapIndex::build_cols_with(IndexKind::Compressed, n_rows, &[3], &col);
+    let dense = BitmapIndex::build_cols_with(IndexKind::Dense, n_rows, &[3], &col);
+    let mut buf = Vec::new();
+    for state in 0..3usize {
+        let StateBits::Compressed(cb) = comp.state_bits(0, state) else {
+            panic!("compressed index returned dense bits");
+        };
+        cb.decompress_into(&mut buf);
+        assert_eq!(buf, dense.words(0, state), "state {state}");
+        if state == 1 {
+            // All samples set: one run per block, 4 bytes each.
+            assert_eq!(cb.count_ones(), n_rows as u64);
+            assert_eq!(cb.payload_bytes(), 4 * cb.n_blocks());
+            let (d, s, r) = cb.container_census();
+            assert_eq!((d, s, r), (0, 0, 2), "both blocks are run containers");
+        } else {
+            // Never observed: empty sparse containers, zero payload.
+            assert_eq!(cb.count_ones(), 0);
+            assert_eq!(cb.payload_bytes(), 0);
+        }
+    }
+    // ISSUE acceptance shape: ≥ 4x smaller on near-constant data.
+    assert!(
+        comp.memory_bytes() * 4 <= dense.memory_bytes(),
+        "compressed {} vs dense {}",
+        comp.memory_bytes(),
+        dense.memory_bytes()
+    );
+}
+
+/// `Dataset::bitmap_index` honours the process default kind at first
+/// build and caches that representation.
+#[test]
+fn dataset_cache_respects_default_kind() {
+    let cols = vec![vec![0u8, 1, 0, 1, 1, 0], vec![1u8, 1, 0, 0, 1, 0]];
+    fastbn_data::set_default_index_kind(IndexKind::Compressed);
+    let d = Dataset::from_columns(vec![], vec![2, 2], cols.clone()).unwrap();
+    assert_eq!(d.bitmap_index().kind(), IndexKind::Compressed);
+    fastbn_data::set_default_index_kind(IndexKind::Dense);
+    // Already built: the cached compressed index survives the flip…
+    assert_eq!(d.bitmap_index().kind(), IndexKind::Compressed);
+    // …while a fresh dataset picks up the restored default.
+    let d2 = Dataset::from_columns(vec![], vec![2, 2], cols).unwrap();
+    assert_eq!(d2.bitmap_index().kind(), IndexKind::Dense);
+}

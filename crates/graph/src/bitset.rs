@@ -27,6 +27,29 @@ impl BitSet {
         self.capacity
     }
 
+    /// Build a set directly from backing words (least-significant bit
+    /// first) — the bulk constructor behind word-at-a-time producers like
+    /// the counting engines' bitmap-index builder, which accumulates 64
+    /// rows per store instead of calling [`BitSet::insert`] per element.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != capacity.div_ceil(64)` or if any bit at
+    /// a position `>= capacity` is set (the invariant every other method
+    /// relies on).
+    pub fn from_words(words: Vec<u64>, capacity: usize) -> Self {
+        assert_eq!(words.len(), capacity.div_ceil(64), "word count mismatch");
+        if !capacity.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(
+                    last >> (capacity % 64),
+                    0,
+                    "bits beyond capacity must be zero"
+                );
+            }
+        }
+        Self { words, capacity }
+    }
+
     /// Insert `v`. Returns `true` if it was newly inserted.
     ///
     /// # Panics
@@ -208,6 +231,23 @@ mod tests {
         assert_eq!(w[2], 2);
         let total: u32 = w.iter().map(|x| x.count_ones()).sum();
         assert_eq!(total as usize, s.count_ones());
+    }
+
+    #[test]
+    fn from_words_roundtrips() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        let rebuilt = BitSet::from_words(s.words().to_vec(), 130);
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.to_vec(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn from_words_rejects_trailing_bits() {
+        BitSet::from_words(vec![0, 1 << 5], 68);
     }
 
     #[test]

@@ -1317,6 +1317,15 @@ pub struct StatsReply {
     pub cache_evictions: u64,
     /// Estimated resident bytes across the three server caches (v3).
     pub cache_bytes: u64,
+    /// Active SIMD popcount kernel tier: 0 = scalar, 1 = AVX2,
+    /// 2 = AVX-512 (v4; mirrors the `fastbn.stats.simd.kernel` gauge).
+    pub simd_kernel: u8,
+    /// Bitmap-engine table fills served by the scalar kernels (v4).
+    pub simd_scalar_fills: u64,
+    /// Bitmap-engine table fills served by the AVX2 kernels (v4).
+    pub simd_avx2_fills: u64,
+    /// Bitmap-engine table fills served by the AVX-512 kernels (v4).
+    pub simd_avx512_fills: u64,
     /// Jobs currently executing.
     pub jobs_running: u32,
     /// Jobs admitted but not yet running.
@@ -1349,6 +1358,10 @@ impl StatsReply {
             .u64(self.dataset_misses)
             .u64(self.cache_evictions)
             .u64(self.cache_bytes)
+            .u8(self.simd_kernel)
+            .u64(self.simd_scalar_fills)
+            .u64(self.simd_avx2_fills)
+            .u64(self.simd_avx512_fills)
             .u32(self.jobs_running)
             .u32(self.jobs_queued);
         e.into_bytes()
@@ -1380,6 +1393,10 @@ impl StatsReply {
             dataset_misses: d.u64()?,
             cache_evictions: d.u64()?,
             cache_bytes: d.u64()?,
+            simd_kernel: d.u8()?,
+            simd_scalar_fills: d.u64()?,
+            simd_avx2_fills: d.u64()?,
+            simd_avx512_fills: d.u64()?,
             jobs_running: d.u32()?,
             jobs_queued: d.u32()?,
         };
@@ -1745,6 +1762,10 @@ mod tests {
             dataset_misses: 1,
             cache_evictions: 3,
             cache_bytes: 4096,
+            simd_kernel: 2,
+            simd_scalar_fills: 7,
+            simd_avx2_fills: 8,
+            simd_avx512_fills: 9,
             ..StatsReply::default()
         };
         assert_eq!(StatsReply::decode(&stats.encode()).unwrap(), stats);

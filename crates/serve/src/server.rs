@@ -196,6 +196,10 @@ impl Shared {
             dataset_misses: cache.dataset_misses,
             cache_evictions: cache.evictions,
             cache_bytes: cache.bytes,
+            simd_kernel: fastbn_stats::simd::active_tier() as u8,
+            simd_scalar_fills: pick("fastbn.stats.simd.scalar_fills"),
+            simd_avx2_fills: pick("fastbn.stats.simd.avx2_fills"),
+            simd_avx512_fills: pick("fastbn.stats.simd.avx512_fills"),
             jobs_running: self.pool.running() as u32,
             jobs_queued: self.pool.queued() as u32,
         }

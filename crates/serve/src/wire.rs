@@ -10,15 +10,16 @@
 
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame header. Version 3 added
-/// upload-once dataset handles: the `DatasetPut` frame pair, the
-/// dataset-reference tag in `Learn`/`Fit` payloads, the
-/// `UnknownDataset` error code, and the cache-accounting fields in
-/// `StatsReply` (see `docs/PROTOCOL.md` §1 for the compatibility
-/// rules). Version 2 added the `Metrics` frame pair and the
-/// observability fields in `StatsReply`, `HealthReply`, and the
-/// search-stats section.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// Protocol version carried in every frame header. Version 4 added the
+/// SIMD kernel-tier fields in `StatsReply` (`simd_kernel` plus the
+/// per-tier fill counters). Version 3 added upload-once dataset
+/// handles: the `DatasetPut` frame pair, the dataset-reference tag in
+/// `Learn`/`Fit` payloads, the `UnknownDataset` error code, and the
+/// cache-accounting fields in `StatsReply` (see `docs/PROTOCOL.md` §1
+/// for the compatibility rules). Version 2 added the `Metrics` frame
+/// pair and the observability fields in `StatsReply`, `HealthReply`,
+/// and the search-stats section.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a frame's byte length (header + payload). Frames
 /// announcing more are rejected before any allocation — a malformed or

@@ -541,7 +541,7 @@ fn protocol_doc_example_is_accurate() {
         }
         .encode(),
     );
-    let doc_request = "39000000030101000000009a9999999999a93f01000000000000000000020000\
+    let doc_request = "39000000040101000000009a9999999999a93f01000000000000000000020000\
                        0004000000000000000100000061020100000062020001010000010100";
     assert_eq!(hex(&request_frame), doc_request);
 
@@ -569,7 +569,7 @@ fn protocol_doc_example_is_accurate() {
         }
     }
     let reply_frame = encode_frame(kind::LEARN_OK, 1, &reply.encode());
-    let doc_reply = "570000000381010000003b594147047e8a2d0002000000000000000100000000\
+    let doc_reply = "570000000481010000003b594147047e8a2d0002000000000000000100000000\
                      0000000100000000000101000000000000000100000000000000010000000000\
                      000000000000000000000000000000000000000000000000000000";
     assert_eq!(hex(&reply_frame), doc_reply);

@@ -35,7 +35,8 @@
 
 use crate::batch::FILL_BLOCK;
 use crate::contingency::ContingencyTable;
-use fastbn_data::{ChunkRef, DataStore, Dataset, Layout};
+use crate::simd::{self, SimdTier};
+use fastbn_data::{ChunkRef, DataStore, Dataset, Layout, StateBits};
 
 /// One table-fill request: which variables feed which axis of a table.
 ///
@@ -331,12 +332,28 @@ impl BitmapEngine {
         Self::default()
     }
 
+    /// Record which kernel tier served a table fill: the
+    /// `fastbn.stats.simd.kernel` gauge holds the dispatched tier
+    /// (0 = scalar, 1 = avx2, 2 = avx512) and the per-tier
+    /// `fastbn.stats.simd.*_fills` counters accumulate fills, next to
+    /// the `fastbn.stats.engine.*` pick counters.
+    fn record_tier(&self) {
+        let tier = simd::active_tier();
+        fastbn_obs::gauge!("fastbn.stats.simd.kernel").set(tier as i64);
+        match tier {
+            SimdTier::Scalar => fastbn_obs::counter!("fastbn.stats.simd.scalar_fills").inc(),
+            SimdTier::Avx2 => fastbn_obs::counter!("fastbn.stats.simd.avx2_fills").inc(),
+            SimdTier::Avx512 => fastbn_obs::counter!("fastbn.stats.simd.avx512_fills").inc(),
+        }
+    }
+
     fn fill_table(
         &mut self,
         data: &dyn DataStore,
         spec: FillSpec<'_>,
         table: &mut ContingencyTable,
     ) {
+        self.record_tier();
         let n_chunks = data.n_chunks();
         if n_chunks == 1 {
             // Resident fast path: query the (cached) whole-range index
@@ -383,56 +400,83 @@ impl BitmapEngine {
         }
 
         // Odometer over the observed Z configurations (runs once, with
-        // z = 0, when the conditioning set is empty).
+        // z = 0, when the conditioning set is empty). All word loops
+        // below go through the tier-dispatched kernels in [`crate::simd`];
+        // compressed state bitmaps are consumed through their
+        // container-specialised variants without ever densifying the
+        // operand side.
         self.pos.clear();
         self.pos.resize(d, 0);
         loop {
             let z: usize = (0..d).map(|i| obs_z(i)[self.pos[i]] * spec.zmul[i]).sum();
             if d > 0 {
-                self.zbuf.clear();
-                self.zbuf
-                    .extend_from_slice(idx.words(spec.cond[0], obs_z(0)[self.pos[0]]));
+                // Z accumulator: seed from the first conditioning
+                // bitmap, then fused AND-assign the rest.
+                simd::decompress_bits_into(
+                    idx.state_bits(spec.cond[0], obs_z(0)[self.pos[0]]),
+                    &mut self.zbuf,
+                );
                 for i in 1..d {
-                    for (a, b) in self
-                        .zbuf
-                        .iter_mut()
-                        .zip(idx.words(spec.cond[i], obs_z(i)[self.pos[i]]))
-                    {
-                        *a &= *b;
-                    }
+                    simd::and_assign_bits(
+                        &mut self.zbuf,
+                        idx.state_bits(spec.cond[i], obs_z(i)[self.pos[i]]),
+                    );
                 }
             }
             for &xs in obs_x {
-                let xw = idx.words(spec.x, xs);
+                let xbits = idx.state_bits(spec.x, xs);
                 match spec.y {
                     None => {
                         let c = if d == 0 {
-                            popcount(xw)
+                            simd::popcount_bits(xbits)
                         } else {
-                            and_popcount(&self.zbuf, xw)
+                            simd::and_popcount_bits(&self.zbuf, xbits)
                         };
                         if c > 0 {
                             table.add_count(xs, 0, z, c as u32);
                         }
                     }
-                    Some(yv) => {
-                        // One reusable X∩Z intersection serves every Y
-                        // state of this (x, z) stripe.
-                        let xsrc: &[u64] = if d == 0 {
-                            xw
-                        } else {
-                            self.xbuf.clear();
-                            self.xbuf
-                                .extend(self.zbuf.iter().zip(xw).map(|(a, b)| a & b));
-                            &self.xbuf
-                        };
+                    Some(yv) if d == 0 => {
+                        // Degenerate Z: each cell is a pure pairwise
+                        // intersection, specialised per container pair.
                         for &ys in obs_y {
-                            let c = and_popcount(xsrc, idx.words(yv, ys));
+                            let c = simd::and_popcount_pair(xbits, idx.state_bits(yv, ys));
                             if c > 0 {
                                 table.add_count(xs, ys, z, c as u32);
                             }
                         }
                     }
+                    Some(yv) => match xbits {
+                        // Dense index: fused three-way AND + popcount per
+                        // cell — no X∩Z intermediate is materialised.
+                        StateBits::Dense(xw) => {
+                            for &ys in obs_y {
+                                let yw = match idx.state_bits(yv, ys) {
+                                    StateBits::Dense(w) => w,
+                                    StateBits::Compressed(_) => {
+                                        unreachable!("index representations are uniform")
+                                    }
+                                };
+                                let c = simd::and_n_popcount(&[&self.zbuf, xw, yw]);
+                                if c > 0 {
+                                    table.add_count(xs, ys, z, c as u32);
+                                }
+                            }
+                        }
+                        // Compressed index: one reusable X∩Z accumulator
+                        // serves every Y container of this (x, z) stripe.
+                        StateBits::Compressed(_) => {
+                            self.xbuf.clear();
+                            self.xbuf.extend_from_slice(&self.zbuf);
+                            simd::and_assign_bits(&mut self.xbuf, xbits);
+                            for &ys in obs_y {
+                                let c = simd::and_popcount_bits(&self.xbuf, idx.state_bits(yv, ys));
+                                if c > 0 {
+                                    table.add_count(xs, ys, z, c as u32);
+                                }
+                            }
+                        }
+                    },
                 }
             }
             // Advance the odometer (last digit fastest).
@@ -450,19 +494,6 @@ impl BitmapEngine {
             }
         }
     }
-}
-
-#[inline]
-fn popcount(a: &[u64]) -> u64 {
-    a.iter().map(|w| w.count_ones() as u64).sum()
-}
-
-#[inline]
-fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x & y).count_ones() as u64)
-        .sum()
 }
 
 impl CountEngine for BitmapEngine {
@@ -559,36 +590,53 @@ impl EngineSelect {
     /// The `Auto` cost model: true when the bitmap engine is expected to
     /// beat the tiled scan for this query.
     ///
-    /// The bitmap fill spends `w · ñz · (d + r̃x·(1 + r̃y))` word
-    /// operations (observed arities `r̃`, observed configuration count
-    /// `ñz` — unobserved states are skipped outright); the tiled scan
-    /// reads `m · (d + 2)` column elements. `w` is the store's total
-    /// bitmap word count `Σ_chunks ⌈len/64⌉`: chunked stores keep one
-    /// index per chunk, so chunking pays per-chunk word rounding and the
-    /// model prices chunks, not the whole table (for a resident store
-    /// this reduces to the historical `⌈m/64⌉`). The flip point is where
-    /// the word-op count crosses the element-read count: low-arity
-    /// marginal queries sit far on the bitmap side (a 2×2 table costs
-    /// `~m/10` word ops vs `2m` reads), wide conditioning sets far on
-    /// the tiled side.
+    /// Per observed Z configuration the bitmap fill streams one word run
+    /// per conditioning bitmap (`Σ_z w̃(z)`), one per X state
+    /// (`r̃x · w̃(x)`), and per (X, Y) cell one Y run (`r̃x · r̃y · w̃(y)`;
+    /// with no Y axis the accumulator re-read `w_acc` takes that slot) —
+    /// observed arities `r̃` and observed configuration count `ñz`,
+    /// since unobserved states are skipped outright. `w̃(v)` is
+    /// [`DataStore::bitmap_mean_state_words`]: `Σ_chunks ⌈len/64⌉` for a
+    /// dense index (chunked stores keep one index per chunk, so chunking
+    /// pays per-chunk word rounding), but the *actual container payload*
+    /// once a compressed index exists — sparse states get cheaper and
+    /// the model flips to the bitmap engine sooner.
+    ///
+    /// The tiled scan reads `m · (d + 2)` column elements. The two sides
+    /// meet where word ops cross element reads scaled by the measured
+    /// per-tier word-op throughput ([`crate::simd::word_ops_per_read`]):
+    /// an AVX2/AVX-512 kernel retires several word ops per element read,
+    /// moving the flip surface toward the bitmap engine (flip surfaces
+    /// measured by `examples/calibrate.rs`; see `crates/stats/README.md`).
+    /// With a dense index and the scalar tier this reduces exactly to
+    /// the historical `w · ñz · (d + r̃x·(1 + r̃y)) ≤ m · (d + 2)` rule.
+    /// Whatever the pick, counts are byte-identical — the model only
+    /// decides speed, never results.
     pub fn prefers_bitmap(data: &dyn DataStore, spec: &FillSpec<'_>) -> bool {
         let m = data.n_samples();
         if m == 0 {
             return false;
         }
-        let w: u64 = (0..data.n_chunks())
+        let w_acc: u64 = (0..data.n_chunks())
             .map(|i| data.chunk_range(i).len().div_ceil(64) as u64)
             .sum();
         let rx = data.observed_arity(spec.x) as u64;
-        let ry = spec.y.map_or(1, |y| data.observed_arity(y) as u64);
         let d = spec.cond.len() as u64;
         let mut nz = 1u64;
+        let mut z_words = 0u64;
         for &c in spec.cond {
             nz = nz.saturating_mul(data.observed_arity(c) as u64);
+            z_words += data.bitmap_mean_state_words(c);
         }
-        let bitmap_word_ops = w.saturating_mul(nz.saturating_mul(d + rx * (1 + ry)));
+        let y_words = match spec.y {
+            Some(y) => data.observed_arity(y) as u64 * data.bitmap_mean_state_words(y),
+            None => w_acc,
+        };
+        let per_config =
+            z_words + rx.saturating_mul(data.bitmap_mean_state_words(spec.x) + y_words);
+        let bitmap_word_ops = nz.saturating_mul(per_config);
         let tiled_reads = (m as u64) * (d + 1 + spec.y.is_some() as u64);
-        bitmap_word_ops <= tiled_reads
+        bitmap_word_ops <= tiled_reads.saturating_mul(simd::word_ops_per_read(simd::active_tier()))
     }
 }
 
@@ -870,6 +918,11 @@ mod tests {
 
     #[test]
     fn cost_model_flips_with_query_shape() {
+        // The flip point depends on the active kernel tier's word-op
+        // throughput; pin the scalar tier so the assertions hold on any
+        // hardware (and hold the guard against concurrent tier flips).
+        let _guard = crate::simd::tier_test_guard();
+        crate::simd::set_forced_tier(Some(SimdTier::Scalar));
         let d = data();
         let small = FillSpec {
             x: 0,
@@ -895,6 +948,7 @@ mod tests {
             !EngineSelect::prefers_bitmap(&d, &wide),
             "wide conditioning sets stay on the tiled scan"
         );
+        crate::simd::set_forced_tier(None);
     }
 
     #[test]
@@ -913,6 +967,10 @@ mod tests {
 
     #[test]
     fn backend_counts_per_query_engine_picks() {
+        // Pick assertions go through the tier-scaled cost model: pin the
+        // scalar tier (see `cost_model_flips_with_query_shape`).
+        let _guard = crate::simd::tier_test_guard();
+        crate::simd::set_forced_tier(Some(SimdTier::Scalar));
         let d = data();
         // Mirror of `auto_backend_matches_forced_backends_on_a_mixed_batch`:
         // a tiny marginal (bitmap side) plus a wide conditioning set
@@ -952,6 +1010,7 @@ mod tests {
         let mut t = ContingencyTable::new(3, 3, 1);
         forced.fill_one(&d, Layout::ColumnMajor, small, &mut t);
         assert_eq!(forced.picks(), (1, 0), "forcing overrides the cost model");
+        crate::simd::set_forced_tier(None);
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //!   (AND + popcount over cached per-(variable, state) sample bitmaps),
 //!   and the [`engine::EngineSelect`] policy whose `Auto` mode picks per
 //!   query. Both engines produce byte-identical counts.
+//! * [`simd`] — the runtime-dispatched popcount kernel tiers (scalar /
+//!   AVX2 / AVX-512 VPOPCNTDQ) and the compressed-container AND+popcount
+//!   specialisations the bitmap engine is built on; all tiers are
+//!   bit-identical, forceable via `FASTBN_SIMD`.
 //!
-//! Everything here is pure computation (no I/O, no global state), so the
-//! learner crates can call these kernels from any thread without
+//! Everything here is pure computation (no I/O; the only global state is
+//! the process-wide kernel-tier dispatch, which cannot affect results),
+//! so the learner crates can call these kernels from any thread without
 //! synchronization: a CI test is a pure function of a contingency table.
 
 pub mod batch;
@@ -38,6 +43,7 @@ pub mod engine;
 pub mod gsq;
 pub mod mi;
 pub mod pearson;
+pub mod simd;
 pub mod special;
 
 pub use batch::{BatchedCiRunner, FactorArena, TableArena, FILL_BLOCK};
@@ -48,4 +54,5 @@ pub use engine::{BitmapEngine, CountEngine, CountingBackend, EngineSelect, FillS
 pub use gsq::{g2_statistic, g2_test};
 pub use mi::{conditional_mutual_information, mi_test};
 pub use pearson::{x2_statistic, x2_test};
+pub use simd::{SimdTier, SIMD_ENV};
 pub use special::{ln_gamma, regularized_gamma_p, regularized_gamma_q};

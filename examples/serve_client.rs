@@ -107,6 +107,15 @@ fn main() {
         "count engines: {} tiled picks, {} bitmap picks",
         stats.engine_tiled_picks, stats.engine_bitmap_picks
     );
+    let tier = match stats.simd_kernel {
+        0 => "scalar",
+        1 => "avx2",
+        _ => "avx512",
+    };
+    println!(
+        "simd kernels: {tier} active; fills {} scalar / {} avx2 / {} avx512",
+        stats.simd_scalar_fills, stats.simd_avx2_fills, stats.simd_avx512_fills
+    );
     println!(
         "caches: {} dataset hits, {} evictions, ~{} bytes resident",
         stats.dataset_hits, stats.cache_evictions, stats.cache_bytes
